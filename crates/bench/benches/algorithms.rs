@@ -1,0 +1,122 @@
+//! Micro-benchmarks of the hot core algorithms: hypoexponential path
+//! weights, shortest-opportunistic-path search, NCL selection, the
+//! cache-replacement knapsack and workload sampling.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dtn_core::graph::ContactGraph;
+use dtn_core::hypoexp;
+use dtn_core::ids::NodeId;
+use dtn_core::knapsack::{CacheItem, KnapsackSolver};
+use dtn_core::ncl::select_central_nodes;
+use dtn_core::path::shortest_paths;
+use dtn_core::popularity::PopularityEstimator;
+use dtn_core::time::{Duration, Time};
+use dtn_trace::synthetic::SyntheticTraceBuilder;
+use dtn_workload::Zipf;
+
+fn random_graph(nodes: usize, degree: usize, seed: u64) -> ContactGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = ContactGraph::new(nodes);
+    for i in 0..nodes as u32 {
+        for _ in 0..degree {
+            let j = rng.gen_range(0..nodes as u32);
+            if i != j {
+                g.set_rate(NodeId(i), NodeId(j), rng.gen_range(1e-6..1e-3));
+            }
+        }
+    }
+    g
+}
+
+fn bench_hypoexp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hypoexp_cdf");
+    for hops in [2usize, 4, 8] {
+        let rates: Vec<f64> = (1..=hops).map(|k| 1e-4 * k as f64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(hops), &rates, |b, rates| {
+            b.iter(|| hypoexp::cdf(black_box(rates), black_box(36_000.0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_shortest_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shortest_paths");
+    for n in [50usize, 100, 200] {
+        let g = random_graph(n, 8, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| shortest_paths(black_box(g), NodeId(0), 36_000.0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ncl_selection(c: &mut Criterion) {
+    let g = random_graph(80, 6, 11);
+    c.bench_function("ncl_select_top8_n80", |b| {
+        b.iter(|| select_central_nodes(black_box(&g), 8, 36_000.0))
+    });
+}
+
+fn bench_knapsack(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let items: Vec<CacheItem> = (0..50)
+        .map(|_| CacheItem {
+            size: rng.gen_range(1 << 20..32 << 20),
+            utility: rng.gen_range(0.0..1.0),
+        })
+        .collect();
+    let solver = KnapsackSolver::default();
+    let capacity = 256 << 20;
+    c.bench_function("knapsack_solve_50items", |b| {
+        b.iter(|| solver.solve(black_box(&items), black_box(capacity)))
+    });
+    c.bench_function("knapsack_probabilistic_50items", |b| {
+        let mut rng = StdRng::seed_from_u64(9);
+        b.iter(|| solver.probabilistic_select(black_box(&items), black_box(capacity), &mut rng))
+    });
+}
+
+fn bench_popularity(c: &mut Criterion) {
+    c.bench_function("popularity_record_and_query", |b| {
+        b.iter(|| {
+            let mut est = PopularityEstimator::new();
+            for t in 0..100u64 {
+                est.record_request(Time(t * 500));
+            }
+            black_box(est.popularity(Time(60_000), Time(120_000)))
+        })
+    });
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let zipf = Zipf::new(1000, 1.0);
+    let mut rng = StdRng::seed_from_u64(5);
+    c.bench_function("zipf_sample_m1000", |b| b.iter(|| zipf.sample(&mut rng)));
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    c.bench_function("synthetic_trace_40n_10k_contacts", |b| {
+        b.iter(|| {
+            SyntheticTraceBuilder::new(40)
+                .duration(Duration::days(3))
+                .target_contacts(10_000)
+                .seed(black_box(1))
+                .build()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_hypoexp,
+    bench_shortest_paths,
+    bench_ncl_selection,
+    bench_knapsack,
+    bench_popularity,
+    bench_zipf,
+    bench_trace_generation,
+);
+criterion_main!(benches);

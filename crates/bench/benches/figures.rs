@@ -1,0 +1,113 @@
+//! One bench per table/figure of the paper, at reduced scale
+//! (DESIGN.md §4): the same code paths as the `experiments` binary with
+//! tiny traces so `cargo bench` exercises every reproduction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use bench::figures;
+use dtn_cache::experiment::{run_experiment, ExperimentConfig};
+use dtn_cache::replacement::ReplacementKind;
+use dtn_cache::SchemeKind;
+use dtn_core::time::Duration;
+use dtn_sim::engine::megabits;
+use dtn_trace::TracePreset;
+
+/// Tiny scale shared by the simulation benches: keeps a single
+/// experiment run in the tens of milliseconds.
+const BENCH_SCALE: f64 = 0.01;
+
+fn mit_bench_config() -> ExperimentConfig {
+    ExperimentConfig {
+        ncl_count: 4,
+        mean_data_lifetime: Duration::hours(12),
+        ..ExperimentConfig::default()
+    }
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_trace_stats", |b| {
+        b.iter(|| figures::table1(black_box(BENCH_SCALE), 42))
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig4_metric_distributions", |b| {
+        b.iter(|| figures::fig4(black_box(BENCH_SCALE), 42))
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("fig7_sigmoid_curve", |b| b.iter(figures::fig7));
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    c.bench_function("fig9a_workload_volume", |b| {
+        b.iter(|| figures::fig9a(black_box(0.02), 42))
+    });
+    c.bench_function("fig9b_zipf_curves", |b| b.iter(figures::fig9b));
+}
+
+fn bench_fig10_point(c: &mut Criterion) {
+    // One representative (T_L, scheme) cell of Fig. 10: the intentional
+    // scheme on the scaled MIT Reality trace.
+    let trace = figures::preset_trace(TracePreset::MitReality, BENCH_SCALE, 42);
+    let cfg = mit_bench_config();
+    c.bench_function("fig10_point_intentional_mit", |b| {
+        b.iter(|| run_experiment(black_box(&trace), SchemeKind::Intentional, &cfg, 1))
+    });
+    c.bench_function("fig10_point_nocache_mit", |b| {
+        b.iter(|| run_experiment(black_box(&trace), SchemeKind::NoCache, &cfg, 1))
+    });
+}
+
+fn bench_fig11_point(c: &mut Criterion) {
+    let trace = figures::preset_trace(TracePreset::MitReality, BENCH_SCALE, 42);
+    let cfg = ExperimentConfig {
+        mean_data_size: megabits(200),
+        ..mit_bench_config()
+    };
+    c.bench_function("fig11_point_large_data_mit", |b| {
+        b.iter(|| run_experiment(black_box(&trace), SchemeKind::Intentional, &cfg, 1))
+    });
+}
+
+fn bench_fig12_point(c: &mut Criterion) {
+    let trace = figures::preset_trace(TracePreset::MitReality, BENCH_SCALE, 42);
+    for kind in [ReplacementKind::Lru, ReplacementKind::UtilityKnapsack] {
+        let cfg = ExperimentConfig {
+            replacement: kind,
+            mean_data_size: megabits(150),
+            ..mit_bench_config()
+        };
+        c.bench_function(&format!("fig12_point_{}", kind.name()), |b| {
+            b.iter(|| run_experiment(black_box(&trace), SchemeKind::Intentional, &cfg, 1))
+        });
+    }
+}
+
+fn bench_fig13_point(c: &mut Criterion) {
+    let trace = figures::preset_trace(TracePreset::Infocom06, BENCH_SCALE, 42);
+    let cfg = ExperimentConfig {
+        ncl_count: 5,
+        mean_data_lifetime: Duration::minutes(30),
+        ..ExperimentConfig::default()
+    };
+    c.bench_function("fig13_point_k5_infocom06", |b| {
+        b.iter(|| run_experiment(black_box(&trace), SchemeKind::Intentional, &cfg, 1))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_table1,
+        bench_fig4,
+        bench_fig7,
+        bench_fig9,
+        bench_fig10_point,
+        bench_fig11_point,
+        bench_fig12_point,
+        bench_fig13_point,
+}
+criterion_main!(benches);

@@ -1,0 +1,406 @@
+//! Regenerates every table and figure of the paper as text tables.
+//!
+//! ```text
+//! experiments [--scale F] [--seeds N] <command>
+//! commands: table1 fig4 fig7 fig9 fig10 fig11 fig12 fig13 all
+//! ```
+//!
+//! `--scale` shrinks trace duration and contact count proportionally
+//! (default 0.1 — a laptop-friendly run preserving contact density);
+//! `--seeds` sets repetitions per point (default 3).
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bench::figures;
+use dtn_cache::replacement::ReplacementKind;
+use dtn_cache::SchemeKind;
+
+struct Options {
+    scale: f64,
+    seeds: u32,
+    command: String,
+    csv_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut scale = 0.1;
+    let mut seeds = 3;
+    let mut command = None;
+    let mut csv_dir = None;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                scale = v.parse().map_err(|_| format!("bad scale {v:?}"))?;
+                if !(scale > 0.0 && scale <= 1.0) {
+                    return Err("scale must be in (0, 1]".into());
+                }
+            }
+            "--seeds" => {
+                let v = args.next().ok_or("--seeds needs a value")?;
+                seeds = v.parse().map_err(|_| format!("bad seeds {v:?}"))?;
+                if seeds == 0 {
+                    return Err("seeds must be positive".into());
+                }
+            }
+            "--csv" => {
+                let v = args.next().ok_or("--csv needs a directory")?;
+                csv_dir = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                command = Some("help".to_string());
+            }
+            other if command.is_none() && !other.starts_with('-') => {
+                command = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(Options {
+        scale,
+        seeds,
+        command: command.unwrap_or_else(|| "help".into()),
+        csv_dir,
+    })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let commands: Vec<&str> = if opts.command == "all" {
+        vec![
+            "table1", "fig4", "fig7", "fig9", "fig10", "fig11", "fig12", "fig13", "ablation",
+            "ncl", "bounds",
+        ]
+    } else {
+        vec![opts.command.as_str()]
+    };
+    for cmd in commands {
+        match cmd {
+            "table1" => table1(&opts),
+            "fig4" => fig4(&opts),
+            "fig7" => fig7(),
+            "fig9" => fig9(&opts),
+            "fig10" => fig10(&opts),
+            "fig11" => fig11(&opts),
+            "fig12" => fig12(&opts),
+            "fig13" => fig13(&opts),
+            "ablation" => ablation(&opts),
+            "ncl" => ncl(&opts),
+            "bounds" => bounds(&opts),
+            "help" => {
+                println!(
+                    "usage: experiments [--scale F] [--seeds N] [--csv DIR] \
+                     <table1|fig4|fig7|fig9|fig10|fig11|fig12|fig13|ablation|ncl|bounds|all>"
+                );
+            }
+            other => {
+                eprintln!("error: unknown command {other:?}; try --help");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn header(title: &str, opts: &Options) {
+    println!();
+    println!("== {title} (scale {}, {} seeds) ==", opts.scale, opts.seeds);
+}
+
+/// Writes one CSV file into the `--csv` directory, if configured.
+fn write_csv(opts: &Options, name: &str, header: &str, rows: &[String]) {
+    let Some(dir) = &opts.csv_dir else { return };
+    if let Err(e) = fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(name);
+    let mut body = String::from(header);
+    body.push('\n');
+    for row in rows {
+        body.push_str(row);
+        body.push('\n');
+    }
+    match fs::write(&path, body) {
+        Ok(()) => println!("[csv] wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+fn table1(opts: &Options) {
+    header("Table I: trace summary", opts);
+    println!(
+        "{:<12} {:>6} {:>10} {:>10} {:>10} {:>14}",
+        "trace", "nodes", "contacts", "target", "days", "freq/pair/day"
+    );
+    for row in figures::table1(opts.scale, 42) {
+        println!(
+            "{:<12} {:>6} {:>10} {:>10.0} {:>10.1} {:>14.3}",
+            row.preset.name(),
+            row.stats.nodes,
+            row.stats.contacts,
+            row.target_contacts,
+            row.stats.duration_days,
+            row.stats.pairwise_contact_frequency_per_day,
+        );
+    }
+}
+
+fn fig4(opts: &Options) {
+    header("Fig. 4: NCL selection metric distribution", opts);
+    for series in figures::fig4(opts.scale, 42) {
+        let n = series.scores.len();
+        let max = series.scores[0].metric;
+        let median = series.scores[n / 2].metric;
+        println!(
+            "{:<12} (T = {}): top metrics {:.3} {:.3} {:.3} {:.3} | median {:.3} | max/median {:.1}x",
+            series.preset.name(),
+            series.horizon,
+            series.scores[0].metric,
+            series.scores[1.min(n - 1)].metric,
+            series.scores[2.min(n - 1)].metric,
+            series.scores[3.min(n - 1)].metric,
+            median,
+            if median > 0.0 { max / median } else { f64::INFINITY },
+        );
+    }
+}
+
+fn fig7() {
+    println!();
+    println!("== Fig. 7: probabilistic response sigmoid (p_min=0.45, p_max=0.8, T_q=10h) ==");
+    println!("{:>8} {:>8}", "hours", "p_R(t)");
+    for (h, p) in figures::fig7() {
+        if h.fract() == 0.0 {
+            println!("{h:>8.1} {p:>8.3}");
+        }
+    }
+}
+
+fn fig9(opts: &Options) {
+    header("Fig. 9(a): amount of data vs T_L (MIT population)", opts);
+    println!("{:>8} {:>12} {:>12}", "T_L", "generated", "avg live");
+    for row in figures::fig9a(opts.scale, 42) {
+        println!(
+            "{:>8} {:>12} {:>12.1}",
+            row.lifetime.to_string(),
+            row.items_generated,
+            row.avg_live_items
+        );
+    }
+    println!();
+    println!("== Fig. 9(b): Zipf query probabilities (M = 100) ==");
+    let series = figures::fig9b();
+    print!("{:>4}", "j");
+    for (s, _) in &series {
+        print!(" {:>9}", format!("s={s}"));
+    }
+    println!();
+    for j in 0..10 {
+        print!("{:>4}", j + 1);
+        for (_, probs) in &series {
+            print!(" {:>9.4}", probs[j]);
+        }
+        println!();
+    }
+}
+
+fn comparison_tables(opts: &Options, fig: &str, rows: &[figures::ComparisonRow], x_label: &str) {
+    // CSV: one file per sub-figure, schemes as columns.
+    for (suffix, field) in [("a_success", 0), ("b_delay_hours", 1), ("c_copies", 2)] {
+        let mut csv_rows = Vec::new();
+        for row in rows {
+            let mut line = row.label.clone();
+            for report in &row.reports {
+                let v = match field {
+                    0 => report.success_ratio,
+                    1 => report.avg_delay_hours,
+                    _ => report.avg_copies_per_item,
+                };
+                line.push_str(&format!(",{v:.6}"));
+            }
+            csv_rows.push(line);
+        }
+        let header = std::iter::once(x_label.to_string())
+            .chain(SchemeKind::ALL.iter().map(|k| k.name().to_string()))
+            .collect::<Vec<_>>()
+            .join(",");
+        write_csv(opts, &format!("{fig}{suffix}.csv"), &header, &csv_rows);
+    }
+
+    for (title, field) in [
+        ("(a) successful ratio", 0),
+        ("(b) data access delay (hours)", 1),
+        ("(c) caching overhead (copies/item)", 2),
+    ] {
+        println!("\n{title}");
+        print!("{x_label:>8}");
+        for kind in SchemeKind::ALL {
+            print!(" {:>12}", kind.name());
+        }
+        println!();
+        for row in rows {
+            print!("{:>8}", row.label);
+            for report in &row.reports {
+                let v = match field {
+                    0 => report.success_ratio,
+                    1 => report.avg_delay_hours,
+                    _ => report.avg_copies_per_item,
+                };
+                print!(" {v:>12.3}");
+            }
+            println!();
+        }
+    }
+}
+
+fn fig10(opts: &Options) {
+    header("Fig. 10: performance vs data lifetime (MIT Reality)", opts);
+    let rows = figures::fig10(opts.scale, opts.seeds);
+    comparison_tables(opts, "fig10", &rows, "T_L");
+}
+
+fn fig11(opts: &Options) {
+    header("Fig. 11: performance vs data size (MIT Reality)", opts);
+    let rows = figures::fig11(opts.scale, opts.seeds);
+    comparison_tables(opts, "fig11", &rows, "s_avg");
+}
+
+fn fig12(opts: &Options) {
+    header("Fig. 12: cache replacement strategies (MIT Reality)", opts);
+    let rows = figures::fig12(opts.scale, opts.seeds);
+    for (title, field) in [
+        ("(a) successful ratio", 0),
+        ("(b) data access delay (hours)", 1),
+        ("(c) replacement overhead (ops/item)", 2),
+    ] {
+        println!("\n{title}");
+        print!("{:>8}", "s_avg");
+        for kind in ReplacementKind::ALL {
+            print!(" {:>18}", kind.name());
+        }
+        println!();
+        for row in &rows {
+            print!("{:>8}", row.label);
+            for report in &row.reports {
+                let v = match field {
+                    0 => report.success_ratio,
+                    1 => report.avg_delay_hours,
+                    _ => report.avg_replacements_per_item,
+                };
+                print!(" {v:>18.3}");
+            }
+            println!();
+        }
+    }
+}
+
+fn ablation(opts: &Options) {
+    header(
+        "Ablation: probabilistic selection & response strategy (MIT Reality)",
+        opts,
+    );
+    let sizes = figures::ablation_sizes_mb();
+    let rows = figures::ablation(opts.scale, opts.seeds);
+    print!("{:<28}", "variant");
+    for mb in &sizes {
+        print!(
+            " {:>12} {:>12}",
+            format!("succ@{mb}Mb"),
+            format!("delay@{mb}Mb")
+        );
+    }
+    println!();
+    for row in &rows {
+        print!("{:<28}", row.label);
+        for report in &row.reports {
+            print!(
+                " {:>12.3} {:>12.2}",
+                report.success_ratio, report.avg_delay_hours
+            );
+        }
+        println!();
+    }
+}
+
+fn bounds(opts: &Options) {
+    header(
+        "Bounds: the paper's schemes vs epidemic flooding (MIT Reality)",
+        opts,
+    );
+    let rows = figures::bounds(opts.scale, opts.seeds);
+    println!(
+        "{:<14} {:>10} {:>12} {:>18}",
+        "scheme", "success", "delay (h)", "MB/satisfied query"
+    );
+    for row in &rows {
+        println!(
+            "{:<14} {:>10.3} {:>12.2} {:>18.1}",
+            row.scheme.name(),
+            row.report.success_ratio,
+            row.report.avg_delay_hours,
+            row.report.bytes_per_satisfied_query / 1e6,
+        );
+    }
+}
+
+fn ncl(opts: &Options) {
+    header("NCL selection strategies (§IV design choice)", opts);
+    let presets = figures::ncl_study_presets();
+    let rows = figures::ncl_strategies(opts.scale, opts.seeds);
+    print!("{:<24}", "strategy");
+    for p in &presets {
+        print!(" {:>14} {:>12}", format!("succ {}", p.name()), "delay (h)");
+    }
+    println!();
+    for row in &rows {
+        print!("{:<24}", row.label);
+        for report in &row.reports {
+            print!(
+                " {:>14.3} {:>12.2}",
+                report.success_ratio, report.avg_delay_hours
+            );
+        }
+        println!();
+    }
+}
+
+fn fig13(opts: &Options) {
+    header("Fig. 13: impact of the number of NCLs (Infocom06)", opts);
+    let sizes = figures::fig13_sizes_mb();
+    let rows = figures::fig13(opts.scale, opts.seeds);
+    for (title, field) in [
+        ("(a) successful ratio", 0),
+        ("(b) data access delay (hours)", 1),
+        ("(c) caching overhead (copies/item)", 2),
+    ] {
+        println!("\n{title}");
+        print!("{:>4}", "K");
+        for mb in &sizes {
+            print!(" {:>12}", format!("s_avg={mb}Mb"));
+        }
+        println!();
+        for row in &rows {
+            print!("{:>4}", row.ncl_count);
+            for report in &row.reports {
+                let v = match field {
+                    0 => report.success_ratio,
+                    1 => report.avg_delay_hours,
+                    _ => report.avg_copies_per_item,
+                };
+                print!(" {v:>12.3}");
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Generate calibrated synthetic contact traces as CSV.
+//!
+//! ```text
+//! tracegen --preset mit-reality --scale 0.1 --seed 7 --out trace.csv
+//! tracegen --nodes 50 --days 3 --contacts 20000 --out trace.csv
+//! tracegen --preset infocom06 --analyze        # print stats instead
+//! ```
+
+use std::env;
+use std::fs::File;
+use std::io::BufWriter;
+use std::process::ExitCode;
+
+use dtn_core::time::Duration;
+use dtn_trace::analysis::{aggregate_intercontact_times, ccdf, fit_exponential};
+use dtn_trace::io::write_trace;
+use dtn_trace::stats::{metric_distribution, TraceStats};
+use dtn_trace::synthetic::SyntheticTraceBuilder;
+use dtn_trace::TracePreset;
+
+struct Options {
+    preset: Option<TracePreset>,
+    nodes: usize,
+    days: f64,
+    contacts: u64,
+    scale: f64,
+    seed: u64,
+    out: Option<String>,
+    analyze: bool,
+}
+
+fn parse_preset(name: &str) -> Option<TracePreset> {
+    match name.to_ascii_lowercase().as_str() {
+        "infocom05" => Some(TracePreset::Infocom05),
+        "infocom06" => Some(TracePreset::Infocom06),
+        "mit-reality" | "mit" => Some(TracePreset::MitReality),
+        "ucsd" => Some(TracePreset::Ucsd),
+        _ => None,
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        preset: None,
+        nodes: 40,
+        days: 2.0,
+        contacts: 20_000,
+        scale: 1.0,
+        seed: 0,
+        out: None,
+        analyze: false,
+    };
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            args.next().ok_or(format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--preset" => {
+                let v = value("--preset")?;
+                opts.preset = Some(parse_preset(&v).ok_or(format!("unknown preset {v:?}"))?);
+            }
+            "--nodes" => opts.nodes = value("--nodes")?.parse().map_err(|e| format!("{e}"))?,
+            "--days" => opts.days = value("--days")?.parse().map_err(|e| format!("{e}"))?,
+            "--contacts" => {
+                opts.contacts = value("--contacts")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--scale" => opts.scale = value("--scale")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--out" => opts.out = Some(value("--out")?),
+            "--analyze" => opts.analyze = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: tracegen [--preset NAME | --nodes N --days D --contacts C] \
+                     [--scale F] [--seed S] [--out FILE] [--analyze]\n\
+                     presets: infocom05 infocom06 mit-reality ucsd"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if opts.out.is_none() && !opts.analyze {
+        return Err("need --out FILE and/or --analyze".into());
+    }
+    Ok(opts)
+}
+
+/// Renders a log-scale CCDF as a small ASCII plot.
+fn render_ccdf(points: &[(f64, f64)]) {
+    const WIDTH: usize = 50;
+    const ROWS: usize = 8;
+    let usable: Vec<(f64, f64)> = points
+        .iter()
+        .copied()
+        .filter(|&(t, p)| t > 0.0 && p > 0.0)
+        .collect();
+    if usable.len() < 3 {
+        return;
+    }
+    let t_min = usable.first().expect("non-empty").0.ln();
+    let t_max = usable.last().expect("non-empty").0.ln();
+    if t_max <= t_min {
+        return;
+    }
+    println!("inter-contact CCDF (log t →, log P ↓):");
+    // Rows: log-probability from 1 down to the smallest observed.
+    let p_floor = usable
+        .iter()
+        .map(|&(_, p)| p)
+        .fold(f64::INFINITY, f64::min)
+        .ln();
+    for row in 0..ROWS {
+        let p_hi = (row as f64 / ROWS as f64) * p_floor;
+        let p_lo = ((row + 1) as f64 / ROWS as f64) * p_floor;
+        let mut line = vec![' '; WIDTH];
+        for &(t, p) in &usable {
+            let lp = p.ln();
+            if lp <= p_hi && lp > p_lo {
+                let x =
+                    (((t.ln() - t_min) / (t_max - t_min)) * (WIDTH - 1) as f64).round() as usize;
+                line[x.min(WIDTH - 1)] = '*';
+            }
+        }
+        println!("  |{}|", line.into_iter().collect::<String>());
+    }
+    println!(
+        "   t from {:.0}s to {:.0}s",
+        usable.first().expect("non-empty").0,
+        usable.last().expect("non-empty").0
+    );
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let builder = match opts.preset {
+        Some(preset) => SyntheticTraceBuilder::from_preset(preset),
+        None => SyntheticTraceBuilder::new(opts.nodes)
+            .duration(Duration((opts.days * 86_400.0) as u64))
+            .target_contacts(opts.contacts),
+    };
+    let trace = builder.scale(opts.scale).seed(opts.seed).build();
+
+    if let Some(path) = &opts.out {
+        let file = match File::create(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: cannot create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = write_trace(&trace, BufWriter::new(file)) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} contacts to {path}", trace.contact_count());
+    }
+
+    if opts.analyze {
+        println!("{}", TraceStats::compute(&trace));
+        let horizon = opts
+            .preset
+            .map_or(Duration::hours(6), TracePreset::ncl_horizon);
+        let dist = metric_distribution(&trace, horizon.as_secs_f64());
+        let max = dist.first().map_or(0.0, |s| s.metric);
+        let median = dist[dist.len() / 2].metric;
+        println!(
+            "NCL metric at T = {horizon}: max {max:.3}, median {median:.3}, top nodes: {}",
+            dist.iter()
+                .take(5)
+                .map(|s| s.node.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        let gaps = aggregate_intercontact_times(&trace);
+        match fit_exponential(&gaps) {
+            Some(fit) => {
+                println!(
+                    "inter-contact fit: λ = {:.3e}/s (mean {:.0}s), log-CCDF R² = {:.3} over {} gaps",
+                    fit.rate, fit.mean_secs, fit.log_ccdf_r2, fit.samples
+                );
+                render_ccdf(&ccdf(&gaps));
+            }
+            None => println!("inter-contact fit: too few samples"),
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,11 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each `figN_*` function returns structured rows; the `experiments`
+//! binary formats them as text tables, and the criterion benches run the
+//! same code at reduced scale. See DESIGN.md §4 for the experiment
+//! index and EXPERIMENTS.md for recorded results.
+
+pub mod figures;
+pub mod runner;
+
+pub use runner::{averaged_run, AveragedReport};

@@ -1,0 +1,110 @@
+//! Multi-seed experiment execution with thread fan-out.
+//!
+//! "Each simulation is repeated multiple times with randomly generated
+//! data and queries for statistical convergence" (§VI) — [`averaged_run`]
+//! runs one (trace, scheme, config) point across several seeds in
+//! parallel threads and averages the three evaluation metrics.
+
+use dtn_cache::experiment::{run_experiment, ExperimentConfig};
+use dtn_cache::SchemeKind;
+use dtn_trace::trace::ContactTrace;
+
+/// Seed-averaged metrics for one experiment point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AveragedReport {
+    /// The scheme that ran.
+    pub scheme: SchemeKind,
+    /// Mean successful ratio across seeds.
+    pub success_ratio: f64,
+    /// Mean data access delay (hours) across seeds.
+    pub avg_delay_hours: f64,
+    /// Mean caching overhead (copies per item) across seeds.
+    pub avg_copies_per_item: f64,
+    /// Mean replacement operations per item across seeds.
+    pub avg_replacements_per_item: f64,
+    /// Mean queries issued per seed.
+    pub queries_issued: f64,
+    /// Mean bytes transmitted per satisfied query.
+    pub bytes_per_satisfied_query: f64,
+    /// Number of seeds averaged.
+    pub seeds: u32,
+}
+
+/// Runs `seeds` independent repetitions on separate threads and
+/// averages the metrics.
+///
+/// # Panics
+///
+/// Panics if `seeds == 0` or a worker thread panics.
+pub fn averaged_run(
+    trace: &ContactTrace,
+    scheme: SchemeKind,
+    config: &ExperimentConfig,
+    seeds: u32,
+) -> AveragedReport {
+    assert!(seeds > 0, "need at least one seed");
+    let reports: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..seeds)
+            .map(|seed| {
+                scope.spawn(move || run_experiment(trace, scheme, config, u64::from(seed) + 1))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment worker panicked"))
+            .collect()
+    });
+    let n = seeds as f64;
+    AveragedReport {
+        scheme,
+        success_ratio: reports.iter().map(|r| r.success_ratio).sum::<f64>() / n,
+        avg_delay_hours: reports.iter().map(|r| r.avg_delay_hours).sum::<f64>() / n,
+        avg_copies_per_item: reports.iter().map(|r| r.avg_copies_per_item).sum::<f64>() / n,
+        avg_replacements_per_item: reports
+            .iter()
+            .map(|r| r.avg_replacements_per_item)
+            .sum::<f64>()
+            / n,
+        queries_issued: reports.iter().map(|r| r.queries_issued as f64).sum::<f64>() / n,
+        bytes_per_satisfied_query: reports
+            .iter()
+            .map(|r| r.bytes_per_satisfied_query)
+            .sum::<f64>()
+            / n,
+        seeds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_core::time::Duration;
+    use dtn_trace::synthetic::SyntheticTraceBuilder;
+
+    #[test]
+    fn averages_over_seeds() {
+        let trace = SyntheticTraceBuilder::new(12)
+            .duration(Duration::days(1))
+            .target_contacts(2_000)
+            .seed(3)
+            .build();
+        let cfg = ExperimentConfig {
+            ncl_count: 2,
+            mean_data_lifetime: Duration::hours(6),
+            mean_data_size: 1 << 20,
+            buffer_range: (8 << 20, 16 << 20),
+            ..ExperimentConfig::default()
+        };
+        let avg = averaged_run(&trace, SchemeKind::Intentional, &cfg, 2);
+        assert_eq!(avg.seeds, 2);
+        assert!((0.0..=1.0).contains(&avg.success_ratio));
+        assert!(avg.queries_issued > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn zero_seeds_panics() {
+        let trace = SyntheticTraceBuilder::new(4).seed(1).build();
+        let _ = averaged_run(&trace, SchemeKind::NoCache, &ExperimentConfig::default(), 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Shared building blocks for the caching schemes: the data registry,
+//! in-flight message records and greedy opportunistic forwarding.
+
+use std::collections::HashMap;
+
+use dtn_core::ids::{DataId, NodeId};
+use dtn_core::popularity::PopularityEstimator;
+use dtn_core::rate::RateTable;
+use dtn_core::time::Time;
+use dtn_sim::message::DataItem;
+use dtn_sim::oracle::PathOracle;
+
+/// Registry of all data items a scheme has seen, with global query
+/// popularity estimators.
+///
+/// # Example
+///
+/// ```
+/// use dtn_cache::common::DataRegistry;
+/// use dtn_core::ids::{DataId, NodeId};
+/// use dtn_core::time::{Duration, Time};
+/// use dtn_sim::message::DataItem;
+///
+/// let mut reg = DataRegistry::default();
+/// let item = DataItem::new(DataId(1), NodeId(0), 100, Time(0), Duration(1000));
+/// reg.register(item);
+/// reg.record_request(DataId(1), Time(10));
+/// assert_eq!(reg.get(DataId(1)).unwrap().size, 100);
+/// assert!(reg.popularity(DataId(1), Time(20)) >= 0.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DataRegistry {
+    items: HashMap<DataId, DataItem>,
+    popularity: HashMap<DataId, PopularityEstimator>,
+}
+
+impl DataRegistry {
+    /// Registers a newly generated item.
+    pub fn register(&mut self, item: DataItem) {
+        self.items.insert(item.id, item);
+        self.popularity.entry(item.id).or_default();
+    }
+
+    /// Looks up an item by id.
+    pub fn get(&self, id: DataId) -> Option<&DataItem> {
+        self.items.get(&id)
+    }
+
+    /// Records a query for `id` at time `at` (drives Eq. 6).
+    pub fn record_request(&mut self, id: DataId, at: Time) {
+        self.popularity.entry(id).or_default().record_request(at);
+    }
+
+    /// The popularity `w_i` of `id` at `now` (0 for unknown items).
+    pub fn popularity(&self, id: DataId, now: Time) -> f64 {
+        match (self.items.get(&id), self.popularity.get(&id)) {
+            (Some(item), Some(est)) => est.popularity(now, item.expires_at()),
+            _ => 0.0,
+        }
+    }
+
+    /// Number of locally observed requests for `id` — available to
+    /// schemes that only use local history.
+    pub fn request_count(&self, id: DataId) -> u64 {
+        self.popularity.get(&id).map_or(0, |e| e.request_count())
+    }
+
+    /// Iterates over all registered items.
+    pub fn iter(&self) -> impl Iterator<Item = &DataItem> {
+        self.items.values()
+    }
+}
+
+/// Greedy relay decision (§V-A): forward a message carried by `from`
+/// to `to` iff `to` has a strictly better opportunistic-path weight to
+/// `dest` — "a relay forwards data to another node with higher metric
+/// than itself". Returns the new carrier.
+pub fn better_relay(
+    oracle: &mut PathOracle,
+    rates: &RateTable,
+    now: Time,
+    from: NodeId,
+    to: NodeId,
+    dest: NodeId,
+) -> bool {
+    if to == dest {
+        return true;
+    }
+    if from == dest {
+        return false;
+    }
+    let w_to = oracle.weight(rates, now, to, dest);
+    let w_from = oracle.weight(rates, now, from, dest);
+    w_to > w_from
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_core::time::Duration;
+
+    fn rates_line() -> RateTable {
+        // 0 — 1 — 2 with frequent contacts
+        let mut r = RateTable::new(3, Time::ZERO);
+        for t in 1..=5u64 {
+            r.record(NodeId(0), NodeId(1), Time(t * 100));
+            r.record(NodeId(1), NodeId(2), Time(t * 100));
+        }
+        r
+    }
+
+    #[test]
+    fn registry_tracks_items_and_popularity() {
+        let mut reg = DataRegistry::default();
+        let item = DataItem::new(DataId(5), NodeId(1), 10, Time(0), Duration(10_000));
+        reg.register(item);
+        assert_eq!(reg.get(DataId(5)).unwrap().source, NodeId(1));
+        assert_eq!(reg.popularity(DataId(5), Time(1)), 0.0, "no requests yet");
+        reg.record_request(DataId(5), Time(100));
+        reg.record_request(DataId(5), Time(200));
+        assert!(reg.popularity(DataId(5), Time(300)) > 0.5);
+        assert_eq!(reg.request_count(DataId(5)), 2);
+        assert_eq!(reg.iter().count(), 1);
+    }
+
+    #[test]
+    fn unknown_item_has_zero_popularity() {
+        let reg = DataRegistry::default();
+        assert_eq!(reg.popularity(DataId(9), Time(0)), 0.0);
+        assert_eq!(reg.request_count(DataId(9)), 0);
+        assert!(reg.get(DataId(9)).is_none());
+    }
+
+    #[test]
+    fn destination_is_always_a_better_relay() {
+        let rates = rates_line();
+        let mut o = PathOracle::new(3, 1000.0, Duration::hours(1));
+        assert!(better_relay(
+            &mut o,
+            &rates,
+            Time(600),
+            NodeId(0),
+            NodeId(2),
+            NodeId(2)
+        ));
+    }
+
+    #[test]
+    fn carrier_at_destination_never_forwards() {
+        let rates = rates_line();
+        let mut o = PathOracle::new(3, 1000.0, Duration::hours(1));
+        assert!(!better_relay(
+            &mut o,
+            &rates,
+            Time(600),
+            NodeId(2),
+            NodeId(0),
+            NodeId(2)
+        ));
+    }
+
+    #[test]
+    fn closer_node_is_better_relay() {
+        let rates = rates_line();
+        let mut o = PathOracle::new(3, 1000.0, Duration::hours(1));
+        // 1 is closer to 2 than 0 is.
+        assert!(better_relay(
+            &mut o,
+            &rates,
+            Time(600),
+            NodeId(0),
+            NodeId(1),
+            NodeId(2)
+        ));
+        assert!(!better_relay(
+            &mut o,
+            &rates,
+            Time(600),
+            NodeId(1),
+            NodeId(0),
+            NodeId(2)
+        ));
+    }
+}

@@ -1,0 +1,299 @@
+//! The network contact graph `G(V, E)`.
+//!
+//! Vertices are mobile nodes; an undirected edge `e_ij` with weight `λ_ij`
+//! models the Poisson contact process between nodes `i` and `j` (§III-B of
+//! the paper). The graph is the input to opportunistic-path search
+//! ([`crate::path`]) and NCL selection ([`crate::ncl`]).
+
+use crate::ids::NodeId;
+use crate::rate::RateTable;
+use crate::time::Time;
+
+/// Undirected contact graph with exponential contact rates as edge weights.
+///
+/// # Example
+///
+/// ```
+/// use dtn_core::graph::ContactGraph;
+/// use dtn_core::ids::NodeId;
+///
+/// let mut g = ContactGraph::new(3);
+/// g.set_rate(NodeId(0), NodeId(1), 0.5);
+/// assert_eq!(g.rate(NodeId(1), NodeId(0)), Some(0.5));
+/// assert_eq!(g.rate(NodeId(1), NodeId(2)), None);
+/// assert_eq!(g.degree(NodeId(0)), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ContactGraph {
+    /// adjacency[i] = sorted-by-insertion list of (neighbor, rate)
+    adjacency: Vec<Vec<(NodeId, f64)>>,
+}
+
+impl ContactGraph {
+    /// Creates a graph of `nodes` isolated nodes.
+    pub fn new(nodes: usize) -> Self {
+        ContactGraph {
+            adjacency: vec![Vec::new(); nodes],
+        }
+    }
+
+    /// Builds the graph from every pair in a [`RateTable`] that has met at
+    /// least once, using the rates estimated at time `now`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dtn_core::graph::ContactGraph;
+    /// use dtn_core::ids::NodeId;
+    /// use dtn_core::rate::RateTable;
+    /// use dtn_core::time::Time;
+    ///
+    /// let mut table = RateTable::new(3, Time::ZERO);
+    /// table.record(NodeId(0), NodeId(1), Time(50));
+    /// let g = ContactGraph::from_rate_table(&table, Time(100));
+    /// assert_eq!(g.edge_count(), 1);
+    /// ```
+    pub fn from_rate_table(table: &RateTable, now: Time) -> Self {
+        let mut g = ContactGraph::new(table.node_count());
+        for (a, b, rate) in table.iter_rates(now) {
+            g.set_rate(a, b, rate);
+        }
+        g
+    }
+
+    /// Number of nodes (including isolated ones).
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Sets (or replaces) the contact rate of the pair `a`–`b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`, either node is out of range, or `rate` is not
+    /// finite and positive.
+    pub fn set_rate(&mut self, a: NodeId, b: NodeId, rate: f64) {
+        assert_ne!(a, b, "a node does not contact itself");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "contact rate must be finite and positive, got {rate}"
+        );
+        let n = self.adjacency.len();
+        assert!(
+            a.index() < n && b.index() < n,
+            "node out of range for graph of {n} nodes"
+        );
+        Self::upsert(&mut self.adjacency[a.index()], b, rate);
+        Self::upsert(&mut self.adjacency[b.index()], a, rate);
+    }
+
+    fn upsert(list: &mut Vec<(NodeId, f64)>, peer: NodeId, rate: f64) {
+        if let Some(entry) = list.iter_mut().find(|(p, _)| *p == peer) {
+            entry.1 = rate;
+        } else {
+            list.push((peer, rate));
+        }
+    }
+
+    /// The contact rate of the pair, or `None` if they never meet.
+    pub fn rate(&self, a: NodeId, b: NodeId) -> Option<f64> {
+        self.adjacency
+            .get(a.index())?
+            .iter()
+            .find(|(p, _)| *p == b)
+            .map(|(_, r)| *r)
+    }
+
+    /// Neighbors of `node` with their contact rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn neighbors(&self, node: NodeId) -> &[(NodeId, f64)] {
+        &self.adjacency[node.index()]
+    }
+
+    /// Number of distinct nodes `node` ever meets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adjacency[node.index()].len()
+    }
+
+    /// Iterates over all node ids of the graph.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adjacency.len() as u32).map(NodeId)
+    }
+
+    /// Assigns each node a connected-component id (`0..component
+    /// count`, in order of first discovery).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dtn_core::graph::ContactGraph;
+    /// use dtn_core::ids::NodeId;
+    ///
+    /// let mut g = ContactGraph::new(4);
+    /// g.set_rate(NodeId(0), NodeId(1), 0.1);
+    /// let comps = g.connected_components();
+    /// assert_eq!(comps[0], comps[1]);
+    /// assert_ne!(comps[0], comps[2]);
+    /// ```
+    pub fn connected_components(&self) -> Vec<usize> {
+        let n = self.adjacency.len();
+        let mut component = vec![usize::MAX; n];
+        let mut next = 0;
+        let mut stack = Vec::new();
+        for start in 0..n {
+            if component[start] != usize::MAX {
+                continue;
+            }
+            component[start] = next;
+            stack.push(start);
+            while let Some(u) = stack.pop() {
+                for &(peer, _) in &self.adjacency[u] {
+                    if component[peer.index()] == usize::MAX {
+                        component[peer.index()] = next;
+                        stack.push(peer.index());
+                    }
+                }
+            }
+            next += 1;
+        }
+        component
+    }
+
+    /// Whether the subgraph induced by `nodes` is connected — the
+    /// structural property the paper claims for each NCL's caching
+    /// nodes ("the set of caching nodes at each NCL forms a connected
+    /// subgraph of the network contact graph", §V-A).
+    ///
+    /// An empty or single-node set counts as connected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node is out of range.
+    pub fn is_connected_subset(&self, nodes: &[NodeId]) -> bool {
+        if nodes.len() <= 1 {
+            return true;
+        }
+        let member: std::collections::HashSet<NodeId> = nodes.iter().copied().collect();
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![nodes[0]];
+        seen.insert(nodes[0]);
+        while let Some(u) = stack.pop() {
+            for &(peer, _) in self.neighbors(u) {
+                if member.contains(&peer) && seen.insert(peer) {
+                    stack.push(peer);
+                }
+            }
+        }
+        seen.len() == member.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rate::RateTable;
+
+    #[test]
+    fn empty_graph() {
+        let g = ContactGraph::new(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.degree(NodeId(0)), 0);
+        assert_eq!(g.rate(NodeId(0), NodeId(1)), None);
+    }
+
+    #[test]
+    fn set_rate_is_symmetric_and_replaces() {
+        let mut g = ContactGraph::new(3);
+        g.set_rate(NodeId(0), NodeId(1), 0.25);
+        assert_eq!(g.rate(NodeId(0), NodeId(1)), Some(0.25));
+        assert_eq!(g.rate(NodeId(1), NodeId(0)), Some(0.25));
+        g.set_rate(NodeId(1), NodeId(0), 0.5);
+        assert_eq!(g.rate(NodeId(0), NodeId(1)), Some(0.5));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn neighbors_reflect_edges() {
+        let mut g = ContactGraph::new(4);
+        g.set_rate(NodeId(0), NodeId(1), 0.1);
+        g.set_rate(NodeId(0), NodeId(2), 0.2);
+        let mut peers: Vec<u32> = g.neighbors(NodeId(0)).iter().map(|(p, _)| p.0).collect();
+        peers.sort_unstable();
+        assert_eq!(peers, vec![1, 2]);
+        assert_eq!(g.degree(NodeId(3)), 0);
+    }
+
+    #[test]
+    fn from_rate_table_carries_rates() {
+        let mut t = RateTable::new(3, Time::ZERO);
+        t.record(NodeId(0), NodeId(2), Time(10));
+        t.record(NodeId(0), NodeId(2), Time(20));
+        let g = ContactGraph::from_rate_table(&t, Time(100));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.rate(NodeId(0), NodeId(2)), Some(0.02));
+    }
+
+    #[test]
+    fn nodes_iterates_all() {
+        let g = ContactGraph::new(3);
+        let ids: Vec<_> = g.nodes().collect();
+        assert_eq!(ids, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn components_identify_islands() {
+        let mut g = ContactGraph::new(6);
+        g.set_rate(NodeId(0), NodeId(1), 0.1);
+        g.set_rate(NodeId(1), NodeId(2), 0.1);
+        g.set_rate(NodeId(3), NodeId(4), 0.1);
+        let comps = g.connected_components();
+        assert_eq!(comps[0], comps[1]);
+        assert_eq!(comps[1], comps[2]);
+        assert_eq!(comps[3], comps[4]);
+        assert_ne!(comps[0], comps[3]);
+        assert_ne!(comps[5], comps[0]);
+        assert_ne!(comps[5], comps[3]);
+    }
+
+    #[test]
+    fn connected_subset_checks_induced_graph() {
+        let mut g = ContactGraph::new(5);
+        // path 0-1-2-3
+        g.set_rate(NodeId(0), NodeId(1), 0.1);
+        g.set_rate(NodeId(1), NodeId(2), 0.1);
+        g.set_rate(NodeId(2), NodeId(3), 0.1);
+        assert!(g.is_connected_subset(&[NodeId(0), NodeId(1), NodeId(2)]));
+        // 0 and 2 are connected in G but not in the induced subgraph
+        // (the connecting node 1 is excluded).
+        assert!(!g.is_connected_subset(&[NodeId(0), NodeId(2)]));
+        assert!(g.is_connected_subset(&[NodeId(4)]));
+        assert!(g.is_connected_subset(&[]));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_non_positive_rate() {
+        let mut g = ContactGraph::new(2);
+        g.set_rate(NodeId(0), NodeId(1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let mut g = ContactGraph::new(2);
+        g.set_rate(NodeId(0), NodeId(7), 0.1);
+    }
+}

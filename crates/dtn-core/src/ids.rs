@@ -1,0 +1,122 @@
+//! Identifier newtypes for nodes, data items and queries.
+//!
+//! Plain integers are easy to mix up in a simulator that juggles node
+//! indices, data identifiers and query identifiers at the same time; the
+//! newtypes below make such confusion a compile error (C-NEWTYPE).
+
+use std::fmt;
+
+/// Identifier of a mobile node (a device/user) in the network.
+///
+/// Nodes are dense indices `0..N`, which lets graph code use them directly
+/// as `Vec` indices via [`NodeId::index`].
+///
+/// # Example
+///
+/// ```
+/// use dtn_core::ids::NodeId;
+/// let n = NodeId(3);
+/// assert_eq!(n.index(), 3);
+/// assert_eq!(n.to_string(), "n3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the node id as a `usize` suitable for indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Globally unique identifier of a data item.
+///
+/// The paper assumes "each node may generate data with a globally unique
+/// identifier"; the simulator hands these out sequentially.
+///
+/// # Example
+///
+/// ```
+/// use dtn_core::ids::DataId;
+/// assert_eq!(DataId(7).to_string(), "d7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DataId(pub u64);
+
+impl fmt::Display for DataId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+impl From<u64> for DataId {
+    fn from(v: u64) -> Self {
+        DataId(v)
+    }
+}
+
+/// Globally unique identifier of a query.
+///
+/// # Example
+///
+/// ```
+/// use dtn_core::ids::QueryId;
+/// assert_eq!(QueryId(42).to_string(), "q42");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct QueryId(pub u64);
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl From<u64> for QueryId {
+    fn from(v: u64) -> Self {
+        QueryId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn node_id_roundtrip_and_index() {
+        let n: NodeId = 5u32.into();
+        assert_eq!(n, NodeId(5));
+        assert_eq!(n.index(), 5);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_distinct() {
+        assert_eq!(NodeId(1).to_string(), "n1");
+        assert_eq!(DataId(1).to_string(), "d1");
+        assert_eq!(QueryId(1).to_string(), "q1");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(DataId(1));
+        set.insert(DataId(1));
+        set.insert(DataId(2));
+        assert_eq!(set.len(), 2);
+        assert!(NodeId(1) < NodeId(2));
+        assert!(QueryId(9) > QueryId(8));
+    }
+}

@@ -1,0 +1,390 @@
+//! Network Central Location (NCL) selection.
+//!
+//! Eq. (3) of the paper defines the selection metric of node `i` as
+//!
+//! ```text
+//! C_i = 1/(N−1) · Σ_{j≠i} p_ij(T)
+//! ```
+//!
+//! — the average probability that data reaches `i` from a random node
+//! within `T`, where `p_ij(T)` is the weight of the best opportunistic
+//! path between `i` and `j` ([`crate::path`]). The network administrator
+//! picks the top `K` nodes by this metric as central nodes before any
+//! data access happens (§IV-A).
+
+use crate::graph::ContactGraph;
+use crate::ids::NodeId;
+use crate::path::shortest_paths;
+
+/// A node together with its NCL selection metric `C_i`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CentralityScore {
+    /// The scored node.
+    pub node: NodeId,
+    /// Its metric value `C_i ∈ [0, 1]`.
+    pub metric: f64,
+}
+
+/// Computes the NCL selection metric `C_i` for a single node.
+///
+/// # Panics
+///
+/// Panics if `node` is out of range, `horizon` is not positive and
+/// finite, or the graph has fewer than two nodes.
+///
+/// # Example
+///
+/// ```
+/// use dtn_core::graph::ContactGraph;
+/// use dtn_core::ids::NodeId;
+/// use dtn_core::ncl::selection_metric;
+///
+/// let mut g = ContactGraph::new(3);
+/// g.set_rate(NodeId(0), NodeId(1), 0.01);
+/// g.set_rate(NodeId(0), NodeId(2), 0.01);
+/// // the hub is easier to reach on average than a leaf
+/// assert!(selection_metric(&g, NodeId(0), 600.0)
+///     > selection_metric(&g, NodeId(1), 600.0));
+/// ```
+pub fn selection_metric(graph: &ContactGraph, node: NodeId, horizon: f64) -> f64 {
+    let n = graph.node_count();
+    assert!(n >= 2, "the metric needs at least two nodes, got {n}");
+    // Contacts are symmetric, so p_ij = p_ji and one single-source search
+    // from `node` covers all terms of Eq. (3).
+    let table = shortest_paths(graph, node, horizon);
+    let sum: f64 = graph
+        .nodes()
+        .filter(|&j| j != node)
+        .map(|j| table.weight_to(j))
+        .sum();
+    sum / (n - 1) as f64
+}
+
+/// Computes `C_i` for every node of the graph.
+///
+/// Returns one [`CentralityScore`] per node, in node-id order.
+///
+/// # Panics
+///
+/// Panics if the graph has fewer than two nodes or `horizon` is invalid.
+pub fn all_metrics(graph: &ContactGraph, horizon: f64) -> Vec<CentralityScore> {
+    graph
+        .nodes()
+        .map(|node| CentralityScore {
+            node,
+            metric: selection_metric(graph, node, horizon),
+        })
+        .collect()
+}
+
+/// Selects the top `k` central nodes by metric value, best first.
+///
+/// Ties are broken by node id so that selection is deterministic. If the
+/// graph has fewer than `k` nodes, all of them are returned.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, the graph has fewer than two nodes, or `horizon`
+/// is invalid.
+///
+/// # Example
+///
+/// ```
+/// use dtn_core::graph::ContactGraph;
+/// use dtn_core::ids::NodeId;
+/// use dtn_core::ncl::select_central_nodes;
+///
+/// let mut g = ContactGraph::new(4);
+/// g.set_rate(NodeId(2), NodeId(0), 0.01);
+/// g.set_rate(NodeId(2), NodeId(1), 0.01);
+/// g.set_rate(NodeId(2), NodeId(3), 0.01);
+/// let top = select_central_nodes(&g, 1, 600.0);
+/// assert_eq!(top[0].node, NodeId(2));
+/// ```
+pub fn select_central_nodes(graph: &ContactGraph, k: usize, horizon: f64) -> Vec<CentralityScore> {
+    assert!(k > 0, "must select at least one central node");
+    let mut scores = all_metrics(graph, horizon);
+    scores.sort_by(|a, b| {
+        b.metric
+            .total_cmp(&a.metric)
+            .then_with(|| a.node.cmp(&b.node))
+    });
+    scores.truncate(k);
+    scores
+}
+
+/// Alternative central-node selection strategies, for comparing the
+/// paper's probabilistic metric (Eq. 3) against simpler centralities.
+///
+/// The paper motivates its metric as "the average probability that data
+/// can be transmitted from a random node to node i within time T";
+/// cheaper proxies (degree, total contact rate) or a random pick make
+/// natural baselines for an ablation of that design choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SelectionStrategy {
+    /// The paper's Eq. 3: average shortest-opportunistic-path weight.
+    PathMetric,
+    /// Number of distinct nodes ever met, normalised by `N − 1`.
+    DegreeCentrality,
+    /// Sum of adjacent contact rates (total meeting frequency).
+    ContactFrequency,
+    /// A deterministic pseudo-random pick (control baseline).
+    Random {
+        /// Seed of the deterministic shuffle.
+        seed: u64,
+    },
+}
+
+/// Selects the top `k` central nodes under the given strategy.
+///
+/// The returned `metric` values are comparable only *within* one
+/// strategy: path weights for [`SelectionStrategy::PathMetric`],
+/// normalised degree for [`SelectionStrategy::DegreeCentrality`],
+/// summed rates for [`SelectionStrategy::ContactFrequency`] and a
+/// rank-derived placeholder for [`SelectionStrategy::Random`].
+///
+/// # Panics
+///
+/// Panics if `k == 0`, the graph has fewer than two nodes, or
+/// `horizon` is invalid for the path-metric strategy.
+///
+/// # Example
+///
+/// ```
+/// use dtn_core::graph::ContactGraph;
+/// use dtn_core::ids::NodeId;
+/// use dtn_core::ncl::{select_by_strategy, SelectionStrategy};
+///
+/// let mut g = ContactGraph::new(4);
+/// g.set_rate(NodeId(2), NodeId(0), 0.01);
+/// g.set_rate(NodeId(2), NodeId(1), 0.01);
+/// g.set_rate(NodeId(2), NodeId(3), 0.01);
+/// let top = select_by_strategy(&g, 1, 600.0, SelectionStrategy::DegreeCentrality);
+/// assert_eq!(top[0].node, NodeId(2));
+/// ```
+pub fn select_by_strategy(
+    graph: &ContactGraph,
+    k: usize,
+    horizon: f64,
+    strategy: SelectionStrategy,
+) -> Vec<CentralityScore> {
+    assert!(k > 0, "must select at least one central node");
+    let n = graph.node_count();
+    assert!(n >= 2, "selection needs at least two nodes, got {n}");
+    let mut scores: Vec<CentralityScore> = match strategy {
+        SelectionStrategy::PathMetric => return select_central_nodes(graph, k, horizon),
+        SelectionStrategy::DegreeCentrality => graph
+            .nodes()
+            .map(|node| CentralityScore {
+                node,
+                metric: graph.degree(node) as f64 / (n - 1) as f64,
+            })
+            .collect(),
+        SelectionStrategy::ContactFrequency => graph
+            .nodes()
+            .map(|node| CentralityScore {
+                node,
+                metric: graph.neighbors(node).iter().map(|(_, r)| r).sum(),
+            })
+            .collect(),
+        SelectionStrategy::Random { seed } => {
+            // Deterministic rank via a splitmix-style hash of (seed, id).
+            graph
+                .nodes()
+                .map(|node| {
+                    let mut x = seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(u64::from(node.0));
+                    x ^= x >> 30;
+                    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    x ^= x >> 27;
+                    CentralityScore {
+                        node,
+                        metric: (x % 1_000_000) as f64 / 1_000_000.0,
+                    }
+                })
+                .collect()
+        }
+    };
+    scores.sort_by(|a, b| {
+        b.metric
+            .total_cmp(&a.metric)
+            .then_with(|| a.node.cmp(&b.node))
+    });
+    scores.truncate(k);
+    scores
+}
+
+/// Skewness summary of a metric distribution, used to validate that the
+/// contact pattern is heterogeneous enough for NCL selection (Fig. 4 of
+/// the paper: "the metric values of a few nodes are much higher than
+/// that of other nodes").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricSkew {
+    /// Highest metric value in the network.
+    pub max: f64,
+    /// Median metric value.
+    pub median: f64,
+    /// Mean metric value.
+    pub mean: f64,
+    /// `max / median` — the "up to tenfold" difference the paper reports.
+    pub max_over_median: f64,
+}
+
+/// Summarises how skewed a set of metric values is.
+///
+/// # Panics
+///
+/// Panics if `scores` is empty.
+pub fn metric_skew(scores: &[CentralityScore]) -> MetricSkew {
+    assert!(!scores.is_empty(), "cannot summarise an empty metric set");
+    let mut values: Vec<f64> = scores.iter().map(|s| s.metric).collect();
+    values.sort_by(f64::total_cmp);
+    let max = *values.last().expect("non-empty");
+    let median = values[values.len() / 2];
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let max_over_median = if median > 0.0 {
+        max / median
+    } else {
+        f64::INFINITY
+    };
+    MetricSkew {
+        max,
+        median,
+        mean,
+        max_over_median,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Star: node 0 in the middle.
+    fn star(n: usize, rate: f64) -> ContactGraph {
+        let mut g = ContactGraph::new(n);
+        for i in 1..n as u32 {
+            g.set_rate(NodeId(0), NodeId(i), rate);
+        }
+        g
+    }
+
+    #[test]
+    fn star_center_is_most_central() {
+        let g = star(6, 1e-3);
+        let top = select_central_nodes(&g, 3, 3600.0);
+        assert_eq!(top[0].node, NodeId(0));
+        assert!(top[0].metric > top[1].metric);
+    }
+
+    #[test]
+    fn metric_is_a_probability() {
+        let g = star(5, 1e-3);
+        for s in all_metrics(&g, 3600.0) {
+            assert!((0.0..=1.0).contains(&s.metric), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn isolated_node_has_zero_metric() {
+        let mut g = ContactGraph::new(3);
+        g.set_rate(NodeId(0), NodeId(1), 1e-3);
+        let m = selection_metric(&g, NodeId(2), 3600.0);
+        assert_eq!(m, 0.0);
+    }
+
+    #[test]
+    fn metric_grows_with_horizon() {
+        let g = star(5, 1e-4);
+        let short = selection_metric(&g, NodeId(0), 600.0);
+        let long = selection_metric(&g, NodeId(0), 86_400.0);
+        assert!(long > short);
+    }
+
+    #[test]
+    fn select_is_deterministic_under_ties() {
+        // Symmetric triangle: all metrics equal; expect id order.
+        let mut g = ContactGraph::new(3);
+        g.set_rate(NodeId(0), NodeId(1), 1e-3);
+        g.set_rate(NodeId(1), NodeId(2), 1e-3);
+        g.set_rate(NodeId(0), NodeId(2), 1e-3);
+        let top = select_central_nodes(&g, 2, 3600.0);
+        assert_eq!(top[0].node, NodeId(0));
+        assert_eq!(top[1].node, NodeId(1));
+    }
+
+    #[test]
+    fn truncates_to_available_nodes() {
+        let g = star(3, 1e-3);
+        let top = select_central_nodes(&g, 10, 3600.0);
+        assert_eq!(top.len(), 3);
+    }
+
+    #[test]
+    fn skew_of_star_is_large() {
+        let g = star(8, 1e-3);
+        let skew = metric_skew(&all_metrics(&g, 600.0));
+        assert!(skew.max_over_median > 1.2, "{skew:?}");
+        assert!(skew.max >= skew.mean);
+        assert!(skew.mean >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_k_panics() {
+        let g = star(3, 1e-3);
+        let _ = select_central_nodes(&g, 0, 600.0);
+    }
+
+    #[test]
+    fn degree_strategy_picks_hub() {
+        let g = star(6, 1e-3);
+        let top = select_by_strategy(&g, 2, 600.0, SelectionStrategy::DegreeCentrality);
+        assert_eq!(top[0].node, NodeId(0));
+        assert!((top[0].metric - 1.0).abs() < 1e-12, "hub meets everyone");
+        assert!(
+            (top[1].metric - 0.2).abs() < 1e-12,
+            "leaves meet one of five"
+        );
+    }
+
+    #[test]
+    fn frequency_strategy_weights_rates() {
+        // Node 1 has one very fast edge; node 2 has two slow ones.
+        let mut g = ContactGraph::new(4);
+        g.set_rate(NodeId(1), NodeId(0), 1.0);
+        g.set_rate(NodeId(2), NodeId(0), 0.1);
+        g.set_rate(NodeId(2), NodeId(3), 0.1);
+        let top = select_by_strategy(&g, 2, 600.0, SelectionStrategy::ContactFrequency);
+        // node 0 sums 1.1, node 1 sums 1.0
+        assert_eq!(top[0].node, NodeId(0));
+        assert_eq!(top[1].node, NodeId(1));
+    }
+
+    #[test]
+    fn random_strategy_is_deterministic_and_seed_sensitive() {
+        let g = star(8, 1e-3);
+        let a = select_by_strategy(&g, 3, 600.0, SelectionStrategy::Random { seed: 1 });
+        let b = select_by_strategy(&g, 3, 600.0, SelectionStrategy::Random { seed: 1 });
+        assert_eq!(a, b);
+        let c = select_by_strategy(&g, 3, 600.0, SelectionStrategy::Random { seed: 2 });
+        let a_nodes: Vec<_> = a.iter().map(|s| s.node).collect();
+        let c_nodes: Vec<_> = c.iter().map(|s| s.node).collect();
+        assert_ne!(a_nodes, c_nodes, "different seeds pick differently");
+    }
+
+    #[test]
+    fn path_metric_strategy_delegates() {
+        let g = star(6, 1e-3);
+        let via_strategy = select_by_strategy(&g, 2, 3600.0, SelectionStrategy::PathMetric);
+        let direct = select_central_nodes(&g, 2, 3600.0);
+        assert_eq!(via_strategy, direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn single_node_graph_panics() {
+        let g = ContactGraph::new(1);
+        let _ = selection_metric(&g, NodeId(0), 600.0);
+    }
+}

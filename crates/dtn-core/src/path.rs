@@ -1,0 +1,477 @@
+//! Opportunistic paths and shortest-opportunistic-path search.
+//!
+//! Definition 1 of the paper: an *r-hop opportunistic path* between nodes
+//! `A` and `B` is a simple path on the contact graph whose weight is the
+//! probability `p_AB(T)` that data traverses it within time `T`
+//! (hypoexponential CDF, [`crate::hypoexp`]). The "distance" between two
+//! nodes is the weight of their *best* path — the one maximising `p_AB(T)`.
+//!
+//! [`shortest_paths`] computes the best path from one source to every
+//! other node with a label-setting (Dijkstra-style) search. Label-setting
+//! is exact here because extending a path by one hop adds an independent
+//! positive delay, so the weight of any extension is **never larger** than
+//! the weight of its prefix — the same monotonicity Dijkstra's algorithm
+//! requires.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::ContactGraph;
+use crate::hypoexp;
+use crate::ids::NodeId;
+
+/// A concrete opportunistic path: the visited nodes and per-hop contact
+/// rates.
+///
+/// # Example
+///
+/// ```
+/// use dtn_core::ids::NodeId;
+/// use dtn_core::path::OpportunisticPath;
+///
+/// let p = OpportunisticPath::new(vec![NodeId(0), NodeId(3)], vec![0.001]);
+/// assert_eq!(p.hops(), 1);
+/// assert!(p.weight(10_000.0) > 0.9999);
+/// assert_eq!(p.expected_delay(), 1000.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpportunisticPath {
+    nodes: Vec<NodeId>,
+    rates: Vec<f64>,
+}
+
+impl OpportunisticPath {
+    /// Creates a path from its node sequence and per-hop rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `nodes.len() == rates.len() + 1` and `nodes` is
+    /// non-empty.
+    pub fn new(nodes: Vec<NodeId>, rates: Vec<f64>) -> Self {
+        assert!(!nodes.is_empty(), "a path visits at least one node");
+        assert_eq!(
+            nodes.len(),
+            rates.len() + 1,
+            "an r-hop path visits r+1 nodes"
+        );
+        OpportunisticPath { nodes, rates }
+    }
+
+    /// The trivial zero-hop path from a node to itself (weight 1).
+    pub fn trivial(node: NodeId) -> Self {
+        OpportunisticPath {
+            nodes: vec![node],
+            rates: Vec::new(),
+        }
+    }
+
+    /// The node sequence `A, N₁, …, B`.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Per-hop contact rates `λ₁, …, λ_r`.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// First node of the path.
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Last node of the path.
+    pub fn destination(&self) -> NodeId {
+        *self.nodes.last().expect("paths are non-empty")
+    }
+
+    /// Number of hops `r`.
+    pub fn hops(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// The path weight `p_AB(T)` — probability of traversal within
+    /// `horizon` seconds (Eq. 2 of the paper).
+    pub fn weight(&self, horizon: f64) -> f64 {
+        hypoexp::cdf(&self.rates, horizon)
+    }
+
+    /// Expected end-to-end delay `Σ 1/λ_k` in seconds.
+    pub fn expected_delay(&self) -> f64 {
+        hypoexp::mean(&self.rates)
+    }
+}
+
+/// Best opportunistic paths from one source to every node, at a fixed
+/// time horizon.
+///
+/// Produced by [`shortest_paths`]. The table is what each mobile node
+/// maintains in the paper ("a node maintains its shortest opportunistic
+/// path to each NCL", §IV-A; optionally to all nodes, §V-C).
+#[derive(Debug, Clone)]
+pub struct PathTable {
+    source: NodeId,
+    horizon: f64,
+    paths: Vec<Option<OpportunisticPath>>,
+}
+
+impl PathTable {
+    /// The source node the table was computed for.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// The time horizon `T` used for path weights.
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// The weight of the best path to `dest`: 1 for the source itself,
+    /// 0 if `dest` is unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dest` is out of range.
+    pub fn weight_to(&self, dest: NodeId) -> f64 {
+        self.paths[dest.index()]
+            .as_ref()
+            .map_or(0.0, |p| p.weight(self.horizon))
+    }
+
+    /// The best path to `dest`, if one exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dest` is out of range.
+    pub fn path_to(&self, dest: NodeId) -> Option<&OpportunisticPath> {
+        self.paths[dest.index()].as_ref()
+    }
+
+    /// Iterates over `(destination, weight)` for every reachable node,
+    /// including the source itself with weight 1.
+    pub fn iter_weights(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.paths.iter().enumerate().filter_map(|(i, p)| {
+            p.as_ref()
+                .map(|p| (NodeId(i as u32), p.weight(self.horizon)))
+        })
+    }
+}
+
+/// Heap entry: a tentative best path to `node` with cached weight.
+struct Label {
+    weight: f64,
+    node: NodeId,
+    path: OpportunisticPath,
+}
+
+impl PartialEq for Label {
+    fn eq(&self, other: &Self) -> bool {
+        self.weight == other.weight && self.node == other.node
+    }
+}
+impl Eq for Label {}
+impl PartialOrd for Label {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Label {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on weight; tie-break on node id for determinism.
+        self.weight
+            .total_cmp(&other.weight)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Computes the best (maximum-weight) opportunistic path from `source` to
+/// every other node within time horizon `horizon` seconds.
+///
+/// Runs a label-setting search in `O(E log E)` heap operations; each
+/// relaxation re-evaluates the hypoexponential weight of the extended
+/// path, which is exact (no triangle-inequality approximation).
+///
+/// # Panics
+///
+/// Panics if `source` is out of range or `horizon` is not finite and
+/// positive.
+///
+/// # Example
+///
+/// ```
+/// use dtn_core::graph::ContactGraph;
+/// use dtn_core::ids::NodeId;
+/// use dtn_core::path::shortest_paths;
+///
+/// let mut g = ContactGraph::new(3);
+/// g.set_rate(NodeId(0), NodeId(1), 0.01);
+/// g.set_rate(NodeId(1), NodeId(2), 0.01);
+/// let table = shortest_paths(&g, NodeId(0), 1000.0);
+/// assert_eq!(table.weight_to(NodeId(0)), 1.0);
+/// assert!(table.weight_to(NodeId(1)) > table.weight_to(NodeId(2)));
+/// assert_eq!(table.path_to(NodeId(2)).unwrap().hops(), 2);
+/// ```
+pub fn shortest_paths(graph: &ContactGraph, source: NodeId, horizon: f64) -> PathTable {
+    assert!(
+        horizon.is_finite() && horizon > 0.0,
+        "horizon must be finite and positive, got {horizon}"
+    );
+    let n = graph.node_count();
+    assert!(
+        source.index() < n,
+        "source n{source} out of range for graph of {n} nodes"
+    );
+
+    let mut settled = vec![false; n];
+    let mut paths: Vec<Option<OpportunisticPath>> = vec![None; n];
+    let mut best = vec![f64::NEG_INFINITY; n];
+    let mut heap = BinaryHeap::new();
+    heap.push(Label {
+        weight: 1.0,
+        node: source,
+        path: OpportunisticPath::trivial(source),
+    });
+    best[source.index()] = 1.0;
+
+    while let Some(Label { weight, node, path }) = heap.pop() {
+        if settled[node.index()] {
+            continue;
+        }
+        settled[node.index()] = true;
+        for &(peer, rate) in graph.neighbors(node) {
+            if settled[peer.index()] {
+                continue;
+            }
+            let mut rates = path.rates().to_vec();
+            rates.push(rate);
+            let w = hypoexp::cdf(&rates, horizon);
+            if w > best[peer.index()] {
+                best[peer.index()] = w;
+                let mut nodes = path.nodes().to_vec();
+                nodes.push(peer);
+                heap.push(Label {
+                    weight: w,
+                    node: peer,
+                    path: OpportunisticPath::new(nodes, rates),
+                });
+            }
+        }
+        paths[node.index()] = Some(path);
+        let _ = weight;
+    }
+
+    PathTable {
+        source,
+        horizon,
+        paths,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_graph(rates: &[f64]) -> ContactGraph {
+        let mut g = ContactGraph::new(rates.len() + 1);
+        for (i, &r) in rates.iter().enumerate() {
+            g.set_rate(NodeId(i as u32), NodeId(i as u32 + 1), r);
+        }
+        g
+    }
+
+    #[test]
+    fn source_has_weight_one() {
+        let g = line_graph(&[0.1]);
+        let t = shortest_paths(&g, NodeId(0), 100.0);
+        assert_eq!(t.weight_to(NodeId(0)), 1.0);
+        assert_eq!(t.path_to(NodeId(0)).unwrap().hops(), 0);
+    }
+
+    #[test]
+    fn unreachable_node_has_weight_zero() {
+        let mut g = ContactGraph::new(3);
+        g.set_rate(NodeId(0), NodeId(1), 0.1);
+        let t = shortest_paths(&g, NodeId(0), 100.0);
+        assert_eq!(t.weight_to(NodeId(2)), 0.0);
+        assert!(t.path_to(NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn picks_relay_over_weak_direct_edge() {
+        // 0—2 direct but very slow; 0—1—2 via two fast hops wins.
+        let mut g = ContactGraph::new(3);
+        g.set_rate(NodeId(0), NodeId(2), 1e-7);
+        g.set_rate(NodeId(0), NodeId(1), 1e-2);
+        g.set_rate(NodeId(1), NodeId(2), 1e-2);
+        let t = shortest_paths(&g, NodeId(0), 3600.0);
+        let p = t.path_to(NodeId(2)).unwrap();
+        assert_eq!(p.hops(), 2, "expected relay path, got {:?}", p.nodes());
+        assert_eq!(p.nodes(), &[NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn picks_fast_direct_edge_over_detour() {
+        let mut g = ContactGraph::new(3);
+        g.set_rate(NodeId(0), NodeId(2), 1e-2);
+        g.set_rate(NodeId(0), NodeId(1), 1e-2);
+        g.set_rate(NodeId(1), NodeId(2), 1e-2);
+        let t = shortest_paths(&g, NodeId(0), 3600.0);
+        assert_eq!(t.path_to(NodeId(2)).unwrap().hops(), 1);
+    }
+
+    #[test]
+    fn path_endpoints_are_consistent() {
+        let g = line_graph(&[0.1, 0.2, 0.3]);
+        let t = shortest_paths(&g, NodeId(0), 50.0);
+        for dest in g.nodes() {
+            let p = t.path_to(dest).unwrap();
+            assert_eq!(p.source(), NodeId(0));
+            assert_eq!(p.destination(), dest);
+        }
+    }
+
+    #[test]
+    fn weights_match_brute_force_on_small_graphs() {
+        // Exhaustively enumerate all simple paths and compare.
+        let mut g = ContactGraph::new(5);
+        let edges = [
+            (0, 1, 2e-3),
+            (1, 2, 5e-3),
+            (0, 2, 1e-3),
+            (2, 3, 4e-3),
+            (1, 3, 1e-4),
+            (3, 4, 8e-3),
+            (0, 4, 5e-5),
+        ];
+        for &(a, b, r) in &edges {
+            g.set_rate(NodeId(a), NodeId(b), r);
+        }
+        let horizon = 2000.0;
+        let table = shortest_paths(&g, NodeId(0), horizon);
+
+        fn dfs(
+            g: &ContactGraph,
+            cur: NodeId,
+            target: NodeId,
+            visited: &mut Vec<bool>,
+            rates: &mut Vec<f64>,
+            horizon: f64,
+            best: &mut f64,
+        ) {
+            if cur == target {
+                let w = crate::hypoexp::cdf(rates, horizon);
+                if w > *best {
+                    *best = w;
+                }
+                return;
+            }
+            for &(peer, rate) in g.neighbors(cur) {
+                if !visited[peer.index()] {
+                    visited[peer.index()] = true;
+                    rates.push(rate);
+                    dfs(g, peer, target, visited, rates, horizon, best);
+                    rates.pop();
+                    visited[peer.index()] = false;
+                }
+            }
+        }
+
+        for dest in 1..5u32 {
+            let mut visited = vec![false; 5];
+            visited[0] = true;
+            let mut best = 0.0;
+            dfs(
+                &g,
+                NodeId(0),
+                NodeId(dest),
+                &mut visited,
+                &mut Vec::new(),
+                horizon,
+                &mut best,
+            );
+            let got = table.weight_to(NodeId(dest));
+            assert!(
+                (got - best).abs() < 1e-9,
+                "dest {dest}: label-setting {got} vs brute force {best}"
+            );
+        }
+    }
+
+    #[test]
+    fn iter_weights_covers_reachable_set() {
+        let g = line_graph(&[0.1, 0.1]);
+        let t = shortest_paths(&g, NodeId(1), 100.0);
+        let all: Vec<_> = t.iter_weights().collect();
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn rejects_bad_horizon() {
+        let g = line_graph(&[0.1]);
+        let _ = shortest_paths(&g, NodeId(0), 0.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// On random graphs the label-setting result must match brute
+            /// force enumeration of simple paths.
+            #[test]
+            fn matches_brute_force(
+                n in 2usize..6,
+                edges in prop::collection::vec((0u32..6, 0u32..6, 1e-5f64..1e-1), 1..12),
+                horizon in 100.0f64..1e5,
+            ) {
+                let mut g = ContactGraph::new(n);
+                for (a, b, r) in edges {
+                    let (a, b) = (a % n as u32, b % n as u32);
+                    if a != b {
+                        g.set_rate(NodeId(a), NodeId(b), r);
+                    }
+                }
+                let table = shortest_paths(&g, NodeId(0), horizon);
+                for dest in 1..n as u32 {
+                    let mut visited = vec![false; n];
+                    visited[0] = true;
+                    let mut best = 0.0;
+                    super::tests_dfs(&g, NodeId(0), NodeId(dest), &mut visited,
+                        &mut Vec::new(), horizon, &mut best);
+                    let got = table.weight_to(NodeId(dest));
+                    prop_assert!((got - best).abs() < 1e-6,
+                        "dest {}: {} vs {}", dest, got, best);
+                }
+            }
+        }
+    }
+
+    /// Shared DFS helper for the property test above.
+    fn tests_dfs(
+        g: &ContactGraph,
+        cur: NodeId,
+        target: NodeId,
+        visited: &mut Vec<bool>,
+        rates: &mut Vec<f64>,
+        horizon: f64,
+        best: &mut f64,
+    ) {
+        if cur == target {
+            let w = crate::hypoexp::cdf(rates, horizon);
+            if w > *best {
+                *best = w;
+            }
+            return;
+        }
+        for &(peer, rate) in g.neighbors(cur) {
+            if !visited[peer.index()] {
+                visited[peer.index()] = true;
+                rates.push(rate);
+                tests_dfs(g, peer, target, visited, rates, horizon, best);
+                rates.pop();
+                visited[peer.index()] = false;
+            }
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Online estimation of pairwise contact rates.
+//!
+//! The paper models the contacts of each node pair as a Poisson process
+//! whose rate `λ_ij` "is calculated at real-time from the cumulative
+//! contacts between nodes i and j in a time-average manner" (§III-B).
+//! [`RateEstimator`] implements exactly that estimator for one pair;
+//! [`RateTable`] holds one estimator per unordered pair of a fixed node
+//! population.
+
+use crate::ids::NodeId;
+use crate::time::Time;
+
+/// Cumulative time-averaged Poisson rate estimator for one node pair.
+///
+/// # Example
+///
+/// ```
+/// use dtn_core::rate::RateEstimator;
+/// use dtn_core::time::Time;
+///
+/// let mut est = RateEstimator::new(Time::ZERO);
+/// est.record_contact(Time(100));
+/// est.record_contact(Time(200));
+/// // two contacts over 1000 seconds of observation
+/// assert_eq!(est.rate(Time(1000)), Some(2e-3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RateEstimator {
+    observed_since: Time,
+    contacts: u64,
+    last_contact: Option<Time>,
+    /// Exponentially weighted moving average of inter-contact gaps.
+    ewma_gap_secs: Option<f64>,
+}
+
+/// Smoothing factor of the EWMA inter-contact estimator: the weight of
+/// the newest gap.
+pub const EWMA_ALPHA: f64 = 0.25;
+
+impl RateEstimator {
+    /// Creates an estimator observing from `since` with no contacts yet.
+    pub fn new(since: Time) -> Self {
+        RateEstimator {
+            observed_since: since,
+            contacts: 0,
+            last_contact: None,
+            ewma_gap_secs: None,
+        }
+    }
+
+    /// Records one contact between the pair.
+    pub fn record_contact(&mut self, at: Time) {
+        if let Some(prev) = self.last_contact {
+            let gap = at.saturating_since(prev).as_secs_f64();
+            if gap > 0.0 {
+                self.ewma_gap_secs = Some(match self.ewma_gap_secs {
+                    Some(ewma) => EWMA_ALPHA * gap + (1.0 - EWMA_ALPHA) * ewma,
+                    None => gap,
+                });
+            }
+        }
+        self.last_contact = Some(self.last_contact.map_or(at, |t| t.max(at)));
+        self.contacts += 1;
+    }
+
+    /// Number of contacts recorded so far.
+    pub fn contact_count(&self) -> u64 {
+        self.contacts
+    }
+
+    /// The cumulative time-averaged rate `contacts / elapsed`, or `None`
+    /// if no contact has been observed yet (the pair's edge does not exist
+    /// in the contact graph) or no time has elapsed.
+    pub fn rate(&self, now: Time) -> Option<f64> {
+        let elapsed = now.saturating_since(self.observed_since).as_secs_f64();
+        if self.contacts == 0 || elapsed <= 0.0 {
+            return None;
+        }
+        Some(self.contacts as f64 / elapsed)
+    }
+
+    /// A recency-weighted rate `1 / ewma(gap)` that tracks changes in
+    /// the contact pattern faster than the paper's cumulative average.
+    /// `None` until two gapped contacts have been observed.
+    pub fn recent_rate(&self) -> Option<f64> {
+        self.ewma_gap_secs.map(|g| 1.0 / g)
+    }
+
+    /// When this pair last met, if ever.
+    pub fn last_contact(&self) -> Option<Time> {
+        self.last_contact
+    }
+}
+
+/// Symmetric table of [`RateEstimator`]s for all `N·(N−1)/2` node pairs.
+///
+/// Contacts are symmetric (§III-B), so the table stores each unordered
+/// pair once and `record` / `rate` accept the endpoints in either order.
+///
+/// # Example
+///
+/// ```
+/// use dtn_core::ids::NodeId;
+/// use dtn_core::rate::RateTable;
+/// use dtn_core::time::Time;
+///
+/// let mut table = RateTable::new(3, Time::ZERO);
+/// table.record(NodeId(0), NodeId(2), Time(10));
+/// assert_eq!(
+///     table.rate(NodeId(2), NodeId(0), Time(100)),
+///     table.rate(NodeId(0), NodeId(2), Time(100)),
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct RateTable {
+    nodes: usize,
+    cells: Vec<RateEstimator>,
+}
+
+impl RateTable {
+    /// Creates a table for `nodes` nodes, all pairs observed from `since`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`.
+    pub fn new(nodes: usize, since: Time) -> Self {
+        assert!(nodes > 0, "rate table needs at least one node");
+        let pairs = nodes * (nodes.saturating_sub(1)) / 2;
+        RateTable {
+            nodes,
+            cells: vec![RateEstimator::new(since); pairs],
+        }
+    }
+
+    /// Number of nodes covered by the table.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Records a contact between `a` and `b` at time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either node is out of range.
+    pub fn record(&mut self, a: NodeId, b: NodeId, at: Time) {
+        let idx = self.index(a, b);
+        self.cells[idx].record_contact(at);
+    }
+
+    /// The estimated contact rate of the pair, if they have ever met.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either node is out of range.
+    pub fn rate(&self, a: NodeId, b: NodeId, now: Time) -> Option<f64> {
+        self.cells[self.index(a, b)].rate(now)
+    }
+
+    /// Cumulative number of contacts recorded for the pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either node is out of range.
+    pub fn contact_count(&self, a: NodeId, b: NodeId) -> u64 {
+        self.cells[self.index(a, b)].contact_count()
+    }
+
+    /// The pair's recency-weighted rate (see
+    /// [`RateEstimator::recent_rate`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either node is out of range.
+    pub fn recent_rate(&self, a: NodeId, b: NodeId) -> Option<f64> {
+        self.cells[self.index(a, b)].recent_rate()
+    }
+
+    /// Total contacts recorded across all pairs.
+    pub fn total_contacts(&self) -> u64 {
+        self.cells.iter().map(RateEstimator::contact_count).sum()
+    }
+
+    /// Iterates over all pairs that have met at least once, yielding
+    /// `(a, b, rate)` with `a < b`.
+    pub fn iter_rates(&self, now: Time) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        let n = self.nodes as u32;
+        (0..n).flat_map(move |a| {
+            (a + 1..n).filter_map(move |b| {
+                self.rate(NodeId(a), NodeId(b), now)
+                    .map(|r| (NodeId(a), NodeId(b), r))
+            })
+        })
+    }
+
+    /// Row-major upper-triangle index of the unordered pair.
+    fn index(&self, a: NodeId, b: NodeId) -> usize {
+        assert_ne!(a, b, "a node does not contact itself");
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let (lo, hi) = (lo.index(), hi.index());
+        assert!(
+            hi < self.nodes,
+            "node n{hi} out of range for table of {} nodes",
+            self.nodes
+        );
+        // Offset of row `lo` in the packed upper triangle.
+        lo * (2 * self.nodes - lo - 1) / 2 + (hi - lo - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimator_rate_is_count_over_elapsed() {
+        let mut e = RateEstimator::new(Time(100));
+        assert_eq!(e.rate(Time(200)), None);
+        e.record_contact(Time(150));
+        e.record_contact(Time(180));
+        e.record_contact(Time(190));
+        assert_eq!(e.rate(Time(400)), Some(0.01));
+        assert_eq!(e.contact_count(), 3);
+    }
+
+    #[test]
+    fn estimator_no_elapsed_time_is_none() {
+        let mut e = RateEstimator::new(Time(100));
+        e.record_contact(Time(100));
+        assert_eq!(e.rate(Time(100)), None);
+        assert_eq!(e.rate(Time(50)), None);
+    }
+
+    #[test]
+    fn recent_rate_tracks_gap_changes() {
+        let mut e = RateEstimator::new(Time::ZERO);
+        // Contacts every 100 s.
+        for i in 1..=10u64 {
+            e.record_contact(Time(i * 100));
+        }
+        let steady = e.recent_rate().expect("enough gaps");
+        assert!((steady - 0.01).abs() < 1e-6, "steady {steady}");
+        // Pattern speeds up to every 10 s: the EWMA follows, the
+        // cumulative average lags.
+        for i in 1..=30u64 {
+            e.record_contact(Time(1000 + i * 10));
+        }
+        let fast = e.recent_rate().expect("enough gaps");
+        let cumulative = e.rate(Time(1300)).expect("has contacts");
+        assert!(fast > 0.05, "ewma should approach 0.1, got {fast}");
+        assert!(
+            fast > cumulative,
+            "ewma {fast} must outrun cumulative {cumulative}"
+        );
+        assert_eq!(e.last_contact(), Some(Time(1300)));
+    }
+
+    #[test]
+    fn recent_rate_needs_two_gapped_contacts() {
+        let mut e = RateEstimator::new(Time::ZERO);
+        assert_eq!(e.recent_rate(), None);
+        e.record_contact(Time(50));
+        assert_eq!(e.recent_rate(), None);
+        e.record_contact(Time(150));
+        assert!(e.recent_rate().is_some());
+    }
+
+    #[test]
+    fn table_is_symmetric() {
+        let mut t = RateTable::new(4, Time::ZERO);
+        t.record(NodeId(1), NodeId(3), Time(10));
+        t.record(NodeId(3), NodeId(1), Time(20));
+        assert_eq!(t.contact_count(NodeId(1), NodeId(3)), 2);
+        assert_eq!(
+            t.rate(NodeId(1), NodeId(3), Time(100)),
+            t.rate(NodeId(3), NodeId(1), Time(100))
+        );
+        assert_eq!(t.rate(NodeId(1), NodeId(3), Time(100)), Some(0.02));
+    }
+
+    #[test]
+    fn table_indexing_covers_all_pairs_uniquely() {
+        let n = 7;
+        let mut t = RateTable::new(n, Time::ZERO);
+        // Touch every pair exactly once; totals must add up.
+        for a in 0..n as u32 {
+            for b in (a + 1)..n as u32 {
+                t.record(NodeId(a), NodeId(b), Time(1));
+            }
+        }
+        assert_eq!(t.total_contacts() as usize, n * (n - 1) / 2);
+        for a in 0..n as u32 {
+            for b in (a + 1)..n as u32 {
+                assert_eq!(t.contact_count(NodeId(a), NodeId(b)), 1, "pair {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn iter_rates_skips_never_met_pairs() {
+        let mut t = RateTable::new(3, Time::ZERO);
+        t.record(NodeId(0), NodeId(1), Time(10));
+        let rates: Vec<_> = t.iter_rates(Time(100)).collect();
+        assert_eq!(rates.len(), 1);
+        assert_eq!(rates[0].0, NodeId(0));
+        assert_eq!(rates[0].1, NodeId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not contact itself")]
+    fn self_contact_panics() {
+        let mut t = RateTable::new(3, Time::ZERO);
+        t.record(NodeId(1), NodeId(1), Time(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let t = RateTable::new(3, Time::ZERO);
+        let _ = t.rate(NodeId(0), NodeId(5), Time(10));
+    }
+}

@@ -1,0 +1,256 @@
+//! Simulation time: absolute instants and durations in whole seconds.
+//!
+//! The traces the paper uses have a granularity of 20–300 seconds and all
+//! protocol timers are minutes to months, so one-second resolution is
+//! exact for every quantity in the reproduction while keeping event-queue
+//! ordering free of floating-point pitfalls.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// An absolute simulation instant, in seconds since the start of the trace.
+///
+/// # Example
+///
+/// ```
+/// use dtn_core::time::{Duration, Time};
+/// let t = Time::ZERO + Duration::hours(2);
+/// assert_eq!(t.as_secs(), 7200);
+/// assert_eq!(t - Time::ZERO, Duration::hours(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+/// A span of simulation time, in seconds.
+///
+/// # Example
+///
+/// ```
+/// use dtn_core::time::Duration;
+/// assert_eq!(Duration::days(1), Duration::hours(24));
+/// assert_eq!(Duration::minutes(3).as_secs(), 180);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(pub u64);
+
+impl Time {
+    /// The beginning of the simulation.
+    pub const ZERO: Time = Time(0);
+
+    /// Returns the instant as whole seconds since simulation start.
+    pub fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the instant as fractional seconds (for rate arithmetic).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Time elapsed since `earlier`, saturating at zero if `earlier` is in
+    /// the future.
+    pub fn saturating_since(self, earlier: Time) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: Time) -> Time {
+        Time(self.0.min(other.0))
+    }
+}
+
+impl Duration {
+    /// The empty duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a duration of `s` seconds.
+    pub fn secs(s: u64) -> Duration {
+        Duration(s)
+    }
+
+    /// Creates a duration of `m` minutes.
+    pub fn minutes(m: u64) -> Duration {
+        Duration(m * 60)
+    }
+
+    /// Creates a duration of `h` hours.
+    pub fn hours(h: u64) -> Duration {
+        Duration(h * 3600)
+    }
+
+    /// Creates a duration of `d` days.
+    pub fn days(d: u64) -> Duration {
+        Duration(d * 86_400)
+    }
+
+    /// Creates a duration of `w` weeks.
+    pub fn weeks(w: u64) -> Duration {
+        Duration(w * 7 * 86_400)
+    }
+
+    /// Returns the duration as whole seconds.
+    pub fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration as fractional seconds (for rate arithmetic).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Multiplies the duration by a non-negative factor, rounding to the
+    /// nearest second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn mul_f64(self, factor: f64) -> Duration {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "duration factor must be finite and non-negative, got {factor}"
+        );
+        Duration((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// Integer division of the duration.
+    pub fn div_by(self, divisor: u64) -> Duration {
+        Duration(self.0 / divisor)
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    fn add(self, rhs: Duration) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for Time {
+    type Output = Time;
+    fn sub(self, rhs: Duration) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+    /// Elapsed time between two instants.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`Time::saturating_since`] when the ordering is not guaranteed.
+    fn sub(self, rhs: Time) -> Duration {
+        debug_assert!(self.0 >= rhs.0, "time went backwards: {self:?} - {rhs:?}");
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}s", self.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0;
+        if s >= 86_400 && s.is_multiple_of(86_400) {
+            write!(f, "{}d", s / 86_400)
+        } else if s >= 3600 && s.is_multiple_of(3600) {
+            write!(f, "{}h", s / 3600)
+        } else if s >= 60 && s.is_multiple_of(60) {
+            write!(f, "{}m", s / 60)
+        } else {
+            write!(f, "{s}s")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Duration::weeks(1), Duration::days(7));
+        assert_eq!(Duration::days(1), Duration::hours(24));
+        assert_eq!(Duration::hours(1), Duration::minutes(60));
+        assert_eq!(Duration::minutes(1), Duration::secs(60));
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t0 = Time(100);
+        let t1 = t0 + Duration(50);
+        assert_eq!(t1, Time(150));
+        assert_eq!(t1 - t0, Duration(50));
+        assert_eq!(t0.saturating_since(t1), Duration::ZERO);
+        assert_eq!(t1.saturating_since(t0), Duration(50));
+    }
+
+    #[test]
+    fn duration_scaling() {
+        assert_eq!(Duration(100).mul_f64(1.5), Duration(150));
+        assert_eq!(Duration(100).mul_f64(0.0), Duration::ZERO);
+        assert_eq!(Duration(100).div_by(3), Duration(33));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_scaling_panics() {
+        let _ = Duration(10).mul_f64(-1.0);
+    }
+
+    #[test]
+    fn display_picks_natural_unit() {
+        assert_eq!(Duration::days(3).to_string(), "3d");
+        assert_eq!(Duration::hours(5).to_string(), "5h");
+        assert_eq!(Duration::minutes(2).to_string(), "2m");
+        assert_eq!(Duration(61).to_string(), "61s");
+        assert_eq!(Time(5).to_string(), "t+5s");
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(Time(3).max(Time(5)), Time(5));
+        assert_eq!(Time(3).min(Time(5)), Time(3));
+    }
+}

@@ -1,0 +1,289 @@
+//! Finite per-node caching buffers.
+//!
+//! "The basic prerequisite is that each node has only limited buffer for
+//! caching" (§III-A). A [`Buffer`] tracks which [`DataItem`]s a node
+//! holds and enforces the byte capacity; *what* to evict is the caching
+//! scheme's decision (see the `dtn-cache` crate), so the buffer only
+//! offers mechanical insert/remove plus expiry cleanup.
+
+use std::collections::HashMap;
+
+use dtn_core::ids::DataId;
+use dtn_core::time::Time;
+
+use crate::message::DataItem;
+
+/// A byte-capacity-limited store of data items.
+///
+/// # Example
+///
+/// ```
+/// use dtn_core::ids::{DataId, NodeId};
+/// use dtn_core::time::{Duration, Time};
+/// use dtn_sim::buffer::Buffer;
+/// use dtn_sim::message::DataItem;
+///
+/// let mut buf = Buffer::new(100);
+/// let item = DataItem::new(DataId(1), NodeId(0), 60, Time(0), Duration(100));
+/// assert!(buf.insert(item).is_ok());
+/// // A second 60-byte item does not fit.
+/// let item2 = DataItem::new(DataId(2), NodeId(0), 60, Time(0), Duration(100));
+/// assert!(buf.insert(item2).is_err());
+/// assert_eq!(buf.free(), 40);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Buffer {
+    capacity: u64,
+    used: u64,
+    items: HashMap<DataId, DataItem>,
+}
+
+/// Error returned when an item does not fit into a buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsufficientSpace {
+    /// Bytes the item needs.
+    pub needed: u64,
+    /// Bytes currently free.
+    pub free: u64,
+}
+
+impl std::fmt::Display for InsufficientSpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "insufficient buffer space: need {} bytes, {} free",
+            self.needed, self.free
+        )
+    }
+}
+
+impl std::error::Error for InsufficientSpace {}
+
+impl Buffer {
+    /// Creates an empty buffer of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Buffer {
+            capacity,
+            used: 0,
+            items: HashMap::new(),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently occupied.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes currently free.
+    pub fn free(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Number of stored items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the buffer holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the item would fit right now.
+    pub fn fits(&self, size: u64) -> bool {
+        size <= self.free()
+    }
+
+    /// Inserts an item.
+    ///
+    /// Re-inserting an id the buffer already holds is a no-op success
+    /// (the node already has the copy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InsufficientSpace`] if the item does not fit.
+    pub fn insert(&mut self, item: DataItem) -> Result<(), InsufficientSpace> {
+        if self.items.contains_key(&item.id) {
+            return Ok(());
+        }
+        if !self.fits(item.size) {
+            return Err(InsufficientSpace {
+                needed: item.size,
+                free: self.free(),
+            });
+        }
+        self.used += item.size;
+        self.items.insert(item.id, item);
+        Ok(())
+    }
+
+    /// Removes and returns an item.
+    pub fn remove(&mut self, id: DataId) -> Option<DataItem> {
+        let item = self.items.remove(&id)?;
+        self.used -= item.size;
+        Some(item)
+    }
+
+    /// Whether the buffer holds `id`.
+    pub fn contains(&self, id: DataId) -> bool {
+        self.items.contains_key(&id)
+    }
+
+    /// The stored item with this id, if any.
+    pub fn get(&self, id: DataId) -> Option<&DataItem> {
+        self.items.get(&id)
+    }
+
+    /// Iterates over the stored items in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = &DataItem> {
+        self.items.values()
+    }
+
+    /// Drops every item that has expired by `now`; returns how many were
+    /// dropped.
+    pub fn drop_expired(&mut self, now: Time) -> usize {
+        let dead: Vec<DataId> = self
+            .items
+            .values()
+            .filter(|d| !d.is_alive(now))
+            .map(|d| d.id)
+            .collect();
+        for id in &dead {
+            self.remove(*id);
+        }
+        dead.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_core::ids::NodeId;
+    use dtn_core::time::Duration;
+
+    fn item(id: u64, size: u64, expires: u64) -> DataItem {
+        DataItem::new(DataId(id), NodeId(0), size, Time(0), Duration(expires))
+    }
+
+    #[test]
+    fn insert_tracks_usage() {
+        let mut b = Buffer::new(100);
+        b.insert(item(1, 30, 10)).expect("fits");
+        b.insert(item(2, 50, 10)).expect("fits");
+        assert_eq!(b.used(), 80);
+        assert_eq!(b.free(), 20);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn insert_rejects_when_full() {
+        let mut b = Buffer::new(100);
+        b.insert(item(1, 80, 10)).expect("fits");
+        let err = b.insert(item(2, 30, 10)).unwrap_err();
+        assert_eq!(
+            err,
+            InsufficientSpace {
+                needed: 30,
+                free: 20
+            }
+        );
+        assert!(err.to_string().contains("30"));
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let mut b = Buffer::new(100);
+        b.insert(item(1, 80, 10)).expect("fits");
+        b.insert(item(1, 80, 10)).expect("duplicate is fine");
+        assert_eq!(b.used(), 80);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let mut b = Buffer::new(100);
+        b.insert(item(1, 80, 10)).expect("fits");
+        let removed = b.remove(DataId(1)).expect("present");
+        assert_eq!(removed.size, 80);
+        assert_eq!(b.used(), 0);
+        assert!(b.remove(DataId(1)).is_none());
+    }
+
+    #[test]
+    fn drop_expired_only_removes_dead_items() {
+        let mut b = Buffer::new(100);
+        b.insert(item(1, 10, 50)).expect("fits");
+        b.insert(item(2, 10, 200)).expect("fits");
+        assert_eq!(b.drop_expired(Time(100)), 1);
+        assert!(!b.contains(DataId(1)));
+        assert!(b.contains(DataId(2)));
+        assert_eq!(b.used(), 10);
+    }
+
+    #[test]
+    fn get_and_iter() {
+        let mut b = Buffer::new(100);
+        b.insert(item(1, 10, 50)).expect("fits");
+        assert_eq!(b.get(DataId(1)).map(|d| d.size), Some(10));
+        assert_eq!(b.iter().count(), 1);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        #[derive(Debug, Clone)]
+        enum Op {
+            Insert(u64, u64),
+            Remove(u64),
+            DropExpired(u64),
+        }
+
+        fn op_strategy() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                (0u64..20, 1u64..60).prop_map(|(id, size)| Op::Insert(id, size)),
+                (0u64..20).prop_map(Op::Remove),
+                (0u64..500).prop_map(Op::DropExpired),
+            ]
+        }
+
+        proptest! {
+            /// Accounting invariant: under arbitrary operation sequences
+            /// the used-byte counter always equals the sum of stored item
+            /// sizes and never exceeds capacity.
+            #[test]
+            fn usage_accounting_is_exact(
+                ops in prop::collection::vec(op_strategy(), 0..60),
+                capacity in 1u64..200,
+            ) {
+                let mut b = Buffer::new(capacity);
+                for op in ops {
+                    match op {
+                        Op::Insert(id, size) => {
+                            let _ = b.insert(DataItem::new(
+                                DataId(id), NodeId(0), size, Time(0), Duration(100 + id),
+                            ));
+                        }
+                        Op::Remove(id) => {
+                            let _ = b.remove(DataId(id));
+                        }
+                        Op::DropExpired(now) => {
+                            let _ = b.drop_expired(Time(now));
+                        }
+                    }
+                    let actual: u64 = b.iter().map(|d| d.size).sum();
+                    prop_assert_eq!(b.used(), actual);
+                    prop_assert!(b.used() <= b.capacity());
+                    prop_assert_eq!(b.free(), b.capacity() - b.used());
+                    prop_assert_eq!(b.len(), b.iter().count());
+                }
+            }
+        }
+    }
+}

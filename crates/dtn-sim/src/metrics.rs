@@ -1,0 +1,221 @@
+//! Simulation metrics — the three evaluation metrics of §VI plus
+//! bookkeeping counters.
+
+use dtn_core::time::{Duration, Time};
+
+/// One periodic snapshot of global cache occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheSample {
+    /// When the sample was taken.
+    pub at: Time,
+    /// Total cached copies across all nodes (one item cached at five
+    /// nodes counts five).
+    pub copies: u64,
+    /// Distinct live data items cached anywhere.
+    pub distinct: u64,
+    /// Total cached bytes across all nodes.
+    pub bytes: u64,
+}
+
+/// Aggregated results of one simulation run.
+///
+/// The paper's three metrics map to [`success_ratio`](Metrics::success_ratio)
+/// ("successful ratio"), [`avg_delay`](Metrics::avg_delay) ("data access
+/// delay") and [`avg_copies_per_item`](Metrics::avg_copies_per_item)
+/// ("caching overhead").
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    /// Queries issued during the measured phase.
+    pub queries_issued: u64,
+    /// Queries satisfied before their time constraint.
+    pub queries_satisfied: u64,
+    /// Sum of response delays over satisfied queries, in seconds.
+    pub total_delay_secs: u64,
+    /// Data items generated.
+    pub data_generated: u64,
+    /// Bytes successfully transmitted over contacts.
+    pub bytes_transmitted: u64,
+    /// Transmissions rejected because the contact's capacity was spent.
+    pub transfers_rejected: u64,
+    /// Cache-replacement operations (items moved/swapped between caches).
+    pub replacement_ops: u64,
+    /// Deliveries for queries that were already satisfied.
+    pub duplicate_deliveries: u64,
+    /// Deliveries that arrived after the query expired.
+    pub late_deliveries: u64,
+    /// Contacts dropped by fault injection
+    /// (`SimConfig::contact_loss_probability`).
+    pub contacts_lost: u64,
+    /// Periodic cache-occupancy samples.
+    pub samples: Vec<CacheSample>,
+    /// Individual response delays (seconds) of satisfied queries, in
+    /// satisfaction order — enables distribution analysis beyond the
+    /// paper's mean.
+    pub delays_secs: Vec<u64>,
+}
+
+impl Metrics {
+    /// Fraction of issued queries satisfied in time; 0 if none issued.
+    pub fn success_ratio(&self) -> f64 {
+        if self.queries_issued == 0 {
+            0.0
+        } else {
+            self.queries_satisfied as f64 / self.queries_issued as f64
+        }
+    }
+
+    /// Mean response delay over satisfied queries.
+    pub fn avg_delay(&self) -> Duration {
+        match self.total_delay_secs.checked_div(self.queries_satisfied) {
+            None => Duration::ZERO,
+            Some(mean) => Duration(mean),
+        }
+    }
+
+    /// Mean response delay in fractional hours (the unit of Fig. 10–13).
+    pub fn avg_delay_hours(&self) -> f64 {
+        if self.queries_satisfied == 0 {
+            0.0
+        } else {
+            self.total_delay_secs as f64 / self.queries_satisfied as f64 / 3600.0
+        }
+    }
+
+    /// Mean cached copies per distinct live item, averaged over samples
+    /// that saw at least one cached item — the "caching overhead" of
+    /// Fig. 10(c)/11(c)/13(c).
+    pub fn avg_copies_per_item(&self) -> f64 {
+        let ratios: Vec<f64> = self
+            .samples
+            .iter()
+            .filter(|s| s.distinct > 0)
+            .map(|s| s.copies as f64 / s.distinct as f64)
+            .collect();
+        if ratios.is_empty() {
+            0.0
+        } else {
+            ratios.iter().sum::<f64>() / ratios.len() as f64
+        }
+    }
+
+    /// Bytes transmitted per satisfied query — the network cost of one
+    /// successful data access (§V-C's "wasted bandwidth" shows up
+    /// here). 0 if nothing was satisfied.
+    pub fn bytes_per_satisfied_query(&self) -> f64 {
+        if self.queries_satisfied == 0 {
+            0.0
+        } else {
+            self.bytes_transmitted as f64 / self.queries_satisfied as f64
+        }
+    }
+
+    /// The `q`-quantile of the response-delay distribution (0 ≤ q ≤ 1),
+    /// or `None` if no query was satisfied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn delay_quantile(&self, q: f64) -> Option<Duration> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.delays_secs.is_empty() {
+            return None;
+        }
+        let mut sorted = self.delays_secs.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        Some(Duration(sorted[idx]))
+    }
+
+    /// Median response delay, or `None` if no query was satisfied.
+    pub fn median_delay(&self) -> Option<Duration> {
+        self.delay_quantile(0.5)
+    }
+
+    /// Mean replacement operations per generated item — the
+    /// "cache replacement overhead" of Fig. 12(c).
+    pub fn avg_replacements_per_item(&self) -> f64 {
+        if self.data_generated == 0 {
+            0.0
+        } else {
+            self.replacement_ops as f64 / self.data_generated as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = Metrics::default();
+        assert_eq!(m.success_ratio(), 0.0);
+        assert_eq!(m.avg_delay(), Duration::ZERO);
+        assert_eq!(m.avg_delay_hours(), 0.0);
+        assert_eq!(m.avg_copies_per_item(), 0.0);
+        assert_eq!(m.avg_replacements_per_item(), 0.0);
+    }
+
+    #[test]
+    fn ratios_compute_correctly() {
+        let m = Metrics {
+            queries_issued: 10,
+            queries_satisfied: 4,
+            total_delay_secs: 4 * 7200,
+            data_generated: 8,
+            replacement_ops: 16,
+            ..Metrics::default()
+        };
+        assert!((m.success_ratio() - 0.4).abs() < 1e-12);
+        assert_eq!(m.avg_delay(), Duration::hours(2));
+        assert!((m.avg_delay_hours() - 2.0).abs() < 1e-12);
+        assert!((m.avg_replacements_per_item() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_quantiles() {
+        let m = Metrics {
+            delays_secs: vec![100, 400, 200, 300, 500],
+            ..Metrics::default()
+        };
+        assert_eq!(m.delay_quantile(0.0), Some(Duration(100)));
+        assert_eq!(m.median_delay(), Some(Duration(300)));
+        assert_eq!(m.delay_quantile(1.0), Some(Duration(500)));
+        assert_eq!(Metrics::default().median_delay(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn out_of_range_quantile_panics() {
+        let _ = Metrics::default().delay_quantile(1.5);
+    }
+
+    #[test]
+    fn copies_per_item_averages_nonempty_samples() {
+        let m = Metrics {
+            samples: vec![
+                CacheSample {
+                    at: Time(0),
+                    copies: 10,
+                    distinct: 5,
+                    bytes: 0,
+                },
+                CacheSample {
+                    at: Time(1),
+                    copies: 0,
+                    distinct: 0,
+                    bytes: 0,
+                },
+                CacheSample {
+                    at: Time(2),
+                    copies: 12,
+                    distinct: 3,
+                    bytes: 0,
+                },
+            ],
+            ..Metrics::default()
+        };
+        // (2 + 4) / 2 samples with data
+        assert!((m.avg_copies_per_item() - 3.0).abs() < 1e-12);
+    }
+}

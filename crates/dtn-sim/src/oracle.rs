@@ -1,0 +1,163 @@
+//! Cached opportunistic-path computations over the live rate table.
+//!
+//! Schemes repeatedly need "the weight of my best path to node X" — for
+//! relay selection toward central nodes (§V-A), for query multicast
+//! (§V-B), and for the probabilistic response decision (§V-C). Running a
+//! full label-setting search on every contact would dominate simulation
+//! time, so [`PathOracle`] memoises per-source [`PathTable`]s and
+//! invalidates them after a configurable refresh interval, mirroring the
+//! paper's observation that contact rates "remain relatively constant"
+//! over long periods (§III-B).
+
+use dtn_core::graph::ContactGraph;
+use dtn_core::ids::NodeId;
+use dtn_core::path::{shortest_paths, PathTable};
+use dtn_core::rate::RateTable;
+use dtn_core::time::{Duration, Time};
+
+/// Memoised single-source opportunistic path tables.
+///
+/// # Example
+///
+/// ```
+/// use dtn_core::ids::NodeId;
+/// use dtn_core::rate::RateTable;
+/// use dtn_core::time::{Duration, Time};
+/// use dtn_sim::oracle::PathOracle;
+///
+/// let mut rates = RateTable::new(3, Time::ZERO);
+/// rates.record(NodeId(0), NodeId(1), Time(10));
+/// rates.record(NodeId(1), NodeId(2), Time(20));
+///
+/// let mut oracle = PathOracle::new(3, 3600.0, Duration::hours(6));
+/// let w = oracle.weight(&rates, Time(100), NodeId(0), NodeId(2));
+/// assert!(w > 0.0);
+/// // Self-weight is always 1.
+/// assert_eq!(oracle.weight(&rates, Time(100), NodeId(1), NodeId(1)), 1.0);
+/// ```
+#[derive(Debug)]
+pub struct PathOracle {
+    horizon: f64,
+    refresh: Duration,
+    tables: Vec<Option<(Time, PathTable)>>,
+}
+
+impl PathOracle {
+    /// Creates an oracle for `nodes` nodes evaluating path weights at
+    /// `horizon` seconds and refreshing cached tables every `refresh`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0` or `horizon` is not finite and positive.
+    pub fn new(nodes: usize, horizon: f64, refresh: Duration) -> Self {
+        assert!(nodes > 0, "oracle needs at least one node");
+        assert!(
+            horizon.is_finite() && horizon > 0.0,
+            "horizon must be finite and positive, got {horizon}"
+        );
+        PathOracle {
+            horizon,
+            refresh,
+            tables: (0..nodes).map(|_| None).collect(),
+        }
+    }
+
+    /// The horizon `T` used for path weights.
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// The path table from `source`, recomputed from `rates` if the
+    /// cached copy is older than the refresh interval.
+    pub fn table(&mut self, rates: &RateTable, now: Time, source: NodeId) -> &PathTable {
+        let slot = &mut self.tables[source.index()];
+        let stale = match slot {
+            Some((computed, _)) => now.saturating_since(*computed) >= self.refresh,
+            None => true,
+        };
+        if stale {
+            let graph = ContactGraph::from_rate_table(rates, now);
+            *slot = Some((now, shortest_paths(&graph, source, self.horizon)));
+        }
+        &slot.as_ref().expect("just computed").1
+    }
+
+    /// The best-path weight from `source` to `dest` (1 if equal,
+    /// 0 if unreachable).
+    pub fn weight(&mut self, rates: &RateTable, now: Time, source: NodeId, dest: NodeId) -> f64 {
+        if source == dest {
+            return 1.0;
+        }
+        self.table(rates, now, source).weight_to(dest)
+    }
+
+    /// Drops every cached table (e.g. after a configuration change).
+    pub fn invalidate(&mut self) {
+        for slot in &mut self.tables {
+            *slot = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rates_line() -> RateTable {
+        let mut r = RateTable::new(4, Time::ZERO);
+        for t in 1..=5u64 {
+            r.record(NodeId(0), NodeId(1), Time(t * 100));
+            r.record(NodeId(1), NodeId(2), Time(t * 100));
+            r.record(NodeId(2), NodeId(3), Time(t * 100));
+        }
+        r
+    }
+
+    #[test]
+    fn weight_decreases_with_distance() {
+        let rates = rates_line();
+        let mut o = PathOracle::new(4, 3600.0, Duration::hours(1));
+        let now = Time(1000);
+        let w1 = o.weight(&rates, now, NodeId(0), NodeId(1));
+        let w2 = o.weight(&rates, now, NodeId(0), NodeId(2));
+        let w3 = o.weight(&rates, now, NodeId(0), NodeId(3));
+        assert!(w1 > w2 && w2 > w3 && w3 > 0.0);
+    }
+
+    #[test]
+    fn cache_hit_reuses_table_until_refresh() {
+        let mut rates = rates_line();
+        let mut o = PathOracle::new(4, 3600.0, Duration::hours(1));
+        let w_before = o.weight(&rates, Time(1000), NodeId(0), NodeId(1));
+        // Add many more contacts; within the refresh window the cached
+        // table must still be served.
+        for t in 6..=50u64 {
+            rates.record(NodeId(0), NodeId(1), Time(t * 100));
+        }
+        let w_cached = o.weight(&rates, Time(1500), NodeId(0), NodeId(1));
+        assert_eq!(w_before, w_cached);
+        // After the refresh interval the new rates are picked up.
+        let w_fresh = o.weight(&rates, Time(1000 + 3600), NodeId(0), NodeId(1));
+        assert!(w_fresh > w_cached);
+    }
+
+    #[test]
+    fn invalidate_forces_recompute() {
+        let mut rates = rates_line();
+        let mut o = PathOracle::new(4, 3600.0, Duration::hours(1));
+        let w0 = o.weight(&rates, Time(1000), NodeId(0), NodeId(1));
+        for t in 6..=50u64 {
+            rates.record(NodeId(0), NodeId(1), Time(t * 10));
+        }
+        o.invalidate();
+        let w1 = o.weight(&rates, Time(1000), NodeId(0), NodeId(1));
+        assert!(w1 > w0);
+    }
+
+    #[test]
+    fn self_weight_is_one_without_computation() {
+        let rates = RateTable::new(2, Time::ZERO);
+        let mut o = PathOracle::new(2, 100.0, Duration::hours(1));
+        assert_eq!(o.weight(&rates, Time(0), NodeId(1), NodeId(1)), 1.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Trace statistics (Table I) and NCL-metric distributions (Fig. 4).
+
+use std::fmt;
+
+use dtn_core::graph::ContactGraph;
+use dtn_core::ncl::{all_metrics, CentralityScore};
+use dtn_core::time::Time;
+
+use crate::trace::ContactTrace;
+
+/// Summary statistics of a contact trace — the columns of the paper's
+/// Table I.
+///
+/// # Example
+///
+/// ```
+/// use dtn_trace::{stats::TraceStats, synthetic::SyntheticTraceBuilder};
+/// use dtn_core::time::Duration;
+///
+/// let trace = SyntheticTraceBuilder::new(10)
+///     .duration(Duration::days(2))
+///     .target_contacts(500)
+///     .seed(3)
+///     .build();
+/// let stats = TraceStats::compute(&trace);
+/// assert_eq!(stats.nodes, 10);
+/// assert!(stats.pairwise_contact_frequency_per_day > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceStats {
+    /// Number of devices.
+    pub nodes: usize,
+    /// Number of internal contacts.
+    pub contacts: u64,
+    /// Observation length in days (fractional).
+    pub duration_days: f64,
+    /// Mean contacts per unordered node pair per day.
+    pub pairwise_contact_frequency_per_day: f64,
+    /// Mean contact duration in seconds.
+    pub mean_contact_duration_secs: f64,
+}
+
+impl TraceStats {
+    /// Computes the statistics of a trace.
+    pub fn compute(trace: &ContactTrace) -> Self {
+        let nodes = trace.node_count();
+        let contacts = trace.contact_count() as u64;
+        let duration_days = trace.duration().as_secs_f64() / 86_400.0;
+        let pairs = (nodes * (nodes - 1) / 2) as f64;
+        let freq = if pairs > 0.0 && duration_days > 0.0 {
+            contacts as f64 / pairs / duration_days
+        } else {
+            0.0
+        };
+        let mean_dur = if contacts > 0 {
+            trace
+                .contacts()
+                .iter()
+                .map(|c| c.duration().as_secs_f64())
+                .sum::<f64>()
+                / contacts as f64
+        } else {
+            0.0
+        };
+        TraceStats {
+            nodes,
+            contacts,
+            duration_days,
+            pairwise_contact_frequency_per_day: freq,
+            mean_contact_duration_secs: mean_dur,
+        }
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} nodes, {} contacts over {:.1} days ({:.3}/pair/day, mean contact {:.0}s)",
+            self.nodes,
+            self.contacts,
+            self.duration_days,
+            self.pairwise_contact_frequency_per_day,
+            self.mean_contact_duration_secs
+        )
+    }
+}
+
+/// The NCL selection metric of every node of a trace, sorted descending —
+/// the data behind one subplot of the paper's Fig. 4.
+///
+/// The contact graph is built from the entire trace ("we calculate the
+/// pairwise contact rates based on the cumulative contacts between each
+/// pair of nodes during the entire trace", §IV-B) and weights are
+/// evaluated at `horizon` seconds.
+pub fn metric_distribution(trace: &ContactTrace, horizon: f64) -> Vec<CentralityScore> {
+    let end = Time(trace.duration().as_secs());
+    let table = trace.rate_table(end);
+    let graph = ContactGraph::from_rate_table(&table, end);
+    let mut scores = all_metrics(&graph, horizon);
+    scores.sort_by(|a, b| {
+        b.metric
+            .total_cmp(&a.metric)
+            .then_with(|| a.node.cmp(&b.node))
+    });
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticTraceBuilder;
+    use dtn_core::time::Duration;
+
+    fn small_trace() -> ContactTrace {
+        SyntheticTraceBuilder::new(12)
+            .duration(Duration::days(1))
+            .target_contacts(800)
+            .seed(21)
+            .build()
+    }
+
+    #[test]
+    fn stats_fields_are_consistent() {
+        let t = small_trace();
+        let s = TraceStats::compute(&t);
+        assert_eq!(s.nodes, 12);
+        assert_eq!(s.contacts, t.contact_count() as u64);
+        assert!((s.duration_days - 1.0).abs() < 0.05);
+        let pairs = 12.0 * 11.0 / 2.0;
+        let expect = s.contacts as f64 / pairs / s.duration_days;
+        assert!((s.pairwise_contact_frequency_per_day - expect).abs() < 1e-9);
+        assert!(s.mean_contact_duration_secs > 0.0);
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let s = TraceStats::compute(&small_trace());
+        let text = s.to_string();
+        assert!(text.contains("12 nodes"));
+        assert!(text.contains("contacts"));
+    }
+
+    #[test]
+    fn metric_distribution_is_sorted_descending() {
+        let t = small_trace();
+        let dist = metric_distribution(&t, 3600.0);
+        assert_eq!(dist.len(), 12);
+        for w in dist.windows(2) {
+            assert!(w[0].metric >= w[1].metric);
+        }
+        for s in &dist {
+            assert!((0.0..=1.0).contains(&s.metric));
+        }
+    }
+}

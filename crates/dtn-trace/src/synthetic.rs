@@ -1,0 +1,560 @@
+//! Synthetic contact-trace generation.
+//!
+//! Substitutes the paper's proprietary traces (see DESIGN.md §2). The
+//! model follows the paper's own assumptions:
+//!
+//! - each unordered node pair `(i, j)` meets according to a **Poisson
+//!   process** with rate `λ_ij` (§III-B of the paper);
+//! - rates are heterogeneous: each node has a *sociability* weight `w_i`
+//!   drawn from a truncated Pareto distribution and
+//!   `λ_ij ∝ w_i · w_j · m_ij`, where `m_ij` boosts pairs in the same
+//!   community — this yields the highly skewed NCL-metric distribution
+//!   of Fig. 4;
+//! - the proportionality constant is calibrated so the **expected total
+//!   number of contacts** matches the preset's Table I figure;
+//! - each contact lasts uniformly `[0.5g, 1.5g]` around the preset
+//!   granularity `g`, mirroring how the real traces' detection intervals
+//!   bound observable contact durations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dtn_core::ids::NodeId;
+use dtn_core::time::{Duration, Time};
+
+use crate::trace::{Contact, ContactTrace};
+use crate::TracePreset;
+
+/// Builder for synthetic contact traces.
+///
+/// # Example
+///
+/// ```
+/// use dtn_core::time::Duration;
+/// use dtn_trace::synthetic::SyntheticTraceBuilder;
+///
+/// let trace = SyntheticTraceBuilder::new(30)
+///     .duration(Duration::days(2))
+///     .target_contacts(5_000)
+///     .communities(3)
+///     .seed(7)
+///     .build();
+/// assert_eq!(trace.node_count(), 30);
+/// // Poisson counts concentrate near the calibration target.
+/// assert!((trace.contact_count() as f64 - 5_000.0).abs() < 500.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticTraceBuilder {
+    nodes: usize,
+    duration: Duration,
+    granularity: Duration,
+    target_contacts: u64,
+    pareto_shape: f64,
+    pareto_cap: f64,
+    activity_sigma: f64,
+    communities: usize,
+    community_boost: f64,
+    edge_density: f64,
+    burstiness: f64,
+    seed: u64,
+    scale: f64,
+}
+
+impl SyntheticTraceBuilder {
+    /// Starts a builder for a population of `nodes` nodes with neutral
+    /// defaults: one day, 120 s granularity, 50 contacts per node,
+    /// moderate heterogeneity, no community structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 2`.
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes >= 2, "need at least two nodes to generate contacts");
+        SyntheticTraceBuilder {
+            nodes,
+            duration: Duration::days(1),
+            granularity: Duration::secs(120),
+            target_contacts: 50 * nodes as u64,
+            pareto_shape: 1.8,
+            pareto_cap: 25.0,
+            activity_sigma: 0.8,
+            communities: 1,
+            community_boost: 4.0,
+            edge_density: 0.4,
+            burstiness: 1.0,
+            seed: 0,
+            scale: 1.0,
+        }
+    }
+
+    /// Starts a builder calibrated to one of the paper's Table I traces.
+    pub fn from_preset(preset: TracePreset) -> Self {
+        let mut b = SyntheticTraceBuilder::new(preset.node_count());
+        b.duration = preset.duration();
+        b.granularity = preset.granularity();
+        b.target_contacts = preset.total_contacts();
+        b.communities = match preset {
+            // Conferences mix heavily; campus/city traces are clustered.
+            TracePreset::Infocom05 | TracePreset::Infocom06 => 2,
+            TracePreset::MitReality => 4,
+            TracePreset::Ucsd => 8,
+        };
+        // Real contact graphs are sparse: conference attendees meet a
+        // large share of their peers, campus populations only a few —
+        // this sparsity is what makes the Fig. 4 metric distribution
+        // skewed ("few nodes contact many others and act as the
+        // communication hubs", §IV-B).
+        b.edge_density = match preset {
+            TracePreset::Infocom05 | TracePreset::Infocom06 => 0.5,
+            TracePreset::MitReality => 0.12,
+            TracePreset::Ucsd => 0.04,
+        };
+        b.pareto_shape = match preset {
+            TracePreset::Infocom05 | TracePreset::Infocom06 => 1.8,
+            TracePreset::MitReality | TracePreset::Ucsd => 1.4,
+        };
+        // Long traces accumulate strong participation heterogeneity
+        // (devices switched off, dropouts); conferences less so.
+        b.activity_sigma = match preset {
+            TracePreset::Infocom05 => 2.2,
+            TracePreset::Infocom06 => 2.6,
+            TracePreset::MitReality => 3.0,
+            TracePreset::Ucsd => 2.6,
+        };
+        b
+    }
+
+    /// Sets the lognormal σ of the per-node activity factor (default
+    /// 0.8). Larger values produce more near-inactive nodes and a more
+    /// skewed metric distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or not finite.
+    pub fn activity_sigma(mut self, sigma: f64) -> Self {
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "activity sigma must be finite and non-negative, got {sigma}"
+        );
+        self.activity_sigma = sigma;
+        self
+    }
+
+    /// Sets the observation length.
+    pub fn duration(mut self, duration: Duration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Sets the mean contact duration (detection granularity).
+    pub fn granularity(mut self, granularity: Duration) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    /// Sets the expected total number of contacts to calibrate to.
+    pub fn target_contacts(mut self, contacts: u64) -> Self {
+        self.target_contacts = contacts;
+        self
+    }
+
+    /// Sets the Pareto shape of the sociability distribution; smaller
+    /// values mean heavier tails (more heterogeneity). Typical: 1.5–3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape <= 1.0` (the mean would diverge).
+    pub fn heterogeneity(mut self, shape: f64) -> Self {
+        assert!(shape > 1.0, "Pareto shape must exceed 1, got {shape}");
+        self.pareto_shape = shape;
+        self
+    }
+
+    /// Sets the number of equal-sized communities nodes are assigned to
+    /// round-robin. Pairs within a community contact `community_boost`
+    /// times more often.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `communities == 0`.
+    pub fn communities(mut self, communities: usize) -> Self {
+        assert!(communities > 0, "need at least one community");
+        self.communities = communities;
+        self
+    }
+
+    /// Sets the intra-community contact-rate boost factor (default 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `boost < 1.0`.
+    pub fn community_boost(mut self, boost: f64) -> Self {
+        assert!(boost >= 1.0, "community boost must be at least 1");
+        self.community_boost = boost;
+        self
+    }
+
+    /// Sets the cap on sociability weights (default 25). Higher caps let
+    /// hub nodes absorb a larger share of all contacts, increasing the
+    /// skew of the metric distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cap >= 1.0`.
+    pub fn sociability_cap(mut self, cap: f64) -> Self {
+        assert!(cap >= 1.0, "sociability cap must be at least 1, got {cap}");
+        self.pareto_cap = cap;
+        self
+    }
+
+    /// Sets the fraction of node pairs that ever meet (default 0.4).
+    /// Pairs are kept with probability proportional to their affinity,
+    /// so sociable nodes keep more edges — the source of the skewed
+    /// metric distribution of Fig. 4.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `density` is in `(0, 1]`.
+    pub fn edge_density(mut self, density: f64) -> Self {
+        assert!(
+            density > 0.0 && density <= 1.0,
+            "edge density must be in (0, 1], got {density}"
+        );
+        self.edge_density = density;
+        self
+    }
+
+    /// Sets the mean number of contacts per co-location *session*
+    /// (default 1 = pure Poisson contacts, the paper's §III-B model).
+    ///
+    /// Real Bluetooth/WiFi traces are bursty: two co-located devices are
+    /// re-detected every scan interval, so one physical meeting shows up
+    /// as a run of consecutive contact records. With `burstiness > 1`,
+    /// pair meetings arrive as Poisson *sessions* whose contact-count is
+    /// geometric with this mean, spaced one granularity apart. Total
+    /// expected contacts still match the calibration target, but the
+    /// independent-meeting rate drops by the burstiness factor —
+    /// mirroring how raw contact counts overestimate meeting
+    /// opportunities in real traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean_contacts_per_session >= 1.0`.
+    pub fn burstiness(mut self, mean_contacts_per_session: f64) -> Self {
+        assert!(
+            mean_contacts_per_session >= 1.0 && mean_contacts_per_session.is_finite(),
+            "burstiness must be a finite value ≥ 1, got {mean_contacts_per_session}"
+        );
+        self.burstiness = mean_contacts_per_session;
+        self
+    }
+
+    /// Sets the RNG seed; the same builder with the same seed produces an
+    /// identical trace.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Scales duration *and* contact target by `factor`, preserving the
+    /// contact density. Use small factors for fast tests and benches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn scale(mut self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale must be finite and positive, got {factor}"
+        );
+        self.scale = factor;
+        self
+    }
+
+    /// Generates the trace.
+    pub fn build(&self) -> ContactTrace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let duration = self.duration.mul_f64(self.scale);
+        let target = (self.target_contacts as f64 * self.scale).round().max(1.0);
+        let span = duration.as_secs_f64().max(1.0);
+
+        // Per-node sociability: a truncated Pareto(shape, x_m = 1) upper
+        // tail (hubs) multiplied by a lognormal activity factor that
+        // also produces a heavy *lower* tail — real traces contain many
+        // near-inactive devices, and that inactivity is what keeps the
+        // median NCL metric far below the hubs' (Fig. 4).
+        let weights: Vec<f64> = (0..self.nodes)
+            .map(|_| {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let pareto = u.powf(-1.0 / self.pareto_shape).min(self.pareto_cap);
+                // Box-Muller standard normal for the activity factor.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+                let z = (-2.0 * u1.ln()).sqrt() * u2.cos();
+                pareto * (self.activity_sigma * z).exp()
+            })
+            .collect();
+
+        // Select which pairs ever meet: keep probability proportional to
+        // affinity (capped at 1), scaled so the expected kept fraction is
+        // `edge_density`. Sociable nodes keep more edges, producing the
+        // skewed, sparse contact graphs of real traces (Fig. 4).
+        let mut affinities = Vec::with_capacity(self.nodes * (self.nodes - 1) / 2);
+        for i in 0..self.nodes {
+            for j in (i + 1)..self.nodes {
+                affinities.push((i, j, weights[i] * weights[j] * self.pair_boost(i, j)));
+            }
+        }
+        let pair_count = affinities.len() as f64;
+        let target_edges = self.edge_density * pair_count;
+        // Binary search the affinity multiplier k with Σ min(1, k·a) =
+        // target_edges (monotone in k).
+        let kept_expectation =
+            |k: f64| -> f64 { affinities.iter().map(|&(_, _, a)| (k * a).min(1.0)).sum() };
+        let mut lo = 0.0f64;
+        let mut hi = 1.0f64;
+        while kept_expectation(hi) < target_edges && hi < 1e12 {
+            hi *= 2.0;
+        }
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if kept_expectation(mid) < target_edges {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let k = hi;
+        let kept: Vec<(usize, usize, f64)> = affinities
+            .into_iter()
+            .filter(|&(_, _, a)| rng.gen_bool((k * a).min(1.0)))
+            .collect();
+
+        // Calibrate the global rate constant over the kept pairs so that
+        // Σ λ_ij · duration = target contacts.
+        let affinity_sum: f64 = kept.iter().map(|&(_, _, a)| a).sum();
+        if affinity_sum <= 0.0 {
+            return ContactTrace::new(self.nodes, Vec::new(), duration);
+        }
+        let c = target / (affinity_sum * span);
+
+        let mut contacts = Vec::with_capacity(target as usize);
+        let g = self.granularity.as_secs().max(1);
+        // With burstiness B, meetings arrive as sessions at rate/B and
+        // each emits a geometric(mean B) run of contacts — expected
+        // total contacts stay calibrated.
+        let session_divisor = self.burstiness;
+        for &(i, j, affinity) in &kept {
+            let session_rate = c * affinity / session_divisor;
+            let mut t = 0.0f64;
+            loop {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                t += -u.ln() / session_rate;
+                if t >= span {
+                    break;
+                }
+                let run = if self.burstiness > 1.0 {
+                    // Geometric with mean B: 1 + floor(ln u / ln(1 − 1/B))
+                    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    1 + (u.ln() / (1.0 - 1.0 / self.burstiness).ln()) as u64
+                } else {
+                    1
+                };
+                let mut session_t = t as u64;
+                for _ in 0..run {
+                    if session_t >= duration.as_secs() {
+                        break;
+                    }
+                    let start = Time(session_t);
+                    let len = rng.gen_range(g.div_ceil(2)..=g + g / 2).max(1);
+                    let end = Time((session_t + len).min(duration.as_secs().max(session_t + 1)));
+                    if end > start {
+                        contacts.push(Contact::new(NodeId(i as u32), NodeId(j as u32), start, end));
+                    }
+                    // Next re-detection one granularity later.
+                    session_t += g;
+                }
+                // Resume the Poisson session process from the start of
+                // the run's last contact (memoryless continuation; for
+                // single-contact sessions `t` is unchanged).
+                t = t.max(session_t.saturating_sub(g) as f64);
+            }
+        }
+        ContactTrace::new(self.nodes, contacts, duration)
+    }
+
+    fn pair_boost(&self, i: usize, j: usize) -> f64 {
+        if self.communities > 1 && i % self.communities == j % self.communities {
+            self.community_boost
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_core::graph::ContactGraph;
+    use dtn_core::ncl::{all_metrics, metric_skew};
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = SyntheticTraceBuilder::new(10).seed(3).build();
+        let b = SyntheticTraceBuilder::new(10).seed(3).build();
+        assert_eq!(a, b);
+        let c = SyntheticTraceBuilder::new(10).seed(4).build();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn contact_count_matches_target_within_tolerance() {
+        let target = 10_000;
+        let t = SyntheticTraceBuilder::new(40)
+            .duration(Duration::days(3))
+            .target_contacts(target)
+            .seed(11)
+            .build();
+        let got = t.contact_count() as f64;
+        assert!(
+            (got - target as f64).abs() < 0.1 * target as f64,
+            "got {got} contacts for target {target}"
+        );
+    }
+
+    #[test]
+    fn contacts_lie_within_duration() {
+        let t = SyntheticTraceBuilder::new(15)
+            .duration(Duration::hours(6))
+            .seed(2)
+            .build();
+        for c in t.contacts() {
+            assert!(c.start < c.end);
+            assert!(c.end.as_secs() <= t.duration().as_secs());
+        }
+    }
+
+    #[test]
+    fn scale_shrinks_duration_and_contacts_proportionally() {
+        let full = SyntheticTraceBuilder::new(30)
+            .duration(Duration::days(4))
+            .target_contacts(20_000)
+            .seed(5)
+            .build();
+        let tenth = SyntheticTraceBuilder::new(30)
+            .duration(Duration::days(4))
+            .target_contacts(20_000)
+            .scale(0.1)
+            .seed(5)
+            .build();
+        assert_eq!(tenth.duration(), Duration::days(4).mul_f64(0.1));
+        let ratio = tenth.contact_count() as f64 / full.contact_count() as f64;
+        assert!((ratio - 0.1).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn preset_matches_table_one_statistics() {
+        // Scaled down 20× to keep the test fast; density is preserved.
+        let t = SyntheticTraceBuilder::from_preset(TracePreset::Infocom05)
+            .scale(0.05)
+            .seed(1)
+            .build();
+        assert_eq!(t.node_count(), 41);
+        let expected = 22_459.0 * 0.05;
+        let got = t.contact_count() as f64;
+        assert!(
+            (got - expected).abs() < 0.25 * expected,
+            "got {got}, expected ≈{expected}"
+        );
+    }
+
+    #[test]
+    fn metric_distribution_is_skewed_like_fig4() {
+        // The heterogeneity knob must produce a clearly skewed NCL-metric
+        // distribution (the paper reports up-to-tenfold max/median).
+        let t = SyntheticTraceBuilder::new(40)
+            .duration(Duration::days(2))
+            .target_contacts(4_000)
+            .heterogeneity(1.5)
+            .seed(9)
+            .build();
+        let table = t.rate_table(Time(t.duration().as_secs()));
+        let g = ContactGraph::from_rate_table(&table, Time(t.duration().as_secs()));
+        let skew = metric_skew(&all_metrics(&g, 3600.0));
+        assert!(skew.max_over_median > 1.5, "skew {skew:?}");
+    }
+
+    #[test]
+    fn communities_concentrate_contacts() {
+        let base = SyntheticTraceBuilder::new(20)
+            .duration(Duration::days(1))
+            .target_contacts(4_000)
+            .communities(4)
+            .community_boost(8.0)
+            .seed(13);
+        let t = base.build();
+        let (mut intra, mut inter) = (0u64, 0u64);
+        for c in t.contacts() {
+            if c.a.index() % 4 == c.b.index() % 4 {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        // 4 communities of 5 nodes: intra pairs = 4·C(5,2)=40 of 190
+        // total. With an 8× boost, intra contacts must clearly dominate
+        // their 21% pair share.
+        let intra_share = intra as f64 / (intra + inter) as f64;
+        assert!(intra_share > 0.5, "intra share {intra_share}");
+    }
+
+    #[test]
+    fn burstiness_preserves_contact_count_but_clusters_meetings() {
+        let base = SyntheticTraceBuilder::new(20)
+            .duration(Duration::days(4))
+            .target_contacts(12_000)
+            .granularity(Duration::secs(120))
+            .seed(31);
+        let smooth = base.clone().build();
+        let bursty = base.clone().burstiness(6.0).build();
+        // Calibration holds for both.
+        let (s, b) = (smooth.contact_count() as f64, bursty.contact_count() as f64);
+        assert!((s - 12_000.0).abs() < 1_800.0, "smooth {s}");
+        assert!((b - 12_000.0).abs() < 3_000.0, "bursty {b}");
+        // Bursty contacts cluster: many consecutive same-pair gaps of
+        // exactly one granularity.
+        let count_small_gaps = |t: &ContactTrace| {
+            let mut small = 0u32;
+            let mut total = 0u32;
+            for pair in crate::analysis::aggregate_intercontact_times(t) {
+                total += 1;
+                if pair.as_secs() <= 120 {
+                    small += 1;
+                }
+            }
+            small as f64 / total.max(1) as f64
+        };
+        assert!(
+            count_small_gaps(&bursty) > 2.0 * count_small_gaps(&smooth),
+            "bursty trace must have far more back-to-back contacts"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "burstiness")]
+    fn sub_one_burstiness_panics() {
+        let _ = SyntheticTraceBuilder::new(5).burstiness(0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn one_node_population_panics() {
+        let _ = SyntheticTraceBuilder::new(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must exceed 1")]
+    fn bad_shape_panics() {
+        let _ = SyntheticTraceBuilder::new(5).heterogeneity(0.9);
+    }
+}

@@ -1,0 +1,351 @@
+//! Data and query workload generation (§VI-A of the paper).
+//!
+//! **Data generation**: each node periodically (every `T_L`) checks
+//! whether it has a live generated item; if not, it generates one with
+//! probability `p_G = 0.2`. Lifetimes are uniform in
+//! `[0.5·T_L, 1.5·T_L]` and sizes uniform in `[0.5·s_avg, 1.5·s_avg]`.
+//!
+//! **Query generation**: every `T_L/2`, each node decides for each live
+//! data item `j` whether to request it, with Zipf probability `P_j`
+//! (Eq. 8). Queries carry the finite time constraint `T_L/2`. Nodes do
+//! not query their own data (they hold it already).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dtn_core::ids::{DataId, NodeId};
+use dtn_core::time::{Duration, Time};
+use dtn_sim::engine::WorkloadEvent;
+use dtn_sim::message::DataItem;
+
+use crate::zipf::Zipf;
+
+/// Parameters of the §VI-A workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    /// Probability `p_G` that an idle node generates data at a check.
+    /// Default 0.2 (fixed in the paper's evaluation).
+    pub generation_probability: f64,
+    /// Mean data lifetime `T_L`; also the generation check period.
+    pub mean_lifetime: Duration,
+    /// Mean data size `s_avg` in bytes.
+    pub mean_size: u64,
+    /// Zipf exponent `s` of the query pattern. Default 1.
+    pub zipf_exponent: f64,
+    /// Query time constraint; defaults to `T_L / 2` when `None`.
+    pub query_constraint: Option<Duration>,
+    /// Workload window `[start, end)` — the paper uses the second half
+    /// of the trace.
+    pub window: (Time, Time),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// A paper-default configuration over the given window: `p_G = 0.2`,
+    /// `T_L` = 1 week, `s_avg` = 100 Mb, `s = 1`.
+    pub fn new(window: (Time, Time)) -> Self {
+        WorkloadConfig {
+            generation_probability: 0.2,
+            mean_lifetime: Duration::weeks(1),
+            mean_size: dtn_sim::engine::megabits(100),
+            zipf_exponent: 1.0,
+            query_constraint: None,
+            window,
+            seed: 0,
+        }
+    }
+
+    /// The effective query constraint (`T_L/2` unless overridden).
+    pub fn effective_query_constraint(&self) -> Duration {
+        self.query_constraint
+            .unwrap_or_else(|| self.mean_lifetime.div_by(2))
+    }
+}
+
+/// A generated workload: the event list plus summary statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    events: Vec<WorkloadEvent>,
+    items: Vec<DataItem>,
+    query_count: u64,
+    window: (Time, Time),
+}
+
+impl Workload {
+    /// Generates the workload for `nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty, `nodes == 0`, the generation
+    /// probability is outside `[0, 1]`, or the mean lifetime/size is
+    /// zero.
+    pub fn generate(nodes: usize, config: &WorkloadConfig) -> Self {
+        assert!(nodes > 0, "workload needs at least one node");
+        let (start, end) = config.window;
+        assert!(start < end, "workload window must be non-empty");
+        assert!(
+            (0.0..=1.0).contains(&config.generation_probability),
+            "p_G must be a probability"
+        );
+        assert!(
+            config.mean_lifetime > Duration::ZERO,
+            "mean lifetime must be positive"
+        );
+        assert!(config.mean_size > 0, "mean size must be positive");
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let t_l = config.mean_lifetime;
+
+        // --- Data generation ------------------------------------------
+        let mut items: Vec<DataItem> = Vec::new();
+        // expiry of each node's current live item, if any
+        let mut live_until: Vec<Option<Time>> = vec![None; nodes];
+        let mut next_id = 0u64;
+        let mut epoch = start;
+        while epoch < end {
+            for (node, lives) in live_until.iter_mut().enumerate() {
+                let idle = lives.is_none_or(|t| t <= epoch);
+                if idle && rng.gen_bool(config.generation_probability) {
+                    let lifetime = t_l.mul_f64(rng.gen_range(0.5..1.5)).max(Duration(1));
+                    let size = ((config.mean_size as f64 * rng.gen_range(0.5..1.5)) as u64).max(1);
+                    let item =
+                        DataItem::new(DataId(next_id), NodeId(node as u32), size, epoch, lifetime);
+                    next_id += 1;
+                    *lives = Some(item.expires_at());
+                    items.push(item);
+                }
+            }
+            epoch += t_l;
+        }
+
+        // --- Query generation ------------------------------------------
+        let constraint = config.effective_query_constraint();
+        let mut queries: Vec<WorkloadEvent> = Vec::new();
+        let mut epoch = start + constraint; // first batch after data exists
+        while epoch < end {
+            // Items alive at this epoch, ranked by creation order
+            // (rank 1 = oldest alive = most popular).
+            let alive: Vec<&DataItem> = items
+                .iter()
+                .filter(|d| d.created_at <= epoch && d.is_alive(epoch))
+                .collect();
+            if !alive.is_empty() {
+                let zipf = Zipf::new(alive.len(), config.zipf_exponent);
+                for node in 0..nodes {
+                    for (rank0, item) in alive.iter().enumerate() {
+                        if item.source.index() == node {
+                            continue; // a source holds its own data
+                        }
+                        if rng.gen_bool(zipf.probability(rank0 + 1)) {
+                            queries.push(WorkloadEvent::IssueQuery {
+                                at: epoch,
+                                requester: NodeId(node as u32),
+                                data: item.id,
+                                constraint,
+                            });
+                        }
+                    }
+                }
+            }
+            epoch += constraint;
+        }
+
+        let query_count = queries.len() as u64;
+        let mut events: Vec<WorkloadEvent> = items
+            .iter()
+            .map(|&item| WorkloadEvent::GenerateData { item })
+            .collect();
+        events.append(&mut queries);
+        // Stable order: by time, data generation before queries at ties.
+        events.sort_by_key(|e| (e.at(), matches!(e, WorkloadEvent::IssueQuery { .. })));
+
+        Workload {
+            events,
+            items,
+            query_count,
+            window: config.window,
+        }
+    }
+
+    /// The time-ordered event list, ready for
+    /// [`Simulator::add_workload`](dtn_sim::engine::Simulator::add_workload).
+    pub fn events(&self) -> &[WorkloadEvent] {
+        &self.events
+    }
+
+    /// Consumes the workload, returning the event list.
+    pub fn into_events(self) -> Vec<WorkloadEvent> {
+        self.events
+    }
+
+    /// All generated data items.
+    pub fn items(&self) -> &[DataItem] {
+        &self.items
+    }
+
+    /// Number of queries issued.
+    pub fn query_count(&self) -> u64 {
+        self.query_count
+    }
+
+    /// Time-averaged number of live data items over the window — the
+    /// quantity plotted against `T_L` in Fig. 9(a).
+    pub fn avg_live_items(&self) -> f64 {
+        let (start, end) = self.window;
+        let span = (end - start).as_secs_f64();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        let alive_secs: f64 = self
+            .items
+            .iter()
+            .map(|d| {
+                let from = d.created_at.max(start);
+                let to = d.expires_at().min(end);
+                to.saturating_since(from).as_secs_f64()
+            })
+            .sum();
+        alive_secs / span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(t_l_hours: u64, seed: u64) -> WorkloadConfig {
+        WorkloadConfig {
+            mean_lifetime: Duration::hours(t_l_hours),
+            mean_size: 1000,
+            seed,
+            ..WorkloadConfig::new((Time(0), Time(Duration::days(4).as_secs())))
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = Workload::generate(10, &config(12, 3));
+        let b = Workload::generate(10, &config(12, 3));
+        assert_eq!(a, b);
+        let c = Workload::generate(10, &config(12, 4));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn events_are_time_ordered() {
+        let w = Workload::generate(10, &config(12, 1));
+        for pair in w.events().windows(2) {
+            assert!(pair[0].at() <= pair[1].at());
+        }
+    }
+
+    #[test]
+    fn items_respect_lifetime_and_size_ranges() {
+        let cfg = config(24, 7);
+        let w = Workload::generate(15, &cfg);
+        assert!(!w.items().is_empty());
+        let t_l = cfg.mean_lifetime.as_secs_f64();
+        for d in w.items() {
+            let life = (d.expires_at() - d.created_at).as_secs_f64();
+            assert!(
+                life >= 0.5 * t_l - 1.0 && life <= 1.5 * t_l + 1.0,
+                "life {life}"
+            );
+            assert!(d.size >= 500 && d.size <= 1500, "size {}", d.size);
+        }
+    }
+
+    #[test]
+    fn at_most_one_live_item_per_node() {
+        let w = Workload::generate(8, &config(12, 5));
+        for node in 0..8u32 {
+            let mut own: Vec<&DataItem> = w
+                .items()
+                .iter()
+                .filter(|d| d.source == NodeId(node))
+                .collect();
+            own.sort_by_key(|d| d.created_at);
+            for pair in own.windows(2) {
+                assert!(
+                    pair[1].created_at >= pair[0].expires_at(),
+                    "node {node} had two live items"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn queries_reference_live_foreign_items() {
+        let w = Workload::generate(10, &config(12, 2));
+        assert!(w.query_count() > 0);
+        for e in w.events() {
+            if let WorkloadEvent::IssueQuery {
+                at,
+                requester,
+                data,
+                ..
+            } = e
+            {
+                let item = w
+                    .items()
+                    .iter()
+                    .find(|d| d.id == *data)
+                    .expect("item exists");
+                assert!(item.created_at <= *at && item.is_alive(*at));
+                assert_ne!(item.source, *requester, "node queried its own data");
+            }
+        }
+    }
+
+    #[test]
+    fn query_constraint_defaults_to_half_lifetime() {
+        let cfg = config(12, 2);
+        assert_eq!(cfg.effective_query_constraint(), Duration::hours(6));
+        let w = Workload::generate(10, &cfg);
+        for e in w.events() {
+            if let WorkloadEvent::IssueQuery { constraint, .. } = e {
+                assert_eq!(*constraint, Duration::hours(6));
+            }
+        }
+    }
+
+    #[test]
+    fn steady_state_live_items_approach_pg_times_nodes() {
+        // With the §VI-A process, a node is live a fraction ≈ p_G of the
+        // time regardless of T_L, so the live count hovers near p_G·N —
+        // while the *total* generated count scales with the number of
+        // generation epochs (window / T_L). Fig. 9(a)'s "amount of data
+        // controlled by T_L" is this total.
+        let short = Workload::generate(20, &config(6, 9));
+        let long = Workload::generate(20, &config(48, 9));
+        for w in [&short, &long] {
+            let live = w.avg_live_items();
+            assert!(live > 1.0 && live < 10.0, "live {live} far from p_G·N = 4");
+        }
+        assert!(
+            short.items().len() > 2 * long.items().len(),
+            "shorter T_L must generate more items: {} vs {}",
+            short.items().len(),
+            long.items().len()
+        );
+    }
+
+    #[test]
+    fn zero_generation_probability_yields_empty_workload() {
+        let mut cfg = config(12, 1);
+        cfg.generation_probability = 0.0;
+        let w = Workload::generate(10, &cfg);
+        assert!(w.items().is_empty());
+        assert_eq!(w.query_count(), 0);
+        assert_eq!(w.avg_live_items(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-empty")]
+    fn empty_window_panics() {
+        let mut cfg = config(12, 1);
+        cfg.window = (Time(100), Time(100));
+        let _ = Workload::generate(10, &cfg);
+    }
+}

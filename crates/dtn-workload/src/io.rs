@@ -1,0 +1,209 @@
+//! Plain-text serialisation of workloads, so the exact same event
+//! sequence can be replayed across schemes, machines or tools.
+//!
+//! Format: a header `# workload nodes=<N>` followed by one line per
+//! event:
+//!
+//! ```text
+//! D,<data_id>,<source>,<size>,<created_at>,<lifetime>
+//! Q,<requester>,<data_id>,<at>,<constraint>
+//! ```
+
+use std::io::{BufRead, Write};
+
+use dtn_core::ids::{DataId, NodeId};
+use dtn_core::time::{Duration, Time};
+use dtn_sim::engine::WorkloadEvent;
+use dtn_sim::message::DataItem;
+
+/// Error produced while reading a workload file.
+#[derive(Debug)]
+pub enum WorkloadReadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for WorkloadReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadReadError::Io(e) => write!(f, "workload read failed: {e}"),
+            WorkloadReadError::Parse { line, reason } => {
+                write!(f, "workload parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadReadError {}
+
+impl From<std::io::Error> for WorkloadReadError {
+    fn from(e: std::io::Error) -> Self {
+        WorkloadReadError::Io(e)
+    }
+}
+
+/// Writes events in replayable text form.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+///
+/// # Example
+///
+/// ```
+/// use dtn_core::time::{Duration, Time};
+/// use dtn_workload::io::{read_events, write_events};
+/// use dtn_workload::{Workload, WorkloadConfig};
+///
+/// let w = Workload::generate(6, &WorkloadConfig {
+///     mean_lifetime: Duration::hours(2),
+///     mean_size: 1000,
+///     ..WorkloadConfig::new((Time(0), Time(86_400)))
+/// });
+/// let mut buf = Vec::new();
+/// write_events(w.events(), &mut buf)?;
+/// let back = read_events(&buf[..])?;
+/// assert_eq!(w.events(), &back[..]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn write_events<W: Write>(events: &[WorkloadEvent], mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "# workload events={}", events.len())?;
+    for e in events {
+        match e {
+            WorkloadEvent::GenerateData { item } => writeln!(
+                writer,
+                "D,{},{},{},{},{}",
+                item.id.0,
+                item.source.0,
+                item.size,
+                item.created_at.as_secs(),
+                (item.expires_at() - item.created_at).as_secs(),
+            )?,
+            WorkloadEvent::IssueQuery {
+                at,
+                requester,
+                data,
+                constraint,
+            } => writeln!(
+                writer,
+                "Q,{},{},{},{}",
+                requester.0,
+                data.0,
+                at.as_secs(),
+                constraint.as_secs(),
+            )?,
+        }
+    }
+    Ok(())
+}
+
+/// Reads events previously written by [`write_events`].
+///
+/// # Errors
+///
+/// Returns [`WorkloadReadError`] on I/O failure or malformed input.
+pub fn read_events<R: BufRead>(reader: R) -> Result<Vec<WorkloadEvent>, WorkloadReadError> {
+    let mut events = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = t.split(',').collect();
+        let num = |idx: usize| -> Result<u64, WorkloadReadError> {
+            fields
+                .get(idx)
+                .and_then(|f| f.trim().parse().ok())
+                .ok_or_else(|| WorkloadReadError::Parse {
+                    line: line_no,
+                    reason: format!("missing or non-numeric field {idx} in {t:?}"),
+                })
+        };
+        match fields.first().copied() {
+            Some("D") => {
+                if fields.len() != 6 {
+                    return Err(WorkloadReadError::Parse {
+                        line: line_no,
+                        reason: format!("D rows have 6 fields, got {t:?}"),
+                    });
+                }
+                events.push(WorkloadEvent::GenerateData {
+                    item: DataItem::new(
+                        DataId(num(1)?),
+                        NodeId(num(2)? as u32),
+                        num(3)?,
+                        Time(num(4)?),
+                        Duration(num(5)?),
+                    ),
+                });
+            }
+            Some("Q") => {
+                if fields.len() != 5 {
+                    return Err(WorkloadReadError::Parse {
+                        line: line_no,
+                        reason: format!("Q rows have 5 fields, got {t:?}"),
+                    });
+                }
+                events.push(WorkloadEvent::IssueQuery {
+                    requester: NodeId(num(1)? as u32),
+                    data: DataId(num(2)?),
+                    at: Time(num(3)?),
+                    constraint: Duration(num(4)?),
+                });
+            }
+            _ => {
+                return Err(WorkloadReadError::Parse {
+                    line: line_no,
+                    reason: format!("unknown event kind in {t:?}"),
+                });
+            }
+        }
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Workload, WorkloadConfig};
+
+    #[test]
+    fn roundtrip_preserves_generated_workload() {
+        let w = Workload::generate(
+            8,
+            &WorkloadConfig {
+                mean_lifetime: Duration::hours(3),
+                mean_size: 5000,
+                seed: 4,
+                ..WorkloadConfig::new((Time(0), Time(86_400)))
+            },
+        );
+        let mut buf = Vec::new();
+        write_events(w.events(), &mut buf).expect("write to Vec");
+        let back = read_events(&buf[..]).expect("read own output");
+        assert_eq!(w.events(), &back[..]);
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        assert!(read_events(&b"X,1,2,3\n"[..]).is_err());
+        assert!(read_events(&b"D,1,2,3\n"[..]).is_err());
+        assert!(read_events(&b"Q,a,2,3,4\n"[..]).is_err());
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let raw = "# workload events=1\n\nQ,1,2,30,40\n";
+        let events = read_events(raw.as_bytes()).expect("valid");
+        assert_eq!(events.len(), 1);
+    }
+}

@@ -1,0 +1,74 @@
+//! Vehicular traffic information — the paper's VANET motivation: "the
+//! availability of live traffic information about specific road
+//! segments will be beneficial for nearby vehicles to avoid traffic
+//! delays" (§I).
+//!
+//! Vehicles form a sparse, community-structured contact graph (roads /
+//! districts). Traffic reports are small and expire quickly, so the
+//! number of NCLs matters: this example sweeps `K` like Fig. 13 and
+//! reports the knee.
+//!
+//! ```text
+//! cargo run --release --example vanet_traffic_info
+//! ```
+
+use dtn_coop_cache::prelude::*;
+
+fn main() {
+    // 60 vehicles, 6 districts, strongly clustered contacts.
+    let trace = SyntheticTraceBuilder::new(60)
+        .duration(Duration::days(1))
+        .target_contacts(40_000)
+        .communities(6)
+        .community_boost(6.0)
+        .edge_density(0.12)
+        .seed(3)
+        .build();
+    println!(
+        "vehicular trace: {} vehicles, {} contacts over {}",
+        trace.node_count(),
+        trace.contact_count(),
+        trace.duration(),
+    );
+
+    // Live traffic reports: 256 KiB, relevant for 45 minutes.
+    let base = ExperimentConfig {
+        mean_data_lifetime: Duration::minutes(45),
+        mean_data_size: 256 << 10,
+        buffer_range: (4 << 20, 12 << 20),
+        ..ExperimentConfig::default()
+    };
+
+    println!(
+        "\n{:>3} {:>10} {:>10} {:>14}",
+        "K", "success", "delay (h)", "copies/item"
+    );
+    let mut best = (0usize, 0.0f64);
+    for k in [1usize, 2, 3, 5, 8, 12] {
+        let config = ExperimentConfig {
+            ncl_count: k,
+            ..base.clone()
+        };
+        let report = run_experiment(&trace, SchemeKind::Intentional, &config, 5);
+        println!(
+            "{k:>3} {:>10.3} {:>10.2} {:>14.2}",
+            report.success_ratio, report.avg_delay_hours, report.avg_copies_per_item,
+        );
+        if report.success_ratio > best.1 {
+            best = (k, report.success_ratio);
+        }
+    }
+    if best.0 == 12 {
+        println!(
+            "\nbest K among those tested: {} ({:.3} successful ratio) — this dense \
+             network has not hit the §VI-D knee yet; note the overhead column's growth",
+            best.0, best.1
+        );
+    } else {
+        println!(
+            "\nbest K for this network: {} ({:.3} successful ratio) — more NCLs \
+             than that only add caching overhead (§VI-D)",
+            best.0, best.1
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Cross-crate integration tests: the full warm-up → NCL selection →
+//! workload → metrics pipeline for every scheme.
+
+use dtn_coop_cache::prelude::*;
+
+fn test_trace(seed: u64) -> ContactTrace {
+    SyntheticTraceBuilder::new(20)
+        .duration(Duration::days(2))
+        .target_contacts(8_000)
+        .edge_density(0.3)
+        .seed(seed)
+        .build()
+}
+
+fn test_config() -> ExperimentConfig {
+    ExperimentConfig {
+        ncl_count: 3,
+        mean_data_lifetime: Duration::hours(8),
+        mean_data_size: 2 << 20,
+        buffer_range: (16 << 20, 48 << 20),
+        ..ExperimentConfig::default()
+    }
+}
+
+#[test]
+fn all_schemes_produce_sane_metrics() {
+    let trace = test_trace(1);
+    let cfg = test_config();
+    for kind in SchemeKind::ALL {
+        let report = run_experiment(&trace, kind, &cfg, 3);
+        assert!(report.queries_issued > 0, "{kind}: no queries");
+        assert!(
+            (0.0..=1.0).contains(&report.success_ratio),
+            "{kind}: ratio {}",
+            report.success_ratio
+        );
+        assert!(report.avg_delay_hours >= 0.0, "{kind}: negative delay");
+        assert!(
+            report.avg_copies_per_item >= 0.0,
+            "{kind}: negative overhead"
+        );
+        // A satisfied query implies transmitted bytes (data moved) unless
+        // it was a zero-delay local hit.
+        if report.success_ratio > 0.0 && report.metrics.total_delay_secs > 0 {
+            assert!(report.metrics.bytes_transmitted > 0, "{kind}: free lunch");
+        }
+    }
+}
+
+#[test]
+fn intentional_selects_requested_ncl_count() {
+    let trace = test_trace(2);
+    for k in [1usize, 2, 5] {
+        let cfg = ExperimentConfig {
+            ncl_count: k,
+            ..test_config()
+        };
+        let report = run_experiment(&trace, SchemeKind::Intentional, &cfg, 1);
+        assert_eq!(report.central_nodes.len(), k);
+    }
+}
+
+#[test]
+fn success_improves_with_longer_lifetimes() {
+    // Fig. 10(a)'s monotone trend, at integration-test scale: longer
+    // lifetimes give data more time to reach requesters.
+    let trace = test_trace(3);
+    let short = ExperimentConfig {
+        mean_data_lifetime: Duration::hours(2),
+        ..test_config()
+    };
+    let long = ExperimentConfig {
+        mean_data_lifetime: Duration::hours(16),
+        ..test_config()
+    };
+    let mut s_short = 0.0;
+    let mut s_long = 0.0;
+    for seed in 0..3 {
+        s_short += run_experiment(&trace, SchemeKind::Intentional, &short, seed).success_ratio;
+        s_long += run_experiment(&trace, SchemeKind::Intentional, &long, seed).success_ratio;
+    }
+    assert!(
+        s_long > s_short,
+        "longer T_L must help: {s_long:.3} !> {s_short:.3}"
+    );
+}
+
+#[test]
+fn tight_buffers_reduce_performance() {
+    // Fig. 11's trend: tighter buffers (relative to data size) hurt.
+    let trace = test_trace(4);
+    let roomy = test_config();
+    let tight = ExperimentConfig {
+        buffer_range: (3 << 20, 5 << 20), // barely fits one item
+        ..test_config()
+    };
+    let mut s_roomy = 0.0;
+    let mut s_tight = 0.0;
+    for seed in 0..3 {
+        s_roomy += run_experiment(&trace, SchemeKind::Intentional, &roomy, seed).success_ratio;
+        s_tight += run_experiment(&trace, SchemeKind::Intentional, &tight, seed).success_ratio;
+    }
+    assert!(
+        s_roomy >= s_tight,
+        "roomy {s_roomy:.3} must be at least tight {s_tight:.3}"
+    );
+}
+
+#[test]
+fn caching_overhead_bounded_by_ncl_count_plus_requesters() {
+    // The intentional scheme caches at most one copy per NCL (plus the
+    // source's transient copy), so overhead per item stays near K.
+    let trace = test_trace(5);
+    let cfg = ExperimentConfig {
+        ncl_count: 2,
+        ..test_config()
+    };
+    let report = run_experiment(&trace, SchemeKind::Intentional, &cfg, 2);
+    assert!(
+        report.avg_copies_per_item <= 4.0,
+        "overhead {} far exceeds K = 2",
+        report.avg_copies_per_item
+    );
+}

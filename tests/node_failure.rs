@@ -1,0 +1,108 @@
+//! Robustness: what happens when nodes fail mid-run?
+//!
+//! The paper selects NCLs once, before data access, and assumes stable
+//! contact patterns (§IV-A). These tests probe the failure modes that
+//! assumption hides: a central node dying mid-evaluation should degrade
+//! the intentional scheme gracefully (other NCLs keep serving), never
+//! crash it.
+
+use dtn_coop_cache::core::ids::NodeId;
+use dtn_coop_cache::core::time::Time;
+use dtn_coop_cache::prelude::*;
+
+fn base_trace(seed: u64) -> ContactTrace {
+    SyntheticTraceBuilder::new(20)
+        .duration(Duration::days(2))
+        .target_contacts(8_000)
+        .edge_density(0.3)
+        .seed(seed)
+        .build()
+}
+
+fn cfg(k: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        ncl_count: k,
+        mean_data_lifetime: Duration::hours(8),
+        mean_data_size: 1 << 20,
+        buffer_range: (16 << 20, 48 << 20),
+        ..ExperimentConfig::default()
+    }
+}
+
+/// Finds the central nodes a run would select, so we can kill one.
+fn selected_centrals(trace: &ContactTrace, k: usize) -> Vec<NodeId> {
+    run_experiment(trace, SchemeKind::Intentional, &cfg(k), 1).central_nodes
+}
+
+#[test]
+fn central_node_failure_degrades_gracefully() {
+    let trace = base_trace(21);
+    let centrals = selected_centrals(&trace, 3);
+    // Kill the top central node right when the workload starts.
+    let failed = trace.fail_node_after(centrals[0], trace.midpoint());
+
+    let mut healthy_total = 0.0;
+    let mut failed_total = 0.0;
+    for seed in 0..3 {
+        healthy_total +=
+            run_experiment(&trace, SchemeKind::Intentional, &cfg(3), seed).success_ratio;
+        failed_total +=
+            run_experiment(&failed, SchemeKind::Intentional, &cfg(3), seed).success_ratio;
+    }
+    // Degradation is expected…
+    assert!(
+        failed_total <= healthy_total + 0.05,
+        "killing a central node should not help: {failed_total:.3} vs {healthy_total:.3}"
+    );
+    // …but not collapse: the remaining NCLs keep answering queries.
+    assert!(
+        failed_total > 0.25 * healthy_total,
+        "losing 1 of 3 NCLs must not collapse the scheme: {failed_total:.3} vs {healthy_total:.3}"
+    );
+}
+
+#[test]
+fn single_ncl_is_fragile_compared_to_many() {
+    // The flip side of Fig. 13's K = 1 point: with one NCL, killing it
+    // costs more than killing one of three.
+    let trace = base_trace(22);
+    let c1 = selected_centrals(&trace, 1);
+    let failed = trace.fail_node_after(c1[0], trace.midpoint());
+
+    let mut drop_k1 = 0.0;
+    let mut drop_k3 = 0.0;
+    for seed in 0..3 {
+        let healthy1 = run_experiment(&trace, SchemeKind::Intentional, &cfg(1), seed).success_ratio;
+        let failed1 = run_experiment(&failed, SchemeKind::Intentional, &cfg(1), seed).success_ratio;
+        drop_k1 += healthy1 - failed1;
+        let healthy3 = run_experiment(&trace, SchemeKind::Intentional, &cfg(3), seed).success_ratio;
+        let failed3 = run_experiment(&failed, SchemeKind::Intentional, &cfg(3), seed).success_ratio;
+        drop_k3 += healthy3 - failed3;
+    }
+    assert!(
+        drop_k1 >= drop_k3 - 0.05,
+        "K=1 must be at least as fragile as K=3: drop {drop_k1:.3} vs {drop_k3:.3}"
+    );
+}
+
+#[test]
+fn failing_a_leaf_node_is_nearly_free() {
+    let trace = base_trace(23);
+    // Pick the least-active node.
+    let counts = trace.node_contact_counts();
+    let leaf = NodeId(
+        counts
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &c)| c)
+            .map(|(i, _)| i as u32)
+            .expect("non-empty"),
+    );
+    let failed = trace.fail_node_after(leaf, Time(0));
+    let healthy = run_experiment(&trace, SchemeKind::Intentional, &cfg(3), 4).success_ratio;
+    let after = run_experiment(&failed, SchemeKind::Intentional, &cfg(3), 4).success_ratio;
+    assert!(
+        (healthy - after).abs() < 0.15,
+        "a leaf node's failure should barely matter: {healthy:.3} vs {after:.3}"
+    );
+}
