@@ -1321,7 +1321,10 @@ mod tests {
         assert!(total > 15, "only {total} central arrivals");
         assert!(total <= 45);
         // Load is spread, not all on one NCL.
-        assert!(load.iter().filter(|&&l| l > 0).count() >= 2, "load {load:?}");
+        assert!(
+            load.iter().filter(|&&l| l > 0).count() >= 2,
+            "load {load:?}"
+        );
     }
 
     #[test]

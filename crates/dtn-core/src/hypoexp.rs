@@ -19,6 +19,21 @@
 //! 3. otherwise → tiny deterministic perturbation of clustered rates,
 //!    which bounds the error by `O(ε · r²)` while restoring case 2.
 //!
+//! The workhorse is the incremental [`Accumulator`]: it maintains the
+//! coefficients `C_k` of the partial product and extends them by one stage
+//! in `O(r)` using
+//!
+//! ```text
+//! C'_k = C_k · λ_n / (λ_n − λ_k),    C'_n = Π_s λ_s / (λ_s − λ_n)
+//! ```
+//!
+//! so a path search that grows paths hop by hop pays `O(r)` per extension
+//! instead of re-deriving all coefficients in `O(r²)`. The batch [`cdf`]
+//! function is defined *on top of* the accumulator (push the rates in
+//! order, then evaluate), which makes batch and incremental evaluation
+//! produce bit-identical results by construction — the property the
+//! differential path-equivalence tests rely on.
+//!
 //! Property tests validate all branches against Monte-Carlo simulation.
 
 /// Relative separation below which two rates are treated as "clustered"
@@ -28,6 +43,305 @@ const REL_SEPARATION: f64 = 1e-4;
 /// Relative perturbation applied to break rate clusters.
 const REL_PERTURBATION: f64 = 1e-3;
 
+/// Incrementally maintained hypoexponential CDF of a growing rate
+/// sequence.
+///
+/// Pushing a rate costs `O(r)`; evaluating the CDF costs `O(r)`;
+/// [`Accumulator::extended_cdf`] evaluates the CDF of the sequence plus
+/// one extra stage in `O(r)` **without allocating or mutating** — the
+/// exact value a `clone → push → cdf_at` round trip would produce.
+///
+/// # Example
+///
+/// ```
+/// use dtn_core::hypoexp::{cdf, Accumulator};
+///
+/// let mut acc = Accumulator::new();
+/// acc.push(1e-3);
+/// acc.push(2e-3);
+/// assert_eq!(acc.cdf_at(1500.0), cdf(&[1e-3, 2e-3], 1500.0));
+/// // Candidate evaluation without materialising the extension:
+/// assert_eq!(acc.extended_cdf(5e-4, 1500.0), cdf(&[1e-3, 2e-3, 5e-4], 1500.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Accumulator {
+    /// Raw rates in push order.
+    rates: Vec<f64>,
+    /// Effective (possibly perturbed) rates backing the coefficients.
+    spread: Vec<f64>,
+    /// Closed-form coefficients `C_k` over `spread`.
+    coeffs: Vec<f64>,
+    /// All raw rates pushed so far are bitwise equal (Erlang fast path).
+    all_equal: bool,
+}
+
+impl Accumulator {
+    /// An empty accumulator: the zero-hop path with CDF 1.
+    pub fn new() -> Self {
+        Accumulator {
+            rates: Vec::new(),
+            spread: Vec::new(),
+            coeffs: Vec::new(),
+            all_equal: true,
+        }
+    }
+
+    /// Number of stages pushed so far.
+    pub fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Whether no stage has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+
+    /// Raw rates in push order.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    fn assert_rate(rate: f64) {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "contact rates must be finite and positive, got {rate}"
+        );
+    }
+
+    /// Effective rate for a new stage: `rate` nudged upward until it is
+    /// well-separated from every rate already backing the coefficients.
+    /// Deterministic, and a function of the push prefix only — so any two
+    /// evaluations that share a prefix share its perturbations.
+    fn effective_rate(&self, rate: f64) -> f64 {
+        let mut eff = rate;
+        let mut adjusted = true;
+        while adjusted {
+            adjusted = false;
+            for &s in &self.spread {
+                if (eff - s).abs() <= REL_SEPARATION * eff.max(s) {
+                    eff = eff.max(s) * (1.0 + REL_PERTURBATION);
+                    adjusted = true;
+                }
+            }
+        }
+        eff
+    }
+
+    /// Appends one exponential stage with the given contact rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is non-positive or non-finite.
+    pub fn push(&mut self, rate: f64) {
+        Self::assert_rate(rate);
+        if !self.rates.is_empty() && rate != self.rates[0] {
+            self.all_equal = false;
+        }
+        let eff = self.effective_rate(rate);
+        let mut c_new = 1.0;
+        for k in 0..self.spread.len() {
+            let lk = self.spread[k];
+            // One reciprocal serves both the coefficient update
+            // (eff/(eff−λk) = −eff·inv) and the new coefficient's factor
+            // (λk·inv) — this exact operation order is mirrored by every
+            // extension evaluator below, keeping them bit-identical.
+            let inv = 1.0 / (lk - eff);
+            self.coeffs[k] *= -eff * inv;
+            c_new *= lk * inv;
+        }
+        self.rates.push(rate);
+        self.spread.push(eff);
+        self.coeffs.push(c_new);
+    }
+
+    /// CDF of the accumulated stage sequence at time `t` — the path
+    /// weight `p(t)`, clamped to `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is NaN.
+    pub fn cdf_at(&self, t: f64) -> f64 {
+        assert!(!t.is_nan(), "time must not be NaN");
+        if t <= 0.0 {
+            return if self.rates.is_empty() { 1.0 } else { 0.0 };
+        }
+        if self.rates.is_empty() {
+            return 1.0;
+        }
+        if self.all_equal {
+            return erlang_cdf(self.rates[0], self.rates.len() as u32, t);
+        }
+        let mut acc = 0.0;
+        for k in 0..self.spread.len() {
+            acc += self.coeffs[k] * -(-self.spread[k] * t).exp_m1();
+        }
+        clamp01(acc)
+    }
+
+    /// CDF at `t` of the accumulated sequence extended by one stage of
+    /// the given `rate`, without mutating or allocating.
+    ///
+    /// Performs the same floating-point operations in the same order as
+    /// `clone() → push(rate) → cdf_at(t)`, so the result is bit-identical
+    /// to that round trip — this is what lets an incremental path search
+    /// agree exactly with batch re-evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is non-positive or non-finite, or `t` is NaN.
+    pub fn extended_cdf(&self, rate: f64, t: f64) -> f64 {
+        Self::assert_rate(rate);
+        assert!(!t.is_nan(), "time must not be NaN");
+        if t <= 0.0 {
+            return 0.0;
+        }
+        if self.all_equal && (self.rates.is_empty() || rate == self.rates[0]) {
+            return erlang_cdf(rate, self.rates.len() as u32 + 1, t);
+        }
+        let eff = self.effective_rate(rate);
+        let mut c_new = 1.0;
+        let mut acc = 0.0;
+        for k in 0..self.spread.len() {
+            let lk = self.spread[k];
+            let inv = 1.0 / (lk - eff);
+            acc += (self.coeffs[k] * (-eff * inv)) * -(-lk * t).exp_m1();
+            c_new *= lk * inv;
+        }
+        acc += c_new * -(-eff * t).exp_m1();
+        clamp01(acc)
+    }
+}
+
+/// An [`Accumulator`] paired with a fixed evaluation time `t`, caching
+/// the per-stage exponential factor `1 − e^{−λ_k t}` incrementally — the
+/// path search's working representation of a settled node's path.
+///
+/// Two amortisations on top of the plain accumulator, both exact:
+///
+/// - **extension** ([`push`]) appends one cached exponential instead of
+///   recomputing all of them, so extending a path costs one `exp`;
+/// - **candidate evaluation** ([`extended_cdf`]) reuses the cached
+///   factors and needs only a single fresh exponential per candidate,
+///   with the cluster scan fused into the evaluation loop in the
+///   (overwhelmingly common) well-separated case.
+///
+/// The cached factors are the exact bit patterns the inline expression
+/// `-(-λ_k t).exp_m1()` produces (`exp_m1` is deterministic), and the
+/// evaluation replays [`Accumulator::push`]'s arithmetic op for op, so
+/// [`extended_cdf`] is bit-identical to a
+/// `clone → push → cdf_at` round trip on the underlying accumulator.
+///
+/// [`push`]: HorizonAccumulator::push
+/// [`extended_cdf`]: HorizonAccumulator::extended_cdf
+#[derive(Debug, Clone)]
+pub struct HorizonAccumulator {
+    acc: Accumulator,
+    t: f64,
+    /// `-(-spread[k] * t).exp_m1()` per stage.
+    em1: Vec<f64>,
+}
+
+impl HorizonAccumulator {
+    /// An empty accumulator evaluating at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is NaN.
+    pub fn new(t: f64) -> Self {
+        assert!(!t.is_nan(), "time must not be NaN");
+        HorizonAccumulator {
+            acc: Accumulator::new(),
+            t,
+            em1: Vec::new(),
+        }
+    }
+
+    /// The underlying rate accumulator.
+    pub fn accumulator(&self) -> &Accumulator {
+        &self.acc
+    }
+
+    /// The fixed evaluation time.
+    pub fn time(&self) -> f64 {
+        self.t
+    }
+
+    /// Appends one exponential stage, extending the exponential cache by
+    /// the new stage's factor — one `exp` regardless of path length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is non-positive or non-finite.
+    pub fn push(&mut self, rate: f64) {
+        self.acc.push(rate);
+        let eff = *self.acc.spread.last().expect("push appended a stage");
+        self.em1.push(-(-eff * self.t).exp_m1());
+    }
+
+    /// CDF of the accumulated sequence at the fixed time.
+    pub fn cdf(&self) -> f64 {
+        self.acc.cdf_at(self.t)
+    }
+
+    /// CDF at the fixed time of the accumulated sequence extended by one
+    /// stage of `rate` — bit-identical to
+    /// [`Accumulator::extended_cdf`] with the same arguments, in `O(r)`
+    /// multiply-adds and exactly one fresh exponential.
+    ///
+    /// When `rate` is well-separated from every existing stage (the
+    /// common case), the separation scan is fused into the evaluation
+    /// loop; a clustered candidate falls back to the perturbing path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is non-positive or non-finite.
+    pub fn extended_cdf(&self, rate: f64) -> f64 {
+        Accumulator::assert_rate(rate);
+        if self.t <= 0.0 {
+            return 0.0;
+        }
+        let a = &self.acc;
+        if a.all_equal && (a.rates.is_empty() || rate == a.rates[0]) {
+            return erlang_cdf(rate, a.rates.len() as u32 + 1, self.t);
+        }
+        // Optimistic fast path: while `rate` stays well-separated from
+        // every stage, effective_rate(rate) == rate and the scan can run
+        // inside the evaluation loop itself.
+        let mut c_new = 1.0;
+        let mut sum = 0.0;
+        for k in 0..a.spread.len() {
+            let lk = a.spread[k];
+            if (rate - lk).abs() <= REL_SEPARATION * rate.max(lk) {
+                return self.extended_cdf_perturbed(rate);
+            }
+            let inv = 1.0 / (lk - rate);
+            sum += (a.coeffs[k] * (-rate * inv)) * self.em1[k];
+            c_new *= lk * inv;
+        }
+        sum += c_new * -(-rate * self.t).exp_m1();
+        clamp01(sum)
+    }
+
+    /// Slow path for clustered candidates: derive the perturbed
+    /// effective rate exactly as [`Accumulator::push`] would, then
+    /// evaluate with the cached exponentials.
+    #[cold]
+    fn extended_cdf_perturbed(&self, rate: f64) -> f64 {
+        let a = &self.acc;
+        let eff = a.effective_rate(rate);
+        let mut c_new = 1.0;
+        let mut sum = 0.0;
+        for k in 0..a.spread.len() {
+            let lk = a.spread[k];
+            let inv = 1.0 / (lk - eff);
+            sum += (a.coeffs[k] * (-eff * inv)) * self.em1[k];
+            c_new *= lk * inv;
+        }
+        sum += c_new * -(-eff * self.t).exp_m1();
+        clamp01(sum)
+    }
+}
+
 /// Probability that a sum of independent exponentials with the given
 /// `rates` is at most `t` — i.e. the probability that data traverses the
 /// path within `t` seconds (the paper's path weight `p_AB(T)`, Eq. 2).
@@ -35,7 +349,9 @@ const REL_PERTURBATION: f64 = 1e-3;
 /// An empty `rates` slice denotes the zero-hop path from a node to itself
 /// and has probability 1 for any `t ≥ 0`.
 ///
-/// The result is clamped to `[0, 1]`.
+/// The result is clamped to `[0, 1]`. Defined as pushing the rates into
+/// an [`Accumulator`] in order and evaluating, so batch and incremental
+/// evaluation agree bitwise.
 ///
 /// # Panics
 ///
@@ -55,30 +371,11 @@ const REL_PERTURBATION: f64 = 1e-3;
 /// ```
 pub fn cdf(rates: &[f64], t: f64) -> f64 {
     assert!(!t.is_nan(), "time must not be NaN");
+    let mut acc = Accumulator::new();
     for &r in rates {
-        assert!(
-            r.is_finite() && r > 0.0,
-            "contact rates must be finite and positive, got {r}"
-        );
+        acc.push(r);
     }
-    if t <= 0.0 {
-        return if rates.is_empty() { 1.0 } else { 0.0 };
-    }
-    if rates.is_empty() {
-        return 1.0;
-    }
-    if rates.len() == 1 {
-        return clamp01(-(-rates[0] * t).exp_m1());
-    }
-    if all_equal(rates) {
-        return erlang_cdf(rates[0], rates.len() as u32, t);
-    }
-    if well_separated(rates) {
-        return clamp01(distinct_cdf(rates, t));
-    }
-    // Clustered but not identical: deterministically spread each cluster.
-    let spread = spread_clusters(rates);
-    clamp01(distinct_cdf(&spread, t))
+    acc.cdf_at(t)
 }
 
 /// Mean of the hypoexponential distribution: `Σ 1/λ_k`, the expected
@@ -167,54 +464,6 @@ pub fn erlang_cdf(rate: f64, k: u32, t: f64) -> f64 {
         sum += term;
     }
     clamp01(1.0 - (-lt).exp() * sum)
-}
-
-/// Closed-form CDF for pairwise-distinct rates (Eq. 1–2 of the paper).
-fn distinct_cdf(rates: &[f64], t: f64) -> f64 {
-    let mut acc = 0.0;
-    for (k, &lk) in rates.iter().enumerate() {
-        let mut coeff = 1.0;
-        for (s, &ls) in rates.iter().enumerate() {
-            if s != k {
-                coeff *= ls / (ls - lk);
-            }
-        }
-        acc += coeff * -(-lk * t).exp_m1();
-    }
-    acc
-}
-
-fn all_equal(rates: &[f64]) -> bool {
-    rates.windows(2).all(|w| w[0] == w[1])
-}
-
-fn well_separated(rates: &[f64]) -> bool {
-    let mut sorted: Vec<f64> = rates.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
-    sorted
-        .windows(2)
-        .all(|w| (w[1] - w[0]) > REL_SEPARATION * w[1])
-}
-
-/// Deterministically perturb clustered rates so they become pairwise
-/// well-separated while staying within `O(REL_PERTURBATION)` of the input.
-fn spread_clusters(rates: &[f64]) -> Vec<f64> {
-    let mut indexed: Vec<(usize, f64)> = rates.iter().copied().enumerate().collect();
-    indexed.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("rates are finite"));
-    let mut out = vec![0.0; rates.len()];
-    let mut prev = 0.0;
-    for (rank, (idx, r)) in indexed.into_iter().enumerate() {
-        // Scale the nudge with the rank so that an entire cluster of equal
-        // rates fans out into distinct values.
-        let mut v = r * (1.0 + REL_PERTURBATION * (rank as f64 + 1.0));
-        let min_gap = REL_SEPARATION * 2.0 * v;
-        if v - prev <= min_gap {
-            v = prev + min_gap;
-        }
-        prev = v;
-        out[idx] = v;
-    }
-    out
 }
 
 fn clamp01(x: f64) -> f64 {
@@ -363,6 +612,109 @@ mod tests {
         let _ = cdf(&[1.0], f64::NAN);
     }
 
+    #[test]
+    fn accumulator_empty_is_certain() {
+        let acc = Accumulator::new();
+        assert!(acc.is_empty());
+        assert_eq!(acc.cdf_at(0.0), 1.0);
+        assert_eq!(acc.cdf_at(100.0), 1.0);
+    }
+
+    #[test]
+    fn accumulator_matches_batch_bitwise() {
+        let sequences: [&[f64]; 6] = [
+            &[1e-3],
+            &[1e-3, 2e-3],
+            &[5e-4, 5e-4, 5e-4],
+            &[1e-2, 1e-5, 3e-3, 7e-4],
+            &[2e-3, 2e-3 * (1.0 + 1e-9)],
+            &[1e-4, 1e-4, 9e-2, 1e-4],
+        ];
+        for rates in sequences {
+            let mut acc = Accumulator::new();
+            for &r in rates {
+                acc.push(r);
+            }
+            for t in [0.0, 30.0, 900.0, 40_000.0] {
+                let batch = cdf(rates, t);
+                let inc = acc.cdf_at(t);
+                assert!(
+                    batch == inc,
+                    "rates {rates:?} t={t}: batch {batch} != incremental {inc}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extended_cdf_matches_push_bitwise() {
+        let prefix = [1e-3, 4e-3, 4e-3];
+        let extensions = [2e-3, 4e-3, 4e-3 * (1.0 + 1e-9), 1e-6];
+        let mut acc = Accumulator::new();
+        for &r in &prefix {
+            acc.push(r);
+        }
+        for &ext in &extensions {
+            for t in [0.0, 120.0, 5_000.0] {
+                let lazy = acc.extended_cdf(ext, t);
+                let mut materialised = acc.clone();
+                materialised.push(ext);
+                let eager = materialised.cdf_at(t);
+                assert!(
+                    lazy == eager,
+                    "ext {ext} t={t}: extended {lazy} != push+eval {eager}"
+                );
+            }
+        }
+        // From an empty accumulator too (the source-node case).
+        let empty = Accumulator::new();
+        assert_eq!(empty.extended_cdf(1e-3, 500.0), cdf(&[1e-3], 500.0));
+    }
+
+    #[test]
+    fn horizon_accumulator_matches_extended_cdf_bitwise() {
+        let prefixes: [&[f64]; 4] = [&[], &[1e-3], &[4e-3, 4e-3], &[1e-2, 1e-5, 3e-3, 7e-4]];
+        // Includes a clustered extension (relative gap 1e-9) to force the
+        // perturbing slow path, and exact-duplicate rates for the Erlang
+        // branch.
+        let extensions = [2e-3, 4e-3, 4e-3 * (1.0 + 1e-9), 1e-6];
+        for prefix in prefixes {
+            for t in [0.0, 120.0, 5_000.0] {
+                let mut acc = Accumulator::new();
+                let mut hacc = HorizonAccumulator::new(t);
+                for &r in prefix {
+                    acc.push(r);
+                    hacc.push(r);
+                }
+                assert_eq!(hacc.cdf(), acc.cdf_at(t));
+                for &ext in &extensions {
+                    let hoisted = hacc.extended_cdf(ext);
+                    let inline = acc.extended_cdf(ext, t);
+                    assert!(
+                        hoisted == inline,
+                        "prefix {prefix:?} ext {ext} t={t}: hoisted {hoisted} != inline {inline}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accumulator_extension_never_raises_cdf() {
+        // Monotonicity under extension is what makes label-setting exact;
+        // the incremental form must preserve it for shared prefixes.
+        let mut acc = Accumulator::new();
+        let t = 2_000.0;
+        let mut prev = acc.cdf_at(t);
+        for &r in &[3e-3, 3e-3, 1e-2, 3e-3 * (1.0 + 1e-8), 5e-4] {
+            let lazy = acc.extended_cdf(r, t);
+            assert!(lazy <= prev, "extension raised weight {prev} -> {lazy}");
+            acc.push(r);
+            prev = acc.cdf_at(t);
+            assert_eq!(prev, lazy);
+        }
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
@@ -416,6 +768,29 @@ mod tests {
                 let approx = mc_cdf(&rates, t, 20_000, seed);
                 prop_assert!((exact - approx).abs() < 0.02,
                     "exact {exact} vs mc {approx} for rates {rates:?}, t={t}");
+            }
+
+            #[test]
+            fn incremental_and_batch_agree(
+                rates in prop::collection::vec(rate_strategy(), 1..7),
+                t in 0.0f64..1e6,
+            ) {
+                let mut acc = Accumulator::new();
+                let mut hacc = HorizonAccumulator::new(t);
+                for (i, &r) in rates.iter().enumerate() {
+                    // Candidate evaluation (inline and with hoisted
+                    // exponentials), materialisation and batch
+                    // re-evaluation must all agree exactly at every prefix.
+                    let lazy = acc.extended_cdf(r, t);
+                    let hoisted = hacc.extended_cdf(r);
+                    acc.push(r);
+                    hacc.push(r);
+                    let eager = acc.cdf_at(t);
+                    let batch = cdf(&rates[..=i], t);
+                    prop_assert!(lazy == hoisted && lazy == eager && eager == batch,
+                        "prefix {:?} t={}: lazy {} hoisted {} eager {} batch {}",
+                        &rates[..=i], t, lazy, hoisted, eager, batch);
+                }
             }
         }
     }

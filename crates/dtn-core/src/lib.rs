@@ -13,7 +13,9 @@
 //! - [`popularity`] — per-item data popularity estimation (Eq. 6),
 //! - [`knapsack`] — the cache-replacement knapsack solver and the paper's
 //!   probabilistic data selection (Algorithm 1),
-//! - [`rate`] — online pairwise contact-rate estimation.
+//! - [`rate`] — online pairwise contact-rate estimation,
+//! - [`par`] — deterministic order-preserving parallel map used by the
+//!   NCL metric sweep.
 //!
 //! # Example
 //!
@@ -42,6 +44,7 @@ pub mod hypoexp;
 pub mod ids;
 pub mod knapsack;
 pub mod ncl;
+pub mod par;
 pub mod path;
 pub mod popularity;
 pub mod rate;

@@ -14,6 +14,7 @@
 
 use crate::graph::ContactGraph;
 use crate::ids::NodeId;
+use crate::par::map_slice;
 use crate::path::shortest_paths;
 
 /// A node together with its NCL selection metric `C_i`.
@@ -62,19 +63,21 @@ pub fn selection_metric(graph: &ContactGraph, node: NodeId, horizon: f64) -> f64
 
 /// Computes `C_i` for every node of the graph.
 ///
-/// Returns one [`CentralityScore`] per node, in node-id order.
+/// Returns one [`CentralityScore`] per node, in node-id order. The
+/// per-node single-source searches are independent, so they run on all
+/// available hardware threads ([`crate::par`]); the order-preserving
+/// parallel map guarantees the result is identical to the serial sweep,
+/// so downstream tie-breaking stays deterministic.
 ///
 /// # Panics
 ///
 /// Panics if the graph has fewer than two nodes or `horizon` is invalid.
 pub fn all_metrics(graph: &ContactGraph, horizon: f64) -> Vec<CentralityScore> {
-    graph
-        .nodes()
-        .map(|node| CentralityScore {
-            node,
-            metric: selection_metric(graph, node, horizon),
-        })
-        .collect()
+    let nodes: Vec<NodeId> = graph.nodes().collect();
+    map_slice(&nodes, |&node| CentralityScore {
+        node,
+        metric: selection_metric(graph, node, horizon),
+    })
 }
 
 /// Selects the top `k` central nodes by metric value, best first.
@@ -171,39 +174,31 @@ pub fn select_by_strategy(
     assert!(k > 0, "must select at least one central node");
     let n = graph.node_count();
     assert!(n >= 2, "selection needs at least two nodes, got {n}");
+    let nodes: Vec<NodeId> = graph.nodes().collect();
     let mut scores: Vec<CentralityScore> = match strategy {
         SelectionStrategy::PathMetric => return select_central_nodes(graph, k, horizon),
-        SelectionStrategy::DegreeCentrality => graph
-            .nodes()
-            .map(|node| CentralityScore {
-                node,
-                metric: graph.degree(node) as f64 / (n - 1) as f64,
-            })
-            .collect(),
-        SelectionStrategy::ContactFrequency => graph
-            .nodes()
-            .map(|node| CentralityScore {
-                node,
-                metric: graph.neighbors(node).iter().map(|(_, r)| r).sum(),
-            })
-            .collect(),
+        SelectionStrategy::DegreeCentrality => map_slice(&nodes, |&node| CentralityScore {
+            node,
+            metric: graph.degree(node) as f64 / (n - 1) as f64,
+        }),
+        SelectionStrategy::ContactFrequency => map_slice(&nodes, |&node| CentralityScore {
+            node,
+            metric: graph.neighbors(node).iter().map(|(_, r)| r).sum(),
+        }),
         SelectionStrategy::Random { seed } => {
             // Deterministic rank via a splitmix-style hash of (seed, id).
-            graph
-                .nodes()
-                .map(|node| {
-                    let mut x = seed
-                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                        .wrapping_add(u64::from(node.0));
-                    x ^= x >> 30;
-                    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-                    x ^= x >> 27;
-                    CentralityScore {
-                        node,
-                        metric: (x % 1_000_000) as f64 / 1_000_000.0,
-                    }
-                })
-                .collect()
+            map_slice(&nodes, |&node| {
+                let mut x = seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(u64::from(node.0));
+                x ^= x >> 30;
+                x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x ^= x >> 27;
+                CentralityScore {
+                    node,
+                    metric: (x % 1_000_000) as f64 / 1_000_000.0,
+                }
+            })
         }
     };
     scores.sort_by(|a, b| {

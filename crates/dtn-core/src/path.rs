@@ -12,6 +12,20 @@
 //! positive delay, so the weight of any extension is **never larger** than
 //! the weight of its prefix — the same monotonicity Dijkstra's algorithm
 //! requires.
+//!
+//! The search is allocation-free on its hot path: heap labels carry only
+//! `(weight, node)`, the route tree lives in predecessor arrays, and each
+//! relaxation evaluates the candidate weight with
+//! [`hypoexp::HorizonAccumulator::extended_cdf`] — `O(r)` multiply-adds
+//! plus a single fresh exponential, without materialising the extended
+//! path (the per-stage exponentials are cached and extended incrementally
+//! along the route tree). One [`hypoexp::HorizonAccumulator`] is built
+//! per *settled* node (by extending its parent's), so the whole search
+//! performs `O(N)` allocations instead of `O(E)` path clones. Concrete
+//! [`OpportunisticPath`] values are reconstructed lazily by
+//! [`PathTable::path_to`]. [`shortest_paths_naive`] retains the original
+//! owned-path formulation as a differential-testing and benchmarking
+//! reference.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -108,11 +122,26 @@ impl OpportunisticPath {
 /// Produced by [`shortest_paths`]. The table is what each mobile node
 /// maintains in the paper ("a node maintains its shortest opportunistic
 /// path to each NCL", §IV-A; optionally to all nodes, §V-C).
+///
+/// The table stores the route *tree* compactly — a predecessor and an
+/// incoming rate per node plus the settled weight — so [`weight_to`] is
+/// `O(1)` and concrete paths are only materialised on demand by
+/// [`path_to`].
+///
+/// [`weight_to`]: PathTable::weight_to
+/// [`path_to`]: PathTable::path_to
 #[derive(Debug, Clone)]
 pub struct PathTable {
     source: NodeId,
     horizon: f64,
-    paths: Vec<Option<OpportunisticPath>>,
+    /// Predecessor on the best path; `None` for the source and for
+    /// unreachable nodes.
+    prev: Vec<Option<NodeId>>,
+    /// Rate of the edge `prev[v] → v`; meaningless unless `prev[v]` is set.
+    rate_into: Vec<f64>,
+    /// Settled best weight; 0 for unreachable nodes, 1 for the source.
+    weight: Vec<f64>,
+    reached: Vec<bool>,
 }
 
 impl PathTable {
@@ -127,41 +156,55 @@ impl PathTable {
     }
 
     /// The weight of the best path to `dest`: 1 for the source itself,
-    /// 0 if `dest` is unreachable.
+    /// 0 if `dest` is unreachable. `O(1)` — the weight was fixed when the
+    /// search settled `dest`.
     ///
     /// # Panics
     ///
     /// Panics if `dest` is out of range.
     pub fn weight_to(&self, dest: NodeId) -> f64 {
-        self.paths[dest.index()]
-            .as_ref()
-            .map_or(0.0, |p| p.weight(self.horizon))
+        self.weight[dest.index()]
     }
 
-    /// The best path to `dest`, if one exists.
+    /// The best path to `dest`, if one exists, reconstructed from the
+    /// predecessor tree in `O(hops)`.
     ///
     /// # Panics
     ///
     /// Panics if `dest` is out of range.
-    pub fn path_to(&self, dest: NodeId) -> Option<&OpportunisticPath> {
-        self.paths[dest.index()].as_ref()
+    pub fn path_to(&self, dest: NodeId) -> Option<OpportunisticPath> {
+        if !self.reached[dest.index()] {
+            return None;
+        }
+        let mut nodes = vec![dest];
+        let mut rates = Vec::new();
+        let mut cur = dest;
+        while let Some(parent) = self.prev[cur.index()] {
+            rates.push(self.rate_into[cur.index()]);
+            nodes.push(parent);
+            cur = parent;
+        }
+        nodes.reverse();
+        rates.reverse();
+        Some(OpportunisticPath::new(nodes, rates))
     }
 
     /// Iterates over `(destination, weight)` for every reachable node,
     /// including the source itself with weight 1.
     pub fn iter_weights(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
-        self.paths.iter().enumerate().filter_map(|(i, p)| {
-            p.as_ref()
-                .map(|p| (NodeId(i as u32), p.weight(self.horizon)))
-        })
+        self.reached
+            .iter()
+            .enumerate()
+            .filter(|&(_, &r)| r)
+            .map(|(i, _)| (NodeId(i as u32), self.weight[i]))
     }
 }
 
-/// Heap entry: a tentative best path to `node` with cached weight.
+/// Heap entry: the tentative best weight of a node. Routes live in the
+/// predecessor arrays, so labels are two words and never allocate.
 struct Label {
     weight: f64,
     node: NodeId,
-    path: OpportunisticPath,
 }
 
 impl PartialEq for Label {
@@ -187,9 +230,14 @@ impl Ord for Label {
 /// Computes the best (maximum-weight) opportunistic path from `source` to
 /// every other node within time horizon `horizon` seconds.
 ///
-/// Runs a label-setting search in `O(E log E)` heap operations; each
-/// relaxation re-evaluates the hypoexponential weight of the extended
-/// path, which is exact (no triangle-inequality approximation).
+/// Runs a label-setting search in `O(E log E)` heap operations. Each
+/// relaxation evaluates the extended path's hypoexponential weight
+/// incrementally ([`hypoexp::HorizonAccumulator::extended_cdf`] — `O(r)`
+/// multiply-adds plus one exponential, allocation-free) instead of
+/// rebuilding the coefficient set from scratch (`O(r²)` plus two clones
+/// per relaxation in the naive formulation, retained as
+/// [`shortest_paths_naive`]). Both evaluate the exact same arithmetic,
+/// so the computed weights are bit-identical.
 ///
 /// # Panics
 ///
@@ -223,17 +271,136 @@ pub fn shortest_paths(graph: &ContactGraph, source: NodeId, horizon: f64) -> Pat
     );
 
     let mut settled = vec![false; n];
+    let mut reached = vec![false; n];
+    let mut prev: Vec<Option<NodeId>> = vec![None; n];
+    let mut rate_into = vec![0.0f64; n];
+    let mut best = vec![f64::NEG_INFINITY; n];
+    let mut weight = vec![0.0f64; n];
+    // CDF accumulator of each settled node's best path (with its cached
+    // per-stage exponentials), built by extending the parent's by the
+    // tree edge — one allocation and one exp per settled node, none per
+    // relaxation.
+    let mut accs: Vec<Option<hypoexp::HorizonAccumulator>> = vec![None; n];
+
+    let mut heap = BinaryHeap::new();
+    heap.push(Label {
+        weight: 1.0,
+        node: source,
+    });
+    best[source.index()] = 1.0;
+    reached[source.index()] = true;
+
+    while let Some(Label { weight: w, node }) = heap.pop() {
+        if settled[node.index()] {
+            continue;
+        }
+        settled[node.index()] = true;
+        weight[node.index()] = w;
+        let acc = match prev[node.index()] {
+            None => hypoexp::HorizonAccumulator::new(horizon),
+            Some(parent) => {
+                let mut acc = accs[parent.index()]
+                    .as_ref()
+                    .expect("parent settles before child")
+                    .clone();
+                acc.push(rate_into[node.index()]);
+                acc
+            }
+        };
+        for &(peer, rate) in graph.neighbors(node) {
+            if settled[peer.index()] {
+                continue;
+            }
+            let cand = acc.extended_cdf(rate);
+            if cand > best[peer.index()] {
+                best[peer.index()] = cand;
+                prev[peer.index()] = Some(node);
+                rate_into[peer.index()] = rate;
+                reached[peer.index()] = true;
+                heap.push(Label {
+                    weight: cand,
+                    node: peer,
+                });
+            }
+        }
+        accs[node.index()] = Some(acc);
+    }
+
+    PathTable {
+        source,
+        horizon,
+        prev,
+        rate_into,
+        weight,
+        reached,
+    }
+}
+
+/// The original owned-path formulation of the search, kept as a reference
+/// implementation: every relaxation clones the node and rate vectors of
+/// the tentative path and re-evaluates the full hypoexponential CDF from
+/// scratch. Returns the best path per destination (`None` when
+/// unreachable; the source maps to its trivial path).
+///
+/// This exists for differential testing (`tests/path_equivalence.rs`
+/// asserts [`shortest_paths`] matches it exactly) and as the baseline leg
+/// of the `path_engine` benchmark. Simulation and selection code should
+/// always use [`shortest_paths`].
+///
+/// # Panics
+///
+/// Panics on the same invalid inputs as [`shortest_paths`].
+pub fn shortest_paths_naive(
+    graph: &ContactGraph,
+    source: NodeId,
+    horizon: f64,
+) -> Vec<Option<OpportunisticPath>> {
+    assert!(
+        horizon.is_finite() && horizon > 0.0,
+        "horizon must be finite and positive, got {horizon}"
+    );
+    let n = graph.node_count();
+    assert!(
+        source.index() < n,
+        "source n{source} out of range for graph of {n} nodes"
+    );
+
+    struct OwnedLabel {
+        weight: f64,
+        node: NodeId,
+        path: OpportunisticPath,
+    }
+    impl PartialEq for OwnedLabel {
+        fn eq(&self, other: &Self) -> bool {
+            self.weight == other.weight && self.node == other.node
+        }
+    }
+    impl Eq for OwnedLabel {}
+    impl PartialOrd for OwnedLabel {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for OwnedLabel {
+        fn cmp(&self, other: &Self) -> Ordering {
+            self.weight
+                .total_cmp(&other.weight)
+                .then_with(|| other.node.cmp(&self.node))
+        }
+    }
+
+    let mut settled = vec![false; n];
     let mut paths: Vec<Option<OpportunisticPath>> = vec![None; n];
     let mut best = vec![f64::NEG_INFINITY; n];
     let mut heap = BinaryHeap::new();
-    heap.push(Label {
+    heap.push(OwnedLabel {
         weight: 1.0,
         node: source,
         path: OpportunisticPath::trivial(source),
     });
     best[source.index()] = 1.0;
 
-    while let Some(Label { weight, node, path }) = heap.pop() {
+    while let Some(OwnedLabel { weight, node, path }) = heap.pop() {
         if settled[node.index()] {
             continue;
         }
@@ -249,7 +416,7 @@ pub fn shortest_paths(graph: &ContactGraph, source: NodeId, horizon: f64) -> Pat
                 best[peer.index()] = w;
                 let mut nodes = path.nodes().to_vec();
                 nodes.push(peer);
-                heap.push(Label {
+                heap.push(OwnedLabel {
                     weight: w,
                     node: peer,
                     path: OpportunisticPath::new(nodes, rates),
@@ -260,11 +427,7 @@ pub fn shortest_paths(graph: &ContactGraph, source: NodeId, horizon: f64) -> Pat
         let _ = weight;
     }
 
-    PathTable {
-        source,
-        horizon,
-        paths,
-    }
+    paths
 }
 
 #[cfg(test)]
@@ -331,6 +494,74 @@ mod tests {
     }
 
     #[test]
+    fn stored_weight_matches_reconstructed_path() {
+        // The O(1) cached weight must be exactly the weight of the path
+        // that path_to reconstructs.
+        let mut g = ContactGraph::new(6);
+        let edges = [
+            (0, 1, 2e-3),
+            (1, 2, 5e-3),
+            (0, 2, 1e-3),
+            (2, 3, 4e-3),
+            (1, 4, 6e-4),
+            (4, 5, 9e-3),
+            (3, 5, 2e-4),
+        ];
+        for &(a, b, r) in &edges {
+            g.set_rate(NodeId(a), NodeId(b), r);
+        }
+        let horizon = 1800.0;
+        let t = shortest_paths(&g, NodeId(0), horizon);
+        for dest in g.nodes() {
+            if let Some(p) = t.path_to(dest) {
+                assert_eq!(
+                    t.weight_to(dest),
+                    p.weight(horizon),
+                    "cached vs reconstructed weight differ for n{dest}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_reference_exactly() {
+        let mut g = ContactGraph::new(7);
+        let edges = [
+            (0, 1, 2e-3),
+            (1, 2, 5e-3),
+            (0, 2, 1e-3),
+            (2, 3, 4e-3),
+            (1, 3, 1e-4),
+            (3, 4, 8e-3),
+            (0, 4, 5e-5),
+            (4, 5, 3e-3),
+            (2, 6, 7e-4),
+        ];
+        for &(a, b, r) in &edges {
+            g.set_rate(NodeId(a), NodeId(b), r);
+        }
+        let horizon = 2500.0;
+        let table = shortest_paths(&g, NodeId(0), horizon);
+        let naive = shortest_paths_naive(&g, NodeId(0), horizon);
+        for dest in g.nodes() {
+            let opt = table.path_to(dest);
+            let refp = naive[dest.index()].as_ref();
+            match (opt, refp) {
+                (None, None) => {}
+                (Some(p), Some(r)) => {
+                    assert_eq!(p.nodes(), r.nodes(), "route mismatch to n{dest}");
+                    assert_eq!(
+                        table.weight_to(dest),
+                        r.weight(horizon),
+                        "weight mismatch to n{dest}"
+                    );
+                }
+                (a, b) => panic!("reachability mismatch to n{dest}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn weights_match_brute_force_on_small_graphs() {
         // Exhaustively enumerate all simple paths and compare.
         let mut g = ContactGraph::new(5);
@@ -349,38 +580,11 @@ mod tests {
         let horizon = 2000.0;
         let table = shortest_paths(&g, NodeId(0), horizon);
 
-        fn dfs(
-            g: &ContactGraph,
-            cur: NodeId,
-            target: NodeId,
-            visited: &mut Vec<bool>,
-            rates: &mut Vec<f64>,
-            horizon: f64,
-            best: &mut f64,
-        ) {
-            if cur == target {
-                let w = crate::hypoexp::cdf(rates, horizon);
-                if w > *best {
-                    *best = w;
-                }
-                return;
-            }
-            for &(peer, rate) in g.neighbors(cur) {
-                if !visited[peer.index()] {
-                    visited[peer.index()] = true;
-                    rates.push(rate);
-                    dfs(g, peer, target, visited, rates, horizon, best);
-                    rates.pop();
-                    visited[peer.index()] = false;
-                }
-            }
-        }
-
         for dest in 1..5u32 {
             let mut visited = vec![false; 5];
             visited[0] = true;
             let mut best = 0.0;
-            dfs(
+            tests_dfs(
                 &g,
                 NodeId(0),
                 NodeId(dest),
@@ -447,7 +651,7 @@ mod tests {
         }
     }
 
-    /// Shared DFS helper for the property test above.
+    /// Shared DFS helper for the brute-force comparisons above.
     fn tests_dfs(
         g: &ContactGraph,
         cur: NodeId,

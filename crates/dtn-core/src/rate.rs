@@ -115,6 +115,9 @@ impl RateEstimator {
 pub struct RateTable {
     nodes: usize,
     cells: Vec<RateEstimator>,
+    /// Bumped on every [`RateTable::record`]; lets consumers detect how
+    /// much the table has changed without comparing cells.
+    generation: u64,
 }
 
 impl RateTable {
@@ -129,6 +132,7 @@ impl RateTable {
         RateTable {
             nodes,
             cells: vec![RateEstimator::new(since); pairs],
+            generation: 0,
         }
     }
 
@@ -145,6 +149,16 @@ impl RateTable {
     pub fn record(&mut self, a: NodeId, b: NodeId, at: Time) {
         let idx = self.index(a, b);
         self.cells[idx].record_contact(at);
+        self.generation += 1;
+    }
+
+    /// Monotone version counter: the number of contacts recorded into
+    /// this table since construction. Consumers caching anything derived
+    /// from the table (e.g. the path oracle's contact-graph snapshot) can
+    /// compare generations to decide when their copy has drifted too far,
+    /// independent of simulated wall-clock time.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The estimated contact rate of the pair, if they have ever met.
@@ -293,6 +307,18 @@ mod tests {
                 assert_eq!(t.contact_count(NodeId(a), NodeId(b)), 1, "pair {a},{b}");
             }
         }
+    }
+
+    #[test]
+    fn generation_counts_recorded_contacts() {
+        let mut t = RateTable::new(3, Time::ZERO);
+        assert_eq!(t.generation(), 0);
+        t.record(NodeId(0), NodeId(1), Time(10));
+        t.record(NodeId(1), NodeId(2), Time(20));
+        assert_eq!(t.generation(), 2);
+        // Recording the same pair again still advances the generation.
+        t.record(NodeId(0), NodeId(1), Time(30));
+        assert_eq!(t.generation(), 3);
     }
 
     #[test]

@@ -4,10 +4,28 @@
 //! relay selection toward central nodes (§V-A), for query multicast
 //! (§V-B), and for the probabilistic response decision (§V-C). Running a
 //! full label-setting search on every contact would dominate simulation
-//! time, so [`PathOracle`] memoises per-source [`PathTable`]s and
-//! invalidates them after a configurable refresh interval, mirroring the
-//! paper's observation that contact rates "remain relatively constant"
-//! over long periods (§III-B).
+//! time, so [`PathOracle`] memoises per-source [`PathTable`]s, mirroring
+//! the paper's observation that contact rates "remain relatively
+//! constant" over long periods (§III-B).
+//!
+//! Two structural properties keep the oracle cheap and correct:
+//!
+//! - **One shared snapshot per epoch.** The [`ContactGraph`] is built
+//!   from the rate table once per refresh epoch and shared by the path
+//!   searches of *all* sources, instead of being rebuilt per source per
+//!   refresh (an `O(N²)` scan each time). Per-source tables are
+//!   recomputed lazily against the current snapshot.
+//! - **Generation-versioned invalidation.** A snapshot goes stale either
+//!   when the wall-clock refresh interval elapses *or* when the rate
+//!   table's [`RateTable::generation`] counter has grown past a
+//!   geometric threshold since the snapshot was taken. The second
+//!   condition closes a staleness hole: with a refresh interval longer
+//!   than the simulated time span, a wall-clock-only oracle would serve
+//!   the weights of the very first contacts forever, no matter how much
+//!   the observed network changed. The geometric rule (rebuild when the
+//!   contact count has roughly doubled) bounds the number of rebuilds by
+//!   `O(log contacts)` so per-contact `record` calls never cause
+//!   per-contact rebuilds.
 
 use dtn_core::graph::ContactGraph;
 use dtn_core::ids::NodeId;
@@ -15,7 +33,21 @@ use dtn_core::path::{shortest_paths, PathTable};
 use dtn_core::rate::RateTable;
 use dtn_core::time::{Duration, Time};
 
-/// Memoised single-source opportunistic path tables.
+/// Minimum generation growth that can invalidate a snapshot, so sparse
+/// early traffic does not thrash the cache (rebuild when
+/// `gen_now > gen_snapshot + max(gen_snapshot, GENERATION_SLACK)`).
+const GENERATION_SLACK: u64 = 64;
+
+/// The contact-graph snapshot shared by all sources within one epoch.
+#[derive(Debug)]
+struct Snapshot {
+    built_at: Time,
+    generation: u64,
+    graph: ContactGraph,
+}
+
+/// Memoised single-source opportunistic path tables over a shared,
+/// generation-versioned contact-graph snapshot.
 ///
 /// # Example
 ///
@@ -39,7 +71,11 @@ use dtn_core::time::{Duration, Time};
 pub struct PathOracle {
     horizon: f64,
     refresh: Duration,
-    tables: Vec<Option<(Time, PathTable)>>,
+    snapshot: Option<Snapshot>,
+    /// Monotone snapshot counter; a cached table is valid only for the
+    /// epoch it was computed in.
+    epoch: u64,
+    tables: Vec<Option<(u64, PathTable)>>,
 }
 
 impl PathOracle {
@@ -58,6 +94,8 @@ impl PathOracle {
         PathOracle {
             horizon,
             refresh,
+            snapshot: None,
+            epoch: 0,
             tables: (0..nodes).map(|_| None).collect(),
         }
     }
@@ -67,17 +105,47 @@ impl PathOracle {
         self.horizon
     }
 
-    /// The path table from `source`, recomputed from `rates` if the
-    /// cached copy is older than the refresh interval.
-    pub fn table(&mut self, rates: &RateTable, now: Time, source: NodeId) -> &PathTable {
-        let slot = &mut self.tables[source.index()];
-        let stale = match slot {
-            Some((computed, _)) => now.saturating_since(*computed) >= self.refresh,
+    /// The current snapshot epoch: how many times the shared contact
+    /// graph has been (re)built. 0 until the first query. Exposed for
+    /// diagnostics and tests.
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Rebuilds the shared snapshot if it is missing, wall-clock stale,
+    /// or generation-stale with respect to `rates`.
+    fn refresh_snapshot(&mut self, rates: &RateTable, now: Time) {
+        let stale = match &self.snapshot {
             None => true,
+            Some(s) => {
+                now.saturating_since(s.built_at) >= self.refresh
+                    || rates.generation()
+                        > s.generation
+                            .saturating_add(s.generation.max(GENERATION_SLACK))
+            }
         };
         if stale {
-            let graph = ContactGraph::from_rate_table(rates, now);
-            *slot = Some((now, shortest_paths(&graph, source, self.horizon)));
+            self.snapshot = Some(Snapshot {
+                built_at: now,
+                generation: rates.generation(),
+                graph: ContactGraph::from_rate_table(rates, now),
+            });
+            self.epoch += 1;
+        }
+    }
+
+    /// The path table from `source`, recomputed against the shared
+    /// snapshot if the cached copy belongs to an older epoch.
+    pub fn table(&mut self, rates: &RateTable, now: Time, source: NodeId) -> &PathTable {
+        self.refresh_snapshot(rates, now);
+        let snapshot = self.snapshot.as_ref().expect("snapshot just refreshed");
+        let slot = &mut self.tables[source.index()];
+        let valid = matches!(slot, Some((epoch, _)) if *epoch == self.epoch);
+        if !valid {
+            *slot = Some((
+                self.epoch,
+                shortest_paths(&snapshot.graph, source, self.horizon),
+            ));
         }
         &slot.as_ref().expect("just computed").1
     }
@@ -91,8 +159,10 @@ impl PathOracle {
         self.table(rates, now, source).weight_to(dest)
     }
 
-    /// Drops every cached table (e.g. after a configuration change).
+    /// Drops the snapshot and every cached table (e.g. after a
+    /// configuration change). The next query starts a new epoch.
     pub fn invalidate(&mut self) {
+        self.snapshot = None;
         for slot in &mut self.tables {
             *slot = None;
         }
@@ -129,8 +199,9 @@ mod tests {
         let mut rates = rates_line();
         let mut o = PathOracle::new(4, 3600.0, Duration::hours(1));
         let w_before = o.weight(&rates, Time(1000), NodeId(0), NodeId(1));
-        // Add many more contacts; within the refresh window the cached
-        // table must still be served.
+        // Add more contacts — too few to trip the generation threshold —
+        // and stay inside the refresh window: the cached table must still
+        // be served.
         for t in 6..=50u64 {
             rates.record(NodeId(0), NodeId(1), Time(t * 100));
         }
@@ -139,6 +210,56 @@ mod tests {
         // After the refresh interval the new rates are picked up.
         let w_fresh = o.weight(&rates, Time(1000 + 3600), NodeId(0), NodeId(1));
         assert!(w_fresh > w_cached);
+    }
+
+    #[test]
+    fn one_snapshot_serves_all_sources_within_an_epoch() {
+        let rates = rates_line();
+        let mut o = PathOracle::new(4, 3600.0, Duration::hours(1));
+        for s in 0..4u32 {
+            let _ = o.weight(&rates, Time(1000 + u64::from(s)), NodeId(s), NodeId(3));
+        }
+        // Four sources, one shared contact-graph build.
+        assert_eq!(o.snapshot_epoch(), 1);
+    }
+
+    #[test]
+    fn generation_growth_invalidates_despite_endless_refresh_interval() {
+        // Regression: with a refresh interval longer than the whole
+        // simulated period, a wall-clock-only oracle would serve the
+        // weights of the first few contacts forever. Generation
+        // versioning must pick up the drastically changed rate table.
+        let mut rates = rates_line();
+        let mut o = PathOracle::new(4, 3600.0, Duration::hours(10_000));
+        let w_first = o.weight(&rates, Time(1000), NodeId(0), NodeId(1));
+        // Roughly an order of magnitude more contacts: far past the
+        // doubling threshold.
+        for t in 6..=150u64 {
+            rates.record(NodeId(0), NodeId(1), Time(t * 10));
+        }
+        let w_updated = o.weight(&rates, Time(1500), NodeId(0), NodeId(1));
+        assert!(o.snapshot_epoch() >= 2, "snapshot was never rebuilt");
+        assert!(
+            w_updated > w_first,
+            "stale weight {w_first} still served after massive rate change ({w_updated})"
+        );
+    }
+
+    #[test]
+    fn generation_rebuilds_are_amortised() {
+        // Querying after every single contact must not rebuild per
+        // contact: the doubling rule keeps rebuild count logarithmic.
+        let mut rates = RateTable::new(3, Time::ZERO);
+        let mut o = PathOracle::new(3, 3600.0, Duration::hours(10_000));
+        for t in 1..=2000u64 {
+            rates.record(NodeId(0), NodeId(1), Time(t));
+            let _ = o.weight(&rates, Time(t), NodeId(0), NodeId(1));
+        }
+        let epochs = o.snapshot_epoch();
+        assert!(
+            epochs <= 12,
+            "expected O(log contacts) snapshot rebuilds, got {epochs}"
+        );
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! Offline drop-in subset of the `criterion` crate API.
+//!
+//! The build environment cannot reach crates.io, so this workspace
+//! vendors the slice of criterion the bench targets use: `Criterion`,
+//! benchmark groups, `BenchmarkId`, `black_box` and the
+//! `criterion_group!` / `criterion_main!` macros. Measurement is a
+//! simple calibrated wall-clock loop: each benchmark is warmed up,
+//! an iteration count is chosen to fill the measurement window, and
+//! the minimum ns/iter across `sample_size` samples is printed (the
+//! minimum is the robust location estimator for wall-clock
+//! microbenchmarks — scheduler and interrupt noise is strictly
+//! additive, so the fastest sample is the closest to the true cost).
+//! Passing
+//! `--test` (as `cargo bench -- --test` does for smoke runs) executes
+//! every benchmark body exactly once without timing, so CI can keep
+//! benches compiling and running without paying for measurements.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs and times one benchmark body.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Minimum nanoseconds per iteration across the samples of the last
+    /// `iter` call.
+    pub last_ns: f64,
+}
+
+impl Bencher<'_> {
+    /// Calls `routine` repeatedly and records its fastest-sample
+    /// wall-clock cost (noise from preemption only ever slows a sample
+    /// down, so the minimum is the most reproducible estimate).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.config.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm up and calibrate an iteration count that makes one
+        // sample last roughly `sample_window`.
+        let calibration_start = Instant::now();
+        black_box(routine());
+        let once = calibration_start.elapsed().max(Duration::from_nanos(1));
+        let per_sample =
+            (self.config.sample_window.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut best = f64::INFINITY;
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            let sample = start.elapsed();
+            best = best.min(sample.as_nanos() as f64 / per_sample as f64);
+            total += sample;
+            if total >= self.config.measurement_time {
+                break;
+            }
+        }
+        self.last_ns = best;
+    }
+}
+
+/// Shared measurement configuration.
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    sample_window: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 10,
+            sample_window: Duration::from_millis(25),
+            measurement_time: Duration::from_millis(600),
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.config.measurement_time = t;
+        self
+    }
+
+    /// Applies command-line arguments (`--test` and a name filter).
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => self.config.test_mode = true,
+                "--bench" | "--nocapture" | "--quiet" | "--verbose" => {}
+                other if !other.starts_with('-') => {
+                    self.config.filter = Some(other.to_string());
+                }
+                _ => {}
+            }
+        }
+        self
+    }
+
+    fn should_run(&self, id: &str) -> bool {
+        self.config.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn report(&self, id: &str, ns: f64, ran: bool) {
+        if !ran {
+            return;
+        }
+        if self.config.test_mode {
+            println!("{id}: ok (test mode)");
+        } else {
+            println!("{id}: {ns:.0} ns/iter ({:.3} ms)", ns / 1e6);
+        }
+    }
+
+    /// Benchmarks one routine.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        if self.should_run(id) {
+            let mut b = Bencher {
+                config: &self.config,
+                last_ns: 0.0,
+            };
+            f(&mut b);
+            self.report(id, b.last_ns, true);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks one routine with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        if self.criterion.should_run(&full) {
+            let mut b = Bencher {
+                config: &self.criterion.config,
+                last_ns: 0.0,
+            };
+            f(&mut b, input);
+            self.criterion.report(&full, b.last_ns, true);
+        }
+        self
+    }
+
+    /// Benchmarks one routine within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        if self.criterion.should_run(&full) {
+            let mut b = Bencher {
+                config: &self.criterion.config,
+                last_ns: 0.0,
+            };
+            f(&mut b);
+            self.criterion.report(&full, b.last_ns, true);
+        }
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_and_ids_format() {
+        let id = BenchmarkId::new("f", 10);
+        assert_eq!(id.id, "f/10");
+        let id = BenchmarkId::from_parameter(42);
+        assert_eq!(id.id, "42");
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion::default();
+        c.config.test_mode = true;
+        let mut runs = 0;
+        c.bench_function("once", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+}
