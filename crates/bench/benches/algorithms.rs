@@ -68,10 +68,16 @@ fn bench_knapsack(c: &mut Criterion) {
             utility: rng.gen_range(0.0..1.0),
         })
         .collect();
-    let solver = KnapsackSolver::default();
+    let mut solver = KnapsackSolver::default();
     let capacity = 256 << 20;
     c.bench_function("knapsack_solve_50items", |b| {
         b.iter(|| solver.solve(black_box(&items), black_box(capacity)))
+    });
+    c.bench_function("knapsack_solve_in_50items_scratch_reuse", |b| {
+        b.iter(|| {
+            let selection = solver.solve_in(black_box(&items), black_box(capacity));
+            black_box(selection.indices.len())
+        })
     });
     c.bench_function("knapsack_probabilistic_50items", |b| {
         let mut rng = StdRng::seed_from_u64(9);

@@ -1,0 +1,131 @@
+//! End-to-end simulation hot-loop benchmark: the indexed-queue
+//! intentional scheme vs the retain-sweep reference implementation.
+//!
+//! One fig10-style point (MIT Reality synthetic preset at reduced
+//! scale, the §VI-B base configuration) is run single-seed through the
+//! full `run_experiment` pipeline — warm-up, NCL selection, workload —
+//! twice per group:
+//!
+//! - `optimized` — the production [`dtn_cache::intentional::IntentionalScheme`]
+//!   with per-node pending-message indexes, lazy expiry heaps,
+//!   slab-backed knapsack exchange with dirty-generation skipping, and
+//!   scratch reuse throughout,
+//! - `reference` — [`dtn_cache::reference::ReferenceIntentionalScheme`],
+//!   the faithful per-contact retain-sweep port the differential suite
+//!   (`tests/scheme_equivalence.rs`) holds the optimized engine
+//!   bit-identical to.
+//!
+//! Both run under the exact same trace, buffers, workload and seed, so
+//! the ratio is pure engine overhead. The committed
+//! `BENCH_sim_engine.json` baseline was produced from this benchmark;
+//! the acceptance target is ≥3× on the single-seed end-to-end run.
+//! `cargo bench -p bench --bench sim_engine -- --test` runs each body
+//! once as a CI smoke test.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dtn_cache::experiment::{run_experiment, run_experiment_with, ExperimentConfig};
+use dtn_cache::intentional::IntentionalConfig;
+use dtn_cache::reference::ReferenceIntentionalScheme;
+use dtn_cache::SchemeKind;
+use dtn_core::time::Duration;
+use dtn_trace::synthetic::SyntheticTraceBuilder;
+use dtn_trace::trace::ContactTrace;
+use dtn_trace::TracePreset;
+
+/// Trace scale: a reduced fig10 point that still runs thousands of
+/// contacts with real cache churn.
+const SCALE: f64 = 0.3;
+
+/// Workload seed; both engines consume it identically (bit-identical
+/// metrics), so one seed is a fair single-seed comparison.
+const SEED: u64 = 42;
+
+fn fig10_trace() -> ContactTrace {
+    SyntheticTraceBuilder::from_preset(TracePreset::MitReality)
+        .scale(SCALE)
+        .seed(42)
+        .build()
+}
+
+/// The §VI-B MIT Reality base configuration at reduced scale, as
+/// `figures::fig10` builds it.
+fn fig10_config() -> ExperimentConfig {
+    ExperimentConfig {
+        ncl_count: 8,
+        mean_data_lifetime: Duration((Duration::weeks(1).as_secs() as f64 * SCALE) as u64)
+            .max(Duration::hours(1)),
+        ..ExperimentConfig::default()
+    }
+}
+
+/// The reference scheme mirroring `build_scheme(SchemeKind::Intentional)`.
+fn reference_scheme(config: &ExperimentConfig) -> Box<ReferenceIntentionalScheme> {
+    Box::new(ReferenceIntentionalScheme::new(IntentionalConfig {
+        ncl_count: config.ncl_count,
+        response: config.response,
+        replacement: config.replacement,
+        probabilistic_selection: config.probabilistic_selection,
+        response_routing: config.response_routing,
+        ncl_selection: config.ncl_selection,
+        ..IntentionalConfig::default()
+    }))
+}
+
+fn bench_sim_engine(c: &mut Criterion) {
+    let trace = fig10_trace();
+    let cfg = fig10_config();
+
+    // Self-check: the two engines must report bit-identical metrics on
+    // this point, otherwise the speedup ratio is meaningless.
+    let fast = run_experiment(&trace, SchemeKind::Intentional, &cfg, SEED);
+    let slow = run_experiment_with(
+        &trace,
+        SchemeKind::Intentional,
+        reference_scheme(&cfg),
+        &cfg,
+        SEED,
+    );
+    assert_eq!(
+        fast.metrics, slow.metrics,
+        "optimized and reference engines diverged on the benchmark point"
+    );
+
+    let mut group = c.benchmark_group("sim_engine");
+    group.bench_with_input(
+        BenchmarkId::new("optimized", "fig10_mit_single_seed"),
+        &trace,
+        |b, trace| {
+            b.iter(|| {
+                run_experiment(
+                    black_box(trace),
+                    SchemeKind::Intentional,
+                    black_box(&cfg),
+                    SEED,
+                )
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("reference", "fig10_mit_single_seed"),
+        &trace,
+        |b, trace| {
+            b.iter(|| {
+                run_experiment_with(
+                    black_box(trace),
+                    SchemeKind::Intentional,
+                    reference_scheme(&cfg),
+                    black_box(&cfg),
+                    SEED,
+                )
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sim_engine
+}
+criterion_main!(benches);

@@ -1,13 +1,14 @@
 //! Regenerates every table and figure of the paper as text tables.
 //!
 //! ```text
-//! experiments [--scale F] [--seeds N] <command>
+//! experiments [--scale F] [--seeds N] [--timing] <command>
 //! commands: table1 fig4 fig7 fig9 fig10 fig11 fig12 fig13 all
 //! ```
 //!
 //! `--scale` shrinks trace duration and contact count proportionally
 //! (default 0.1 — a laptop-friendly run preserving contact density);
-//! `--seeds` sets repetitions per point (default 3).
+//! `--seeds` sets repetitions per point (default 3); `--timing` prints
+//! simulation throughput (events/sec) per figure point.
 
 use std::env;
 use std::fs;
@@ -23,6 +24,7 @@ struct Options {
     seeds: u32,
     command: String,
     csv_dir: Option<PathBuf>,
+    timing: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -30,9 +32,13 @@ fn parse_args() -> Result<Options, String> {
     let mut seeds = 3;
     let mut command = None;
     let mut csv_dir = None;
+    let mut timing = false;
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--timing" => {
+                timing = true;
+            }
             "--scale" => {
                 let v = args.next().ok_or("--scale needs a value")?;
                 scale = v.parse().map_err(|_| format!("bad scale {v:?}"))?;
@@ -65,7 +71,34 @@ fn parse_args() -> Result<Options, String> {
         seeds,
         command: command.unwrap_or_else(|| "help".into()),
         csv_dir,
+        timing,
     })
+}
+
+/// Prints one `--timing` table: events/sec for every (row, column)
+/// figure point.
+fn print_timings(
+    opts: &Options,
+    row_label: &str,
+    columns: &[String],
+    rows: &[(String, Vec<&bench::PointTiming>)],
+) {
+    if !opts.timing {
+        return;
+    }
+    println!("\n(timing) simulation throughput, events/sec");
+    print!("{row_label:>8}");
+    for c in columns {
+        print!(" {c:>14}");
+    }
+    println!();
+    for (label, timings) in rows {
+        print!("{label:>8}");
+        for t in timings {
+            print!(" {:>14.0}", t.events_per_sec());
+        }
+        println!();
+    }
 }
 
 fn main() -> ExitCode {
@@ -99,7 +132,7 @@ fn main() -> ExitCode {
             "bounds" => bounds(&opts),
             "help" => {
                 println!(
-                    "usage: experiments [--scale F] [--seeds N] [--csv DIR] \
+                    "usage: experiments [--scale F] [--seeds N] [--csv DIR] [--timing] \
                      <table1|fig4|fig7|fig9|fig10|fig11|fig12|fig13|ablation|ncl|bounds|all>"
                 );
             }
@@ -262,6 +295,15 @@ fn comparison_tables(opts: &Options, fig: &str, rows: &[figures::ComparisonRow],
             println!();
         }
     }
+    let columns: Vec<String> = SchemeKind::ALL
+        .iter()
+        .map(|k| k.name().to_string())
+        .collect();
+    let timing_rows: Vec<(String, Vec<&bench::PointTiming>)> = rows
+        .iter()
+        .map(|row| (row.label.clone(), row.timings.iter().collect()))
+        .collect();
+    print_timings(opts, x_label, &columns, &timing_rows);
 }
 
 fn fig10(opts: &Options) {
@@ -303,6 +345,15 @@ fn fig12(opts: &Options) {
             println!();
         }
     }
+    let columns: Vec<String> = ReplacementKind::ALL
+        .iter()
+        .map(|k| k.name().to_string())
+        .collect();
+    let timing_rows: Vec<(String, Vec<&bench::PointTiming>)> = rows
+        .iter()
+        .map(|row| (row.label.clone(), row.timings.iter().collect()))
+        .collect();
+    print_timings(opts, "s_avg", &columns, &timing_rows);
 }
 
 fn ablation(opts: &Options) {
@@ -331,6 +382,12 @@ fn ablation(opts: &Options) {
         }
         println!();
     }
+    let columns: Vec<String> = sizes.iter().map(|mb| format!("{mb}Mb")).collect();
+    let timing_rows: Vec<(String, Vec<&bench::PointTiming>)> = rows
+        .iter()
+        .map(|row| (row.label.clone(), row.timings.iter().collect()))
+        .collect();
+    print_timings(opts, "variant", &columns, &timing_rows);
 }
 
 fn bounds(opts: &Options) {
@@ -352,6 +409,12 @@ fn bounds(opts: &Options) {
             row.report.bytes_per_satisfied_query / 1e6,
         );
     }
+    let columns = vec!["events/s".to_string()];
+    let timing_rows: Vec<(String, Vec<&bench::PointTiming>)> = rows
+        .iter()
+        .map(|row| (row.scheme.name().to_string(), vec![&row.timing]))
+        .collect();
+    print_timings(opts, "scheme", &columns, &timing_rows);
 }
 
 fn ncl(opts: &Options) {
@@ -373,6 +436,12 @@ fn ncl(opts: &Options) {
         }
         println!();
     }
+    let columns: Vec<String> = presets.iter().map(|p| p.name().to_string()).collect();
+    let timing_rows: Vec<(String, Vec<&bench::PointTiming>)> = rows
+        .iter()
+        .map(|row| (row.label.clone(), row.timings.iter().collect()))
+        .collect();
+    print_timings(opts, "strategy", &columns, &timing_rows);
 }
 
 fn fig13(opts: &Options) {
@@ -403,4 +472,10 @@ fn fig13(opts: &Options) {
             println!();
         }
     }
+    let columns: Vec<String> = sizes.iter().map(|mb| format!("s_avg={mb}Mb")).collect();
+    let timing_rows: Vec<(String, Vec<&bench::PointTiming>)> = rows
+        .iter()
+        .map(|row| (row.ncl_count.to_string(), row.timings.iter().collect()))
+        .collect();
+    print_timings(opts, "K", &columns, &timing_rows);
 }

@@ -20,7 +20,28 @@ use dtn_trace::trace::ContactTrace;
 use dtn_trace::TracePreset;
 use dtn_workload::{Workload, WorkloadConfig, Zipf};
 
-use crate::runner::{averaged_run, AveragedReport};
+use crate::runner::{timed_averaged_sweep, AveragedReport, PointTiming, SweepPoint};
+
+/// Splits fanned-out `(report, timing)` results back into row-sized
+/// chunks, in input order.
+fn into_rows(
+    results: Vec<(AveragedReport, PointTiming)>,
+    row_len: usize,
+) -> Vec<(Vec<AveragedReport>, Vec<PointTiming>)> {
+    let mut rows = Vec::with_capacity(results.len().div_ceil(row_len.max(1)));
+    let mut iter = results.into_iter().peekable();
+    while iter.peek().is_some() {
+        let mut reports = Vec::with_capacity(row_len);
+        let mut timings = Vec::with_capacity(row_len);
+        for _ in 0..row_len {
+            let Some((r, t)) = iter.next() else { break };
+            reports.push(r);
+            timings.push(t);
+        }
+        rows.push((reports, timings));
+    }
+    rows
+}
 
 /// Builds the synthetic stand-in for a preset trace at the given scale.
 pub fn preset_trace(preset: TracePreset, scale: f64, seed: u64) -> ContactTrace {
@@ -176,6 +197,8 @@ pub struct ComparisonRow {
     pub label: String,
     /// Reports in [`SchemeKind::ALL`] order.
     pub reports: Vec<AveragedReport>,
+    /// Throughput accounting per report (same order).
+    pub timings: Vec<PointTiming>,
 }
 
 /// The Fig. 10 lifetime sweep, scaled with the trace so the
@@ -210,20 +233,29 @@ fn mit_config(scale: f64) -> ExperimentConfig {
 /// delay, caching overhead).
 pub fn fig10(scale: f64, seeds: u32) -> Vec<ComparisonRow> {
     let trace = preset_trace(TracePreset::MitReality, scale, 42);
-    lifetimes_mit(scale)
+    let lifetimes = lifetimes_mit(scale);
+    let mut points = Vec::new();
+    for &lifetime in &lifetimes {
+        let cfg = ExperimentConfig {
+            mean_data_lifetime: lifetime,
+            ..mit_config(scale)
+        };
+        for &scheme in &SchemeKind::ALL {
+            points.push(SweepPoint {
+                trace: &trace,
+                scheme,
+                config: cfg.clone(),
+            });
+        }
+    }
+    let results = timed_averaged_sweep(&points, seeds);
+    lifetimes
         .into_iter()
-        .map(|lifetime| {
-            let cfg = ExperimentConfig {
-                mean_data_lifetime: lifetime,
-                ..mit_config(scale)
-            };
-            ComparisonRow {
-                label: human_duration(lifetime),
-                reports: SchemeKind::ALL
-                    .iter()
-                    .map(|&k| averaged_run(&trace, k, &cfg, seeds))
-                    .collect(),
-            }
+        .zip(into_rows(results, SchemeKind::ALL.len()))
+        .map(|(lifetime, (reports, timings))| ComparisonRow {
+            label: human_duration(lifetime),
+            reports,
+            timings,
         })
         .collect()
 }
@@ -237,20 +269,29 @@ pub fn sizes_mb() -> Vec<u64> {
 /// `s_avg` on MIT Reality.
 pub fn fig11(scale: f64, seeds: u32) -> Vec<ComparisonRow> {
     let trace = preset_trace(TracePreset::MitReality, scale, 42);
-    sizes_mb()
+    let sizes = sizes_mb();
+    let mut points = Vec::new();
+    for &mb in &sizes {
+        let cfg = ExperimentConfig {
+            mean_data_size: megabits(mb),
+            ..mit_config(scale)
+        };
+        for &scheme in &SchemeKind::ALL {
+            points.push(SweepPoint {
+                trace: &trace,
+                scheme,
+                config: cfg.clone(),
+            });
+        }
+    }
+    let results = timed_averaged_sweep(&points, seeds);
+    sizes
         .into_iter()
-        .map(|mb| {
-            let cfg = ExperimentConfig {
-                mean_data_size: megabits(mb),
-                ..mit_config(scale)
-            };
-            ComparisonRow {
-                label: format!("{mb}Mb"),
-                reports: SchemeKind::ALL
-                    .iter()
-                    .map(|&k| averaged_run(&trace, k, &cfg, seeds))
-                    .collect(),
-            }
+        .zip(into_rows(results, SchemeKind::ALL.len()))
+        .map(|(mb, (reports, timings))| ComparisonRow {
+            label: format!("{mb}Mb"),
+            reports,
+            timings,
         })
         .collect()
 }
@@ -265,27 +306,37 @@ pub struct ReplacementRow {
     pub label: String,
     /// Reports in [`ReplacementKind::ALL`] order.
     pub reports: Vec<AveragedReport>,
+    /// Throughput accounting per report (same order).
+    pub timings: Vec<PointTiming>,
 }
 
 /// Regenerates Fig. 12: cache-replacement strategies vs data size on
 /// MIT Reality (`T_L` = 1 week).
 pub fn fig12(scale: f64, seeds: u32) -> Vec<ReplacementRow> {
     let trace = preset_trace(TracePreset::MitReality, scale, 42);
-    sizes_mb()
+    let sizes = sizes_mb();
+    let mut points = Vec::new();
+    for &mb in &sizes {
+        for &replacement in &ReplacementKind::ALL {
+            points.push(SweepPoint {
+                trace: &trace,
+                scheme: SchemeKind::Intentional,
+                config: ExperimentConfig {
+                    mean_data_size: megabits(mb),
+                    replacement,
+                    ..mit_config(scale)
+                },
+            });
+        }
+    }
+    let results = timed_averaged_sweep(&points, seeds);
+    sizes
         .into_iter()
-        .map(|mb| ReplacementRow {
+        .zip(into_rows(results, ReplacementKind::ALL.len()))
+        .map(|(mb, (reports, timings))| ReplacementRow {
             label: format!("{mb}Mb"),
-            reports: ReplacementKind::ALL
-                .iter()
-                .map(|&r| {
-                    let cfg = ExperimentConfig {
-                        mean_data_size: megabits(mb),
-                        replacement: r,
-                        ..mit_config(scale)
-                    };
-                    averaged_run(&trace, SchemeKind::Intentional, &cfg, seeds)
-                })
-                .collect(),
+            reports,
+            timings,
         })
         .collect()
 }
@@ -299,6 +350,8 @@ pub struct Fig13Row {
     pub ncl_count: usize,
     /// Reports per data size, in [`fig13_sizes_mb`] order.
     pub reports: Vec<AveragedReport>,
+    /// Throughput accounting per report (same order).
+    pub timings: Vec<PointTiming>,
 }
 
 /// The data sizes of the Fig. 13 curves.
@@ -312,21 +365,29 @@ pub fn fig13(scale: f64, seeds: u32) -> Vec<Fig13Row> {
     let trace = preset_trace(TracePreset::Infocom06, scale, 42);
     let lifetime =
         Duration((Duration::hours(3).as_secs() as f64 * scale) as u64).max(Duration::minutes(30));
+    let sizes = fig13_sizes_mb();
+    let mut points = Vec::new();
+    for k in 1..=10usize {
+        for &mb in &sizes {
+            points.push(SweepPoint {
+                trace: &trace,
+                scheme: SchemeKind::Intentional,
+                config: ExperimentConfig {
+                    ncl_count: k,
+                    mean_data_lifetime: lifetime,
+                    mean_data_size: megabits(mb),
+                    ..ExperimentConfig::default()
+                },
+            });
+        }
+    }
+    let results = timed_averaged_sweep(&points, seeds);
     (1..=10)
-        .map(|k| Fig13Row {
-            ncl_count: k,
-            reports: fig13_sizes_mb()
-                .into_iter()
-                .map(|mb| {
-                    let cfg = ExperimentConfig {
-                        ncl_count: k,
-                        mean_data_lifetime: lifetime,
-                        mean_data_size: megabits(mb),
-                        ..ExperimentConfig::default()
-                    };
-                    averaged_run(&trace, SchemeKind::Intentional, &cfg, seeds)
-                })
-                .collect(),
+        .zip(into_rows(results, sizes.len()))
+        .map(|(ncl_count, (reports, timings))| Fig13Row {
+            ncl_count,
+            reports,
+            timings,
         })
         .collect()
 }
@@ -341,6 +402,8 @@ pub struct AblationRow {
     /// Averaged metrics of the variant per data size (see
     /// [`ablation_sizes_mb`]).
     pub reports: Vec<AveragedReport>,
+    /// Throughput accounting per report (same order).
+    pub timings: Vec<PointTiming>,
 }
 
 /// The data sizes used by the ablation study.
@@ -404,23 +467,31 @@ pub fn ablation(scale: f64, seeds: u32) -> Vec<AblationRow> {
             ForwardingStrategy::Direct,
         ),
     ];
+    let sizes = ablation_sizes_mb();
+    let mut points = Vec::new();
+    for &(_, probabilistic, response, routing) in &variants {
+        for &mb in &sizes {
+            points.push(SweepPoint {
+                trace: &trace,
+                scheme: SchemeKind::Intentional,
+                config: ExperimentConfig {
+                    mean_data_size: megabits(mb),
+                    probabilistic_selection: probabilistic,
+                    response,
+                    response_routing: routing,
+                    ..mit_config(scale)
+                },
+            });
+        }
+    }
+    let results = timed_averaged_sweep(&points, seeds);
     variants
         .into_iter()
-        .map(|(label, probabilistic, response, routing)| AblationRow {
+        .zip(into_rows(results, sizes.len()))
+        .map(|((label, _, _, _), (reports, timings))| AblationRow {
             label,
-            reports: ablation_sizes_mb()
-                .into_iter()
-                .map(|mb| {
-                    let cfg = ExperimentConfig {
-                        mean_data_size: megabits(mb),
-                        probabilistic_selection: probabilistic,
-                        response,
-                        response_routing: routing,
-                        ..mit_config(scale)
-                    };
-                    averaged_run(&trace, SchemeKind::Intentional, &cfg, seeds)
-                })
-                .collect(),
+            reports,
+            timings,
         })
         .collect()
 }
@@ -434,6 +505,8 @@ pub struct BoundsRow {
     pub scheme: SchemeKind,
     /// Averaged metrics on the study configuration.
     pub report: AveragedReport,
+    /// Throughput accounting for this scheme's runs.
+    pub timing: PointTiming,
 }
 
 /// Compares the paper's five schemes against the epidemic-flooding
@@ -442,11 +515,22 @@ pub struct BoundsRow {
 pub fn bounds(scale: f64, seeds: u32) -> Vec<BoundsRow> {
     let trace = preset_trace(TracePreset::MitReality, scale, 42);
     let cfg = mit_config(scale);
+    let points: Vec<SweepPoint<'_>> = SchemeKind::ALL_WITH_BOUNDS
+        .iter()
+        .map(|&scheme| SweepPoint {
+            trace: &trace,
+            scheme,
+            config: cfg.clone(),
+        })
+        .collect();
+    let results = timed_averaged_sweep(&points, seeds);
     SchemeKind::ALL_WITH_BOUNDS
         .iter()
-        .map(|&scheme| BoundsRow {
+        .zip(results)
+        .map(|(&scheme, (report, timing))| BoundsRow {
             scheme,
-            report: averaged_run(&trace, scheme, &cfg, seeds),
+            report,
+            timing,
         })
         .collect()
 }
@@ -460,6 +544,8 @@ pub struct NclStrategyRow {
     pub label: String,
     /// One report per entry of [`ncl_study_presets`].
     pub reports: Vec<AveragedReport>,
+    /// Throughput accounting per report (same order).
+    pub timings: Vec<PointTiming>,
 }
 
 /// The traces the NCL-strategy study runs on.
@@ -488,27 +574,34 @@ pub fn ncl_strategies(scale: f64, seeds: u32) -> Vec<NclStrategyRow> {
         .into_iter()
         .map(|p| (p, preset_trace(p, scale, 42)))
         .collect();
+    let mut points = Vec::new();
+    for &(_, strategy) in &strategies {
+        for (preset, trace) in &traces {
+            let lifetime = match preset {
+                TracePreset::Infocom06 => Duration::hours(3),
+                _ => Duration::weeks(1),
+            };
+            points.push(SweepPoint {
+                trace,
+                scheme: SchemeKind::Intentional,
+                config: ExperimentConfig {
+                    ncl_count: preset.default_ncl_count(),
+                    mean_data_lifetime: Duration((lifetime.as_secs() as f64 * scale) as u64)
+                        .max(Duration::minutes(30)),
+                    ncl_selection: strategy,
+                    ..ExperimentConfig::default()
+                },
+            });
+        }
+    }
+    let results = timed_averaged_sweep(&points, seeds);
     strategies
         .into_iter()
-        .map(|(label, strategy)| NclStrategyRow {
+        .zip(into_rows(results, traces.len()))
+        .map(|((label, _), (reports, timings))| NclStrategyRow {
             label,
-            reports: traces
-                .iter()
-                .map(|(preset, trace)| {
-                    let lifetime = match preset {
-                        TracePreset::Infocom06 => Duration::hours(3),
-                        _ => Duration::weeks(1),
-                    };
-                    let cfg = ExperimentConfig {
-                        ncl_count: preset.default_ncl_count(),
-                        mean_data_lifetime: Duration((lifetime.as_secs() as f64 * scale) as u64)
-                            .max(Duration::minutes(30)),
-                        ncl_selection: strategy,
-                        ..ExperimentConfig::default()
-                    };
-                    averaged_run(trace, SchemeKind::Intentional, &cfg, seeds)
-                })
-                .collect(),
+            reports,
+            timings,
         })
         .collect()
 }

@@ -8,4 +8,6 @@
 pub mod figures;
 pub mod runner;
 
-pub use runner::{averaged_run, AveragedReport};
+pub use runner::{
+    averaged_run, averaged_sweep, timed_averaged_sweep, AveragedReport, PointTiming, SweepPoint,
+};

@@ -1,13 +1,58 @@
-//! Multi-seed experiment execution with thread fan-out.
+//! Multi-seed experiment execution with deterministic parallel fan-out.
 //!
 //! "Each simulation is repeated multiple times with randomly generated
-//! data and queries for statistical convergence" (§VI) — [`averaged_run`]
-//! runs one (trace, scheme, config) point across several seeds in
-//! parallel threads and averages the three evaluation metrics.
+//! data and queries for statistical convergence" (§VI). A figure is a
+//! sweep: a list of parameter points, each repeated over several seeds.
+//! [`averaged_sweep`] flattens the whole (point × seed) grid into one
+//! job list and fans it out over [`dtn_core::par::map_slice`], which is
+//! order-preserving — so the per-point aggregation below consumes seed
+//! results in exactly the order a serial loop would produce, and every
+//! figure's numbers are independent of thread scheduling. [`averaged_run`]
+//! is the single-point convenience wrapper.
 
-use dtn_cache::experiment::{run_experiment, ExperimentConfig};
+use std::time::Instant;
+
+use dtn_cache::experiment::{run_experiment, ExperimentConfig, ExperimentReport};
 use dtn_cache::SchemeKind;
+use dtn_core::par::map_slice;
 use dtn_trace::trace::ContactTrace;
+
+/// One parameter point of a figure sweep: a scheme and configuration to
+/// repeat over seeds on a (shared) trace.
+#[derive(Debug, Clone)]
+pub struct SweepPoint<'a> {
+    /// The contact trace to simulate on.
+    pub trace: &'a ContactTrace,
+    /// Which scheme runs.
+    pub scheme: SchemeKind,
+    /// The experiment configuration of this point.
+    pub config: ExperimentConfig,
+}
+
+/// Wall-clock accounting for one sweep point, summed across its seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointTiming {
+    /// Simulation events processed: contacts in the trace plus data
+    /// items generated plus queries issued, summed over all seeds.
+    pub events: u64,
+    /// Total busy time across the point's seed runs (CPU-side wall
+    /// time; seeds may have run concurrently, so this can exceed the
+    /// elapsed wall clock of the sweep).
+    pub busy: std::time::Duration,
+}
+
+impl PointTiming {
+    /// Simulation events processed per busy second — the `--timing`
+    /// throughput figure of `bench/bin/experiments`.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.busy.as_secs_f64();
+        if secs > 0.0 {
+            self.events as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
 
 /// Seed-averaged metrics for one experiment point.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,49 +75,93 @@ pub struct AveragedReport {
     pub seeds: u32,
 }
 
-/// Runs `seeds` independent repetitions on separate threads and
-/// averages the metrics.
+fn aggregate(
+    point: &SweepPoint<'_>,
+    runs: &[(ExperimentReport, std::time::Duration)],
+    seeds: u32,
+) -> (AveragedReport, PointTiming) {
+    let n = f64::from(seeds);
+    let reports = || runs.iter().map(|(r, _)| r);
+    let report = AveragedReport {
+        scheme: point.scheme,
+        success_ratio: reports().map(|r| r.success_ratio).sum::<f64>() / n,
+        avg_delay_hours: reports().map(|r| r.avg_delay_hours).sum::<f64>() / n,
+        avg_copies_per_item: reports().map(|r| r.avg_copies_per_item).sum::<f64>() / n,
+        avg_replacements_per_item: reports().map(|r| r.avg_replacements_per_item).sum::<f64>() / n,
+        queries_issued: reports().map(|r| r.queries_issued as f64).sum::<f64>() / n,
+        bytes_per_satisfied_query: reports().map(|r| r.bytes_per_satisfied_query).sum::<f64>() / n,
+        seeds,
+    };
+    let timing = PointTiming {
+        events: reports()
+            .map(|r| {
+                point.trace.contact_count() as u64 + r.metrics.data_generated + r.queries_issued
+            })
+            .sum(),
+        busy: runs.iter().map(|(_, d)| *d).sum(),
+    };
+    (report, timing)
+}
+
+/// Runs every sweep point over `seeds` repetitions, fanning the whole
+/// (point × seed) grid out in parallel, and returns per-point averaged
+/// reports with throughput accounting. Results are in input-point order
+/// and identical to a serial nested loop (seed `s` of a point runs with
+/// RNG seed `s + 1`, and averages are summed in seed order).
 ///
 /// # Panics
 ///
-/// Panics if `seeds == 0` or a worker thread panics.
+/// Panics if `seeds == 0` or a worker panics.
+pub fn timed_averaged_sweep(
+    points: &[SweepPoint<'_>],
+    seeds: u32,
+) -> Vec<(AveragedReport, PointTiming)> {
+    assert!(seeds > 0, "need at least one seed");
+    let jobs: Vec<(usize, u64)> = (0..points.len())
+        .flat_map(|p| (0..seeds).map(move |s| (p, u64::from(s) + 1)))
+        .collect();
+    let runs = map_slice(&jobs, |&(p, seed)| {
+        let point = &points[p];
+        let start = Instant::now();
+        let report = run_experiment(point.trace, point.scheme, &point.config, seed);
+        (report, start.elapsed())
+    });
+    runs.chunks(seeds as usize)
+        .zip(points)
+        .map(|(chunk, point)| aggregate(point, chunk, seeds))
+        .collect()
+}
+
+/// [`timed_averaged_sweep`] without the timing accounting.
+pub fn averaged_sweep(points: &[SweepPoint<'_>], seeds: u32) -> Vec<AveragedReport> {
+    timed_averaged_sweep(points, seeds)
+        .into_iter()
+        .map(|(report, _)| report)
+        .collect()
+}
+
+/// Runs one (trace, scheme, config) point across `seeds` repetitions in
+/// parallel and averages the metrics.
+///
+/// # Panics
+///
+/// Panics if `seeds == 0` or a worker panics.
 pub fn averaged_run(
     trace: &ContactTrace,
     scheme: SchemeKind,
     config: &ExperimentConfig,
     seeds: u32,
 ) -> AveragedReport {
-    assert!(seeds > 0, "need at least one seed");
-    let reports: Vec<_> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..seeds)
-            .map(|seed| {
-                scope.spawn(move || run_experiment(trace, scheme, config, u64::from(seed) + 1))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("experiment worker panicked"))
-            .collect()
-    });
-    let n = seeds as f64;
-    AveragedReport {
-        scheme,
-        success_ratio: reports.iter().map(|r| r.success_ratio).sum::<f64>() / n,
-        avg_delay_hours: reports.iter().map(|r| r.avg_delay_hours).sum::<f64>() / n,
-        avg_copies_per_item: reports.iter().map(|r| r.avg_copies_per_item).sum::<f64>() / n,
-        avg_replacements_per_item: reports
-            .iter()
-            .map(|r| r.avg_replacements_per_item)
-            .sum::<f64>()
-            / n,
-        queries_issued: reports.iter().map(|r| r.queries_issued as f64).sum::<f64>() / n,
-        bytes_per_satisfied_query: reports
-            .iter()
-            .map(|r| r.bytes_per_satisfied_query)
-            .sum::<f64>()
-            / n,
+    averaged_sweep(
+        &[SweepPoint {
+            trace,
+            scheme,
+            config: config.clone(),
+        }],
         seeds,
-    }
+    )
+    .pop()
+    .expect("one point in, one report out")
 }
 
 #[cfg(test)]
@@ -81,24 +170,68 @@ mod tests {
     use dtn_core::time::Duration;
     use dtn_trace::synthetic::SyntheticTraceBuilder;
 
-    #[test]
-    fn averages_over_seeds() {
-        let trace = SyntheticTraceBuilder::new(12)
+    fn small_trace() -> ContactTrace {
+        SyntheticTraceBuilder::new(12)
             .duration(Duration::days(1))
             .target_contacts(2_000)
             .seed(3)
-            .build();
-        let cfg = ExperimentConfig {
+            .build()
+    }
+
+    fn small_config() -> ExperimentConfig {
+        ExperimentConfig {
             ncl_count: 2,
             mean_data_lifetime: Duration::hours(6),
             mean_data_size: 1 << 20,
             buffer_range: (8 << 20, 16 << 20),
             ..ExperimentConfig::default()
-        };
-        let avg = averaged_run(&trace, SchemeKind::Intentional, &cfg, 2);
+        }
+    }
+
+    #[test]
+    fn averages_over_seeds() {
+        let trace = small_trace();
+        let avg = averaged_run(&trace, SchemeKind::Intentional, &small_config(), 2);
         assert_eq!(avg.seeds, 2);
         assert!((0.0..=1.0).contains(&avg.success_ratio));
         assert!(avg.queries_issued > 0.0);
+    }
+
+    #[test]
+    fn sweep_matches_individual_runs() {
+        // The fanned-out grid must aggregate exactly like per-point
+        // averaged_run calls, in input order.
+        let trace = small_trace();
+        let cfg = small_config();
+        let points: Vec<SweepPoint<'_>> = [SchemeKind::NoCache, SchemeKind::Intentional]
+            .iter()
+            .map(|&scheme| SweepPoint {
+                trace: &trace,
+                scheme,
+                config: cfg.clone(),
+            })
+            .collect();
+        let swept = averaged_sweep(&points, 2);
+        assert_eq!(swept.len(), 2);
+        for (point, report) in points.iter().zip(&swept) {
+            let single = averaged_run(&trace, point.scheme, &point.config, 2);
+            assert_eq!(&single, report, "{} diverged", point.scheme);
+        }
+    }
+
+    #[test]
+    fn timing_counts_simulation_events() {
+        let trace = small_trace();
+        let points = [SweepPoint {
+            trace: &trace,
+            scheme: SchemeKind::Intentional,
+            config: small_config(),
+        }];
+        let timed = timed_averaged_sweep(&points, 2);
+        let (_, timing) = &timed[0];
+        // Two seeds → at least two full trace passes worth of contacts.
+        assert!(timing.events >= 2 * trace.contact_count() as u64);
+        assert!(timing.events_per_sec() > 0.0);
     }
 
     #[test]

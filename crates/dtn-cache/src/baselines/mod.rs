@@ -20,6 +20,7 @@ mod policy;
 pub use policy::{BundleCachePolicy, CacheDataPolicy, NoCachePolicy, RandomCachePolicy};
 
 use std::collections::{HashMap, HashSet};
+use std::mem;
 
 use dtn_core::ids::{DataId, NodeId};
 use dtn_core::time::Time;
@@ -93,6 +94,14 @@ pub struct IncidentalScheme<P> {
     /// Cumulative contacts per node, to estimate contact patterns.
     node_contacts: Vec<u64>,
     started_at: Time,
+    // Reusable per-contact scratch buffers (logically empty between
+    // contacts; kept to avoid re-allocation in the hot loop).
+    sx_open: Vec<bool>,
+    sx_respond: Vec<(Query, NodeId)>,
+    sx_bumps: Vec<(NodeId, DataId)>,
+    sx_delivered: Vec<dtn_core::ids::QueryId>,
+    sx_passby: Vec<(NodeId, DataItem)>,
+    sx_req_caches: Vec<(NodeId, DataItem)>,
 }
 
 impl<P: IncidentalPolicy> IncidentalScheme<P> {
@@ -125,6 +134,12 @@ impl<P: IncidentalPolicy> IncidentalScheme<P> {
             local_seen: HashMap::new(),
             node_contacts: Vec::new(),
             started_at: Time::ZERO,
+            sx_open: Vec::new(),
+            sx_respond: Vec::new(),
+            sx_bumps: Vec::new(),
+            sx_delivered: Vec::new(),
+            sx_passby: Vec::new(),
+            sx_req_caches: Vec::new(),
         }
     }
 
@@ -199,15 +214,15 @@ impl<P: IncidentalPolicy> IncidentalScheme<P> {
 
     fn advance_queries(&mut self, ctx: &mut SimCtx<'_>, a: NodeId, b: NodeId) {
         let now = ctx.now();
-        let open: Vec<bool> = self
-            .queries
-            .iter()
-            .map(|q| ctx.query_is_open(q.query.id))
-            .collect();
+        let mut open = mem::take(&mut self.sx_open);
+        open.clear();
+        open.extend(self.queries.iter().map(|q| ctx.query_is_open(q.query.id)));
         let strategy = self.query_routing;
         let oracle = self.oracle.as_mut().expect("configured");
-        let mut to_respond: Vec<(Query, NodeId)> = Vec::new();
-        let mut seen_bumps: Vec<(NodeId, DataId)> = Vec::new();
+        let mut to_respond = mem::take(&mut self.sx_respond);
+        to_respond.clear();
+        let mut seen_bumps = mem::take(&mut self.sx_bumps);
+        seen_bumps.clear();
         {
             let mut link = ctx.link_access();
             for (qc, is_open) in self.queries.iter_mut().zip(&open) {
@@ -234,27 +249,34 @@ impl<P: IncidentalPolicy> IncidentalScheme<P> {
                 }
             }
         }
-        for (node, data) in seen_bumps {
+        for &(node, data) in &seen_bumps {
             *self.local_seen.entry((node, data)).or_insert(0) += 1;
         }
-        for (query, holder) in to_respond {
+        for &(query, holder) in &to_respond {
             self.respond(ctx, &query, holder);
         }
         self.queries.retain(|q| !q.answered);
+        seen_bumps.clear();
+        self.sx_bumps = seen_bumps;
+        to_respond.clear();
+        self.sx_respond = to_respond;
+        open.clear();
+        self.sx_open = open;
     }
 
     fn advance_responses(&mut self, ctx: &mut SimCtx<'_>, a: NodeId, b: NodeId) {
         let now = ctx.now();
-        let open: Vec<bool> = self
-            .responses
-            .iter()
-            .map(|r| ctx.query_is_open(r.query.id))
-            .collect();
+        let mut open = mem::take(&mut self.sx_open);
+        open.clear();
+        open.extend(self.responses.iter().map(|r| ctx.query_is_open(r.query.id)));
         let response_routing = self.response_routing;
         let oracle = self.oracle.as_mut().expect("configured");
-        let mut delivered: Vec<dtn_core::ids::QueryId> = Vec::new();
-        let mut passby: Vec<(NodeId, DataItem)> = Vec::new();
-        let mut requester_caches: Vec<(NodeId, DataItem)> = Vec::new();
+        let mut delivered = mem::take(&mut self.sx_delivered);
+        delivered.clear();
+        let mut passby = mem::take(&mut self.sx_passby);
+        passby.clear();
+        let mut requester_caches = mem::take(&mut self.sx_req_caches);
+        requester_caches.clear();
         {
             let mut link = ctx.link_access();
             for (resp, is_open) in self.responses.iter_mut().zip(&open) {
@@ -285,19 +307,25 @@ impl<P: IncidentalPolicy> IncidentalScheme<P> {
                 }
             }
         }
-        for id in delivered {
+        for &id in &delivered {
             ctx.mark_delivered(id);
         }
-        for (node, item) in passby {
+        for &(node, item) in &passby {
             let pctx = self.policy_ctx(node, now);
             if self.policy.cache_passby(&item, pctx) {
                 self.cache_at(ctx, node, item);
             }
         }
-        for (node, item) in requester_caches {
+        for &(node, item) in &requester_caches {
             self.cache_at(ctx, node, item);
         }
         self.responses.retain(|r| !r.msg.is_delivered());
+        delivered.clear();
+        self.sx_delivered = delivered;
+        passby.clear();
+        self.sx_passby = passby;
+        requester_caches.clear();
+        self.sx_req_caches = requester_caches;
     }
 }
 

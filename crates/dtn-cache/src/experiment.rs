@@ -174,7 +174,21 @@ pub fn run_experiment(
     config: &ExperimentConfig,
     seed: u64,
 ) -> ExperimentReport {
-    let scheme = build_scheme(kind, config);
+    run_experiment_with(trace, kind, build_scheme(kind, config), config, seed)
+}
+
+/// [`run_experiment`] with a caller-supplied scheme instance instead of
+/// one built from `kind` — used to run alternative implementations of a
+/// scheme (e.g. [`crate::reference::ReferenceIntentionalScheme`]) under
+/// the exact same warm-up, buffers and workload. `kind` is only recorded
+/// in the report.
+pub fn run_experiment_with(
+    trace: &ContactTrace,
+    kind: SchemeKind,
+    scheme: Box<dyn CachingScheme>,
+    config: &ExperimentConfig,
+    seed: u64,
+) -> ExperimentReport {
     let sim_config = SimConfig {
         buffer_range: config.buffer_range,
         sample_interval: config.sample_interval,

@@ -26,8 +26,36 @@
 //!    more popular data. With a traditional policy (FIFO/LRU/GDS — the
 //!    Fig. 12 comparison) the exchange is disabled and evict-on-insert
 //!    is used instead.
+//!
+//! # Hot-loop layout
+//!
+//! A contact only involves two nodes, so this implementation indexes all
+//! per-contact state by carrier node instead of sweeping global vectors
+//! (see DESIGN.md §7 and [`reference`](crate::reference) for the
+//! original retain-based bookkeeping it is differentially tested
+//! against):
+//!
+//! - pending pulls/broadcasts/responses live in slab allocators with
+//!   monotone sequence numbers; per-node lists point into the slabs and
+//!   a contact gathers only the two endpoints' entries, sorted by
+//!   sequence number to reproduce the original global processing order;
+//! - expired messages, data items and response-decision memos are
+//!   garbage-collected from time-ordered heaps instead of full sweeps;
+//! - push copies and settled copies are indexed per holder node, and
+//!   NCL membership is a counter (`member_count`) instead of a scan of
+//!   every copy record;
+//! - the §V-D exchange is skipped outright when neither endpoint's cache
+//!   changed since the pair's last (provably empty) exchange, tracked by
+//!   per-node dirty generations.
+//!
+//! Every shortcut preserves the reference implementation's RNG draw
+//! order, `try_transmit` charge order and event order bit-for-bit;
+//! `tests/scheme_equivalence.rs` enforces this.
 
-use std::collections::{HashMap, HashSet};
+use std::cmp::Reverse;
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::mem;
 
 use rand::Rng;
 
@@ -133,6 +161,16 @@ impl CopyState {
             CopyState::Dropped => None,
         }
     }
+
+    /// A copy that just moved to `node`: settled if `node` is the target
+    /// central node, still in transit otherwise.
+    fn transit(node: NodeId, central: NodeId) -> CopyState {
+        if node == central {
+            CopyState::Settled(node)
+        } else {
+            CopyState::Carried(node)
+        }
+    }
 }
 
 /// A query copy traveling toward one central node.
@@ -210,6 +248,118 @@ pub enum ProtocolEvent {
     },
 }
 
+/// Slab of pending protocol messages. Slots are reused via a free list;
+/// each live entry carries a monotone sequence number so (a) gathered
+/// entries can be replayed in global insertion order and (b) stale heap
+/// references to a reused slot can be detected.
+#[derive(Debug)]
+struct PendingSlab<T> {
+    entries: Vec<Option<(u64, T)>>,
+    free: Vec<u32>,
+    next_seq: u64,
+    len: usize,
+}
+
+impl<T> Default for PendingSlab<T> {
+    fn default() -> Self {
+        PendingSlab {
+            entries: Vec::new(),
+            free: Vec::new(),
+            next_seq: 0,
+            len: 0,
+        }
+    }
+}
+
+impl<T> PendingSlab<T> {
+    fn insert(&mut self, value: T) -> (u32, u64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.len += 1;
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.entries[id as usize] = Some((seq, value));
+                id
+            }
+            None => {
+                self.entries.push(Some((seq, value)));
+                (self.entries.len() - 1) as u32
+            }
+        };
+        (id, seq)
+    }
+
+    fn get(&self, id: u32) -> Option<&T> {
+        self.entries
+            .get(id as usize)
+            .and_then(|e| e.as_ref())
+            .map(|(_, v)| v)
+    }
+
+    fn get_mut(&mut self, id: u32) -> Option<&mut T> {
+        self.entries
+            .get_mut(id as usize)
+            .and_then(|e| e.as_mut())
+            .map(|(_, v)| v)
+    }
+
+    fn seq(&self, id: u32) -> Option<u64> {
+        self.entries
+            .get(id as usize)
+            .and_then(|e| e.as_ref())
+            .map(|&(seq, _)| seq)
+    }
+
+    fn remove(&mut self, id: u32) -> Option<T> {
+        let slot = self.entries.get_mut(id as usize)?;
+        let (_, value) = slot.take()?;
+        self.free.push(id);
+        self.len -= 1;
+        Some(value)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (u32, &T)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|(_, v)| (i as u32, v)))
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.free.clear();
+        self.next_seq = 0;
+        self.len = 0;
+    }
+}
+
+/// Tags distinguishing slab kinds in the shared expiry heap.
+const GC_PULL: u8 = 0;
+const GC_BCAST: u8 = 1;
+const GC_RESP: u8 = 2;
+
+/// Removes one occurrence of `id` from a per-node index list.
+fn remove_u32(list: &mut Vec<u32>, id: u32) {
+    let pos = list
+        .iter()
+        .position(|&x| x == id)
+        .expect("pending index entry missing");
+    list.swap_remove(pos);
+}
+
+/// Removes the `(data, k)` entry from a per-node copy index list.
+fn remove_copy_entry(list: &mut Vec<(DataId, u32)>, data: DataId, k: u32) {
+    let pos = list
+        .iter()
+        .position(|&e| e == (data, k))
+        .expect("copy index entry missing");
+    list.swap_remove(pos);
+}
+
 /// The intentional NCL caching scheme (§V).
 ///
 /// Construct with [`IntentionalScheme::new`], then install the warm-up
@@ -223,13 +373,42 @@ pub struct IntentionalScheme {
     buffers: Vec<Buffer>,
     meta: Vec<NodeCacheMeta>,
     registry: DataRegistry,
-    /// copies[data][k] — the k-th NCL's copy of `data`.
+    /// copies[data][k] — the k-th NCL's copy of `data`. Never iterated
+    /// in map order; all ordered traversal goes through the per-node
+    /// indexes below.
     copies: HashMap<DataId, Vec<CopyState>>,
-    pulls: Vec<PullCopy>,
-    broadcasts: Vec<BroadcastCopy>,
-    responses: Vec<ResponseInFlight>,
-    /// (query, node) pairs that already made their response decision.
-    responded: HashSet<(QueryId, NodeId)>,
+    pulls: PendingSlab<PullCopy>,
+    broadcasts: PendingSlab<BroadcastCopy>,
+    responses: PendingSlab<ResponseInFlight>,
+    /// pull_at[n] — pending pulls currently carried by node `n`.
+    pull_at: Vec<Vec<u32>>,
+    /// bcast_at[n] — broadcasts whose holder set contains node `n`.
+    bcast_at: Vec<Vec<u32>>,
+    /// resp_at[n] — in-flight responses with a copy carried by `n`.
+    resp_at: Vec<Vec<u32>>,
+    /// carried_at[n] — `(data, k)` push copies in `Carried(n)` state.
+    carried_at: Vec<Vec<(DataId, u32)>>,
+    /// settled_at[n] — `(data, k)` copies in `Settled(n)` state.
+    settled_at: Vec<Vec<(DataId, u32)>>,
+    /// member_count[n][k] — copies (carried or settled) node `n` holds
+    /// for NCL `k`; `is_member` in O(1).
+    member_count: Vec<Vec<u32>>,
+    /// Dirty generation per node, bumped on every copy-state change
+    /// touching the node; drives the §V-D exchange skip.
+    cache_gen: Vec<u64>,
+    /// Last all-pools-empty exchange per ordered node pair:
+    /// `(cache_gen_lo, cache_gen_hi, buffer_gen_lo, buffer_gen_hi)`.
+    /// A pair whose generations are unchanged is skipped.
+    pair_clean: HashMap<(NodeId, NodeId), (u64, u64, u64, u64)>,
+    /// Expiry heap over pending messages: `(query expiry, kind, id,
+    /// seq)`. Entries referencing reused slots are detected via `seq`.
+    pending_gc: BinaryHeap<Reverse<(Time, u8, u32, u64)>>,
+    /// Expiry heap over data items (replaces the all-buffer dead scan).
+    data_gc: BinaryHeap<Reverse<(Time, DataId)>>,
+    /// Nodes that already made their response decision, per query.
+    responded: HashMap<QueryId, HashSet<NodeId>>,
+    /// Expiry heap over `responded` entries.
+    responded_gc: BinaryHeap<Reverse<(Time, QueryId)>>,
     solver: KnapsackSolver,
     /// Queries that arrived at each central node (NCL load, by index).
     ncl_query_load: Vec<u64>,
@@ -237,6 +416,22 @@ pub struct IntentionalScheme {
     ncl_response_load: Vec<u64>,
     /// Protocol milestones, recorded when enabled.
     event_log: Option<Vec<ProtocolEvent>>,
+    // Reusable per-contact scratch buffers (all logically empty between
+    // contacts; kept to avoid re-allocation in the hot loop).
+    sx_batch: Vec<(u64, u32)>,
+    sx_push_batch: Vec<(DataId, u32)>,
+    sx_arrived: Vec<u32>,
+    sx_spreads: Vec<(u32, NodeId)>,
+    sx_decisions: Vec<(Query, NodeId, usize)>,
+    sx_process: Vec<u32>,
+    sx_delivered: Vec<(u32, QueryId)>,
+    sx_pool: Vec<(DataItem, NodeId)>,
+    sx_items: Vec<CacheItem>,
+    sx_chosen: Vec<usize>,
+    sx_rest: Vec<usize>,
+    sx_rest_items: Vec<CacheItem>,
+    sx_in_first: Vec<bool>,
+    sx_in_second: Vec<bool>,
 }
 
 impl IntentionalScheme {
@@ -251,14 +446,39 @@ impl IntentionalScheme {
             meta: Vec::new(),
             registry: DataRegistry::default(),
             copies: HashMap::new(),
-            pulls: Vec::new(),
-            broadcasts: Vec::new(),
-            responses: Vec::new(),
-            responded: HashSet::new(),
+            pulls: PendingSlab::default(),
+            broadcasts: PendingSlab::default(),
+            responses: PendingSlab::default(),
+            pull_at: Vec::new(),
+            bcast_at: Vec::new(),
+            resp_at: Vec::new(),
+            carried_at: Vec::new(),
+            settled_at: Vec::new(),
+            member_count: Vec::new(),
+            cache_gen: Vec::new(),
+            pair_clean: HashMap::new(),
+            pending_gc: BinaryHeap::new(),
+            data_gc: BinaryHeap::new(),
+            responded: HashMap::new(),
+            responded_gc: BinaryHeap::new(),
             solver,
             ncl_query_load: Vec::new(),
             ncl_response_load: Vec::new(),
             event_log: None,
+            sx_batch: Vec::new(),
+            sx_push_batch: Vec::new(),
+            sx_arrived: Vec::new(),
+            sx_spreads: Vec::new(),
+            sx_decisions: Vec::new(),
+            sx_process: Vec::new(),
+            sx_delivered: Vec::new(),
+            sx_pool: Vec::new(),
+            sx_items: Vec::new(),
+            sx_chosen: Vec::new(),
+            sx_rest: Vec::new(),
+            sx_rest_items: Vec::new(),
+            sx_in_first: Vec::new(),
+            sx_in_second: Vec::new(),
         }
     }
 
@@ -301,9 +521,11 @@ impl IntentionalScheme {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated invariant:
-    /// buffer byte-accounting, buffer over-commitment, or an NCL copy
-    /// pointing at a node that does not physically hold the data.
+    /// Returns a description of the first violated invariant: buffer
+    /// byte-accounting, buffer over-commitment, an NCL copy pointing at
+    /// a node that does not physically hold the data, or a per-node
+    /// index (copy lists, membership counters, pending-message lists)
+    /// out of sync with the canonical state.
     pub fn validate(&self) -> Result<(), String> {
         for (i, buf) in self.buffers.iter().enumerate() {
             let actual: u64 = buf.iter().map(|d| d.size).sum();
@@ -318,16 +540,92 @@ impl IntentionalScheme {
                 ));
             }
         }
+        let n = self.buffers.len();
+        let mut expect_member = vec![vec![0u32; self.centrals.len()]; n];
+        let mut carried_seen = 0usize;
+        let mut settled_seen = 0usize;
         for (data, states) in &self.copies {
             for (k, s) in states.iter().enumerate() {
-                if let Some(holder) = s.holder() {
-                    if !self.buffers[holder.index()].contains(*data) {
-                        return Err(format!(
-                            "copy ({data}, ncl {k}) points at {holder} which lacks the bytes"
-                        ));
+                let Some(holder) = s.holder() else { continue };
+                if !self.buffers[holder.index()].contains(*data) {
+                    return Err(format!(
+                        "copy ({data}, ncl {k}) points at {holder} which lacks the bytes"
+                    ));
+                }
+                expect_member[holder.index()][k] += 1;
+                let list = match s {
+                    CopyState::Carried(_) => {
+                        carried_seen += 1;
+                        &self.carried_at[holder.index()]
                     }
+                    CopyState::Settled(_) => {
+                        settled_seen += 1;
+                        &self.settled_at[holder.index()]
+                    }
+                    CopyState::Dropped => unreachable!("holder implies not dropped"),
+                };
+                if !list.contains(&(*data, k as u32)) {
+                    return Err(format!(
+                        "copy ({data}, ncl {k}) missing from {holder}'s index list"
+                    ));
                 }
             }
+        }
+        if expect_member != self.member_count {
+            return Err("member_count out of sync with copy states".into());
+        }
+        let carried_total: usize = self.carried_at.iter().map(Vec::len).sum();
+        let settled_total: usize = self.settled_at.iter().map(Vec::len).sum();
+        if carried_total != carried_seen || settled_total != settled_seen {
+            return Err(format!(
+                "copy index lists hold {carried_total}+{settled_total} entries, \
+                 copy states say {carried_seen}+{settled_seen}"
+            ));
+        }
+        for (node, list) in self.pull_at.iter().enumerate() {
+            for &id in list {
+                let Some(pull) = self.pulls.get(id) else {
+                    return Err(format!("pull_at[{node}] references freed slot {id}"));
+                };
+                if pull.carrier.index() != node {
+                    return Err(format!("pull {id} indexed at {node}, carried elsewhere"));
+                }
+            }
+        }
+        if self.pull_at.iter().map(Vec::len).sum::<usize>() != self.pulls.len() {
+            return Err("pull index entry count != pull slab len".into());
+        }
+        for (node, list) in self.bcast_at.iter().enumerate() {
+            for &id in list {
+                let Some(bc) = self.broadcasts.get(id) else {
+                    return Err(format!("bcast_at[{node}] references freed slot {id}"));
+                };
+                if !bc.holders.contains(&NodeId(node as u32)) {
+                    return Err(format!("broadcast {id} indexed at non-holder {node}"));
+                }
+            }
+        }
+        let holder_total: usize = self.broadcasts.iter().map(|(_, bc)| bc.holders.len()).sum();
+        if self.bcast_at.iter().map(Vec::len).sum::<usize>() != holder_total {
+            return Err("broadcast index entry count != holder count".into());
+        }
+        for (node, list) in self.resp_at.iter().enumerate() {
+            for &id in list {
+                let Some(resp) = self.responses.get(id) else {
+                    return Err(format!("resp_at[{node}] references freed slot {id}"));
+                };
+                if !resp.msg.carries(NodeId(node as u32)) {
+                    return Err(format!("response {id} indexed at non-carrier {node}"));
+                }
+            }
+        }
+        let carrier_total: usize = self
+            .responses
+            .iter()
+            .map(|(_, r)| r.msg.carriers().count())
+            .sum();
+        if self.resp_at.iter().map(Vec::len).sum::<usize>() != carrier_total {
+            return Err("response index entry count != carrier count".into());
         }
         Ok(())
     }
@@ -337,42 +635,100 @@ impl IntentionalScheme {
     }
 
     /// Whether `node` currently holds a copy (carried or settled) on
-    /// behalf of NCL `k`.
+    /// behalf of NCL `ncl`.
     fn is_member(&self, node: NodeId, ncl: usize) -> bool {
-        self.copies
-            .values()
-            .any(|states| states.get(ncl).and_then(|s| s.holder()) == Some(node))
+        self.member_count[node.index()][ncl] > 0
     }
 
-    /// Drops expired data everywhere and dead in-flight messages.
+    /// Removes a pending pull and its index entry.
+    fn remove_pull(&mut self, id: u32) -> Option<PullCopy> {
+        let pull = self.pulls.remove(id)?;
+        remove_u32(&mut self.pull_at[pull.carrier.index()], id);
+        Some(pull)
+    }
+
+    /// Removes a pending broadcast and its index entries.
+    fn remove_broadcast(&mut self, id: u32) -> Option<BroadcastCopy> {
+        let bc = self.broadcasts.remove(id)?;
+        for h in &bc.holders {
+            remove_u32(&mut self.bcast_at[h.index()], id);
+        }
+        Some(bc)
+    }
+
+    /// Removes an in-flight response and its index entries.
+    fn remove_response(&mut self, id: u32) -> Option<ResponseInFlight> {
+        let resp = self.responses.remove(id)?;
+        for c in resp.msg.carriers() {
+            remove_u32(&mut self.resp_at[c.index()], id);
+        }
+        Some(resp)
+    }
+
+    /// Garbage-collects expired data and dead in-flight state from the
+    /// expiry heaps. Unlike the original full sweeps this touches only
+    /// entries that actually expired; messages whose query closed early
+    /// (satisfied) are dropped lazily when next gathered, which is
+    /// unobservable because every processing path checks
+    /// `query_is_open` first.
     fn prune(&mut self, ctx: &SimCtx<'_>) {
         let now = ctx.now();
-        for (node, buf) in self.buffers.iter_mut().enumerate() {
-            let dead: Vec<DataId> = buf
-                .iter()
-                .filter(|d| !d.is_alive(now))
-                .map(|d| d.id)
-                .collect();
-            for id in dead {
-                buf.remove(id);
-                self.meta[node].on_remove(id);
+        while let Some(&Reverse((t, data))) = self.data_gc.peek() {
+            if t > now {
+                break;
+            }
+            self.data_gc.pop();
+            let Some(states) = self.copies.remove(&data) else {
+                continue;
+            };
+            for (k, s) in states.iter().enumerate() {
+                let Some(h) = s.holder() else { continue };
+                match s {
+                    CopyState::Carried(_) => {
+                        remove_copy_entry(&mut self.carried_at[h.index()], data, k as u32);
+                    }
+                    CopyState::Settled(_) => {
+                        remove_copy_entry(&mut self.settled_at[h.index()], data, k as u32);
+                    }
+                    CopyState::Dropped => unreachable!("holder implies not dropped"),
+                }
+                self.member_count[h.index()][k] -= 1;
+                self.cache_gen[h.index()] += 1;
+                if self.buffers[h.index()].remove(data).is_some() {
+                    self.meta[h.index()].on_remove(data);
+                }
             }
         }
-        // A holder whose buffer lost the item (expiry, eviction) no
-        // longer holds the copy.
-        let buffers = &self.buffers;
-        for (&data, states) in self.copies.iter_mut() {
-            for s in states.iter_mut() {
-                if let Some(holder) = s.holder() {
-                    if !buffers[holder.index()].contains(data) {
-                        *s = CopyState::Dropped;
+        while let Some(&Reverse((t, tag, id, seq))) = self.pending_gc.peek() {
+            if t > now {
+                break;
+            }
+            self.pending_gc.pop();
+            match tag {
+                GC_PULL => {
+                    if self.pulls.seq(id) == Some(seq) {
+                        self.remove_pull(id);
+                    }
+                }
+                GC_BCAST => {
+                    if self.broadcasts.seq(id) == Some(seq) {
+                        self.remove_broadcast(id);
+                    }
+                }
+                _ => {
+                    if self.responses.seq(id) == Some(seq) {
+                        self.remove_response(id);
                     }
                 }
             }
         }
-        self.pulls.retain(|p| ctx.query_is_open(p.query.id));
-        self.broadcasts.retain(|b| ctx.query_is_open(b.query.id));
-        self.responses.retain(|r| ctx.query_is_open(r.query.id));
+        while let Some(&Reverse((t, query))) = self.responded_gc.peek() {
+            if t > now {
+                break;
+            }
+            self.responded_gc.pop();
+            self.responded.remove(&query);
+        }
     }
 
     /// Inserts a physical copy of `item` at `node`, evicting per the
@@ -392,11 +748,13 @@ impl IntentionalScheme {
             if !evicted.is_empty() {
                 ctx.note_replacements(evicted.len() as u64);
                 for id in evicted {
-                    if let Some(states) = self.copies.get_mut(&id) {
-                        for s in states.iter_mut() {
-                            if s.holder() == Some(node) {
-                                *s = CopyState::Dropped;
-                            }
+                    for k in 0..self.centrals.len() {
+                        let holds = self
+                            .copies
+                            .get(&id)
+                            .is_some_and(|s| s[k].holder() == Some(node));
+                        if holds {
+                            self.set_copy(id, k, CopyState::Dropped);
                         }
                     }
                 }
@@ -426,104 +784,167 @@ impl IntentionalScheme {
     }
 
     /// §V-A: advance the push copies carried by either contact endpoint.
+    ///
+    /// Gathers the two endpoints' carried copies from `carried_at` and
+    /// replays them in ascending `(data, k)` order — exactly the order
+    /// the reference implementation's full copy-table scan visits the
+    /// same entries. States are re-read at visit time because an
+    /// eviction earlier in the batch can drop a later entry.
     fn advance_pushes(&mut self, ctx: &mut SimCtx<'_>, a: NodeId, b: NodeId) {
         let now = ctx.now();
-        let data_ids: Vec<DataId> = self.copies.keys().copied().collect();
-        for data in data_ids {
+        let mut batch = mem::take(&mut self.sx_push_batch);
+        batch.clear();
+        batch.extend_from_slice(&self.carried_at[a.index()]);
+        if b != a {
+            batch.extend_from_slice(&self.carried_at[b.index()]);
+        }
+        batch.sort_unstable();
+        for &(data, k32) in &batch {
+            let k = k32 as usize;
             let Some(&item) = self.registry.get(data) else {
                 continue;
             };
             if !item.is_alive(now) {
                 continue;
             }
-            for k in 0..self.centrals.len() {
-                let state = self.copies[&data][k];
-                let CopyState::Carried(holder) = state else {
-                    continue;
-                };
-                let (from, to) = if holder == a {
-                    (a, b)
-                } else if holder == b {
-                    (b, a)
-                } else {
-                    continue;
-                };
-                let central = self.centrals[k];
-                let oracle = self.oracle.as_mut().expect("configured");
-                if !better_relay(oracle, ctx.rate_table(), now, from, to, central) {
-                    continue;
-                }
-                // The next selected relay: forward if it can hold the
-                // item, otherwise settle at the current relay (§V-A).
-                let already_there = self.buffers[to.index()].contains(data);
-                if already_there {
-                    self.set_copy(data, k, CopyState::transit(to, central));
-                    self.drop_physical_if_unreferenced(from, data);
-                    continue;
-                }
-                if !self.buffers[to.index()].fits(item.size)
-                    && self.cfg.replacement == ReplacementKind::UtilityKnapsack
-                {
-                    // Next relay's buffer is full: cache here.
-                    self.set_copy(data, k, CopyState::Settled(from));
+            let Some(state) = self.copies.get(&data).map(|s| s[k]) else {
+                continue;
+            };
+            let CopyState::Carried(holder) = state else {
+                continue;
+            };
+            let (from, to) = if holder == a {
+                (a, b)
+            } else if holder == b {
+                (b, a)
+            } else {
+                continue;
+            };
+            let central = self.centrals[k];
+            let oracle = self.oracle.as_mut().expect("configured");
+            if !better_relay(oracle, ctx.rate_table(), now, from, to, central) {
+                continue;
+            }
+            // The next selected relay: forward if it can hold the
+            // item, otherwise settle at the current relay (§V-A).
+            let already_there = self.buffers[to.index()].contains(data);
+            if already_there {
+                self.set_copy(data, k, CopyState::transit(to, central));
+                self.drop_physical_if_unreferenced(from, data);
+                continue;
+            }
+            if !self.buffers[to.index()].fits(item.size)
+                && self.cfg.replacement == ReplacementKind::UtilityKnapsack
+            {
+                // Next relay's buffer is full: cache here.
+                self.set_copy(data, k, CopyState::Settled(from));
+                self.log(ProtocolEvent::PushSettled {
+                    at: now,
+                    data,
+                    node: from,
+                    ncl: k,
+                });
+                continue;
+            }
+            if !ctx.try_transmit(item.size) {
+                continue; // contact too short; retry later
+            }
+            if self.insert_physical(ctx, to, item) {
+                self.set_copy(data, k, CopyState::transit(to, central));
+                if to == central {
                     self.log(ProtocolEvent::PushSettled {
                         at: now,
                         data,
-                        node: from,
-                        ncl: k,
-                    });
-                    continue;
-                }
-                if !ctx.try_transmit(item.size) {
-                    continue; // contact too short; retry later
-                }
-                if self.insert_physical(ctx, to, item) {
-                    self.set_copy(data, k, CopyState::transit(to, central));
-                    if to == central {
-                        self.log(ProtocolEvent::PushSettled {
-                            at: now,
-                            data,
-                            node: to,
-                            ncl: k,
-                        });
-                    }
-                    self.drop_physical_if_unreferenced(from, data);
-                } else {
-                    // Traditional policy could not make room either.
-                    self.set_copy(data, k, CopyState::Settled(from));
-                    self.log(ProtocolEvent::PushSettled {
-                        at: now,
-                        data,
-                        node: from,
+                        node: to,
                         ncl: k,
                     });
                 }
+                self.drop_physical_if_unreferenced(from, data);
+            } else {
+                // Traditional policy could not make room either.
+                self.set_copy(data, k, CopyState::Settled(from));
+                self.log(ProtocolEvent::PushSettled {
+                    at: now,
+                    data,
+                    node: from,
+                    ncl: k,
+                });
             }
         }
+        batch.clear();
+        self.sx_push_batch = batch;
     }
 
+    /// Routes every copy-state transition, keeping the per-node copy
+    /// indexes, membership counters and dirty generations in sync.
     fn set_copy(&mut self, data: DataId, k: usize, state: CopyState) {
-        if let Some(states) = self.copies.get_mut(&data) {
-            states[k] = state;
+        let Some(states) = self.copies.get_mut(&data) else {
+            return;
+        };
+        let old = states[k];
+        if old == state {
+            return;
+        }
+        states[k] = state;
+        let k32 = k as u32;
+        match old {
+            CopyState::Carried(h) => {
+                remove_copy_entry(&mut self.carried_at[h.index()], data, k32);
+                self.member_count[h.index()][k] -= 1;
+                self.cache_gen[h.index()] += 1;
+            }
+            CopyState::Settled(h) => {
+                remove_copy_entry(&mut self.settled_at[h.index()], data, k32);
+                self.member_count[h.index()][k] -= 1;
+                self.cache_gen[h.index()] += 1;
+            }
+            CopyState::Dropped => {}
+        }
+        match state {
+            CopyState::Carried(h) => {
+                self.carried_at[h.index()].push((data, k32));
+                self.member_count[h.index()][k] += 1;
+                self.cache_gen[h.index()] += 1;
+            }
+            CopyState::Settled(h) => {
+                self.settled_at[h.index()].push((data, k32));
+                self.member_count[h.index()][k] += 1;
+                self.cache_gen[h.index()] += 1;
+            }
+            CopyState::Dropped => {}
         }
     }
 
     /// §V-B: advance query copies toward their central nodes.
     fn advance_pulls(&mut self, ctx: &mut SimCtx<'_>, a: NodeId, b: NodeId) {
         let now = ctx.now();
-        let mut arrived = Vec::new();
         let query_size = ctx.query_size();
-        for (i, pull) in self.pulls.iter_mut().enumerate() {
-            if !ctx.query_is_open(pull.query.id) {
-                continue;
-            }
-            let (from, to) = if pull.carrier == a {
-                (a, b)
-            } else if pull.carrier == b {
-                (b, a)
-            } else {
+        let mut batch = mem::take(&mut self.sx_batch);
+        batch.clear();
+        batch.extend(
+            self.pull_at[a.index()]
+                .iter()
+                .map(|&id| (self.pulls.seq(id).expect("indexed pull live"), id)),
+        );
+        if b != a {
+            batch.extend(
+                self.pull_at[b.index()]
+                    .iter()
+                    .map(|&id| (self.pulls.seq(id).expect("indexed pull live"), id)),
+            );
+        }
+        batch.sort_unstable();
+        let mut arrived = mem::take(&mut self.sx_arrived);
+        arrived.clear();
+        for &(_, id) in &batch {
+            let Some(&pull) = self.pulls.get(id) else {
                 continue;
             };
+            if !ctx.query_is_open(pull.query.id) {
+                self.remove_pull(id);
+                continue;
+            }
+            let (from, to) = if pull.carrier == a { (a, b) } else { (b, a) };
             let central = self.centrals[pull.ncl];
             let oracle = self.oracle.as_mut().expect("configured");
             if !better_relay(oracle, ctx.rate_table(), now, from, to, central) {
@@ -532,23 +953,23 @@ impl IntentionalScheme {
             if !ctx.try_transmit(query_size) {
                 continue;
             }
-            pull.carrier = to;
+            self.pulls.get_mut(id).expect("live").carrier = to;
+            remove_u32(&mut self.pull_at[from.index()], id);
+            self.pull_at[to.index()].push(id);
             if to == central {
-                arrived.push(i);
+                arrived.push(id);
             }
         }
-        // Handle arrivals (immediate reply or NCL broadcast), then drop
-        // the delivered pull copies.
-        for &i in &arrived {
-            let pull = self.pulls[i];
+        // Handle arrivals (immediate reply or NCL broadcast) in the
+        // order they advanced, dropping the delivered pull copies.
+        for &id in &arrived {
+            let pull = self.remove_pull(id).expect("arrived pull live");
             self.handle_query_at_central(ctx, pull.query, pull.ncl);
         }
-        let mut index = 0;
-        self.pulls.retain(|_| {
-            let keep = !arrived.contains(&index);
-            index += 1;
-            keep
-        });
+        arrived.clear();
+        self.sx_arrived = arrived;
+        batch.clear();
+        self.sx_batch = batch;
     }
 
     /// A query reached central node `centrals[ncl]` (§V-B, Fig. 6).
@@ -580,11 +1001,14 @@ impl IntentionalScheme {
             // Otherwise broadcast among the NCL's caching nodes.
             let mut holders = HashSet::new();
             holders.insert(central);
-            self.broadcasts.push(BroadcastCopy {
+            let (id, seq) = self.broadcasts.insert(BroadcastCopy {
                 query,
                 ncl,
                 holders,
             });
+            self.bcast_at[central.index()].push(id);
+            self.pending_gc
+                .push(Reverse((query.expires_at, GC_BCAST, id, seq)));
         }
     }
 
@@ -592,39 +1016,66 @@ impl IntentionalScheme {
     /// caching the data decide probabilistically whether to respond.
     fn advance_broadcasts(&mut self, ctx: &mut SimCtx<'_>, a: NodeId, b: NodeId) {
         let query_size = ctx.query_size();
-        let mut decisions: Vec<(Query, NodeId, usize)> = Vec::new();
-        // Collect membership checks first to appease the borrow checker.
-        let mut spreads: Vec<(usize, NodeId)> = Vec::new();
-        for (i, bc) in self.broadcasts.iter().enumerate() {
-            if !ctx.query_is_open(bc.query.id) {
+        let mut batch = mem::take(&mut self.sx_batch);
+        batch.clear();
+        batch.extend(
+            self.bcast_at[a.index()]
+                .iter()
+                .map(|&id| (self.broadcasts.seq(id).expect("indexed broadcast live"), id)),
+        );
+        if b != a {
+            batch.extend(
+                self.bcast_at[b.index()]
+                    .iter()
+                    .map(|&id| (self.broadcasts.seq(id).expect("indexed broadcast live"), id)),
+            );
+        }
+        batch.sort_unstable();
+        batch.dedup(); // a broadcast held by both endpoints appears twice
+        let mut spreads = mem::take(&mut self.sx_spreads);
+        spreads.clear();
+        for &(_, id) in &batch {
+            let Some(open) = self
+                .broadcasts
+                .get(id)
+                .map(|bc| ctx.query_is_open(bc.query.id))
+            else {
+                continue;
+            };
+            if !open {
+                self.remove_broadcast(id);
                 continue;
             }
+            let bc = self.broadcasts.get(id).expect("live");
             for (from, to) in [(a, b), (b, a)] {
                 if bc.holders.contains(&from)
                     && !bc.holders.contains(&to)
                     && (self.is_member(to, bc.ncl) || to == self.centrals[bc.ncl])
                 {
-                    spreads.push((i, to));
+                    spreads.push((id, to));
                 }
             }
         }
-        for (i, to) in spreads {
+        let mut decisions = mem::take(&mut self.sx_decisions);
+        decisions.clear();
+        for &(id, to) in &spreads {
             if !ctx.try_transmit(query_size) {
                 continue;
             }
-            let bc = &mut self.broadcasts[i];
+            let bc = self.broadcasts.get_mut(id).expect("live");
             bc.holders.insert(to);
-            let (query_id, data) = (bc.query.id, bc.query.data);
-            if self.buffers[to.index()].contains(data) {
-                decisions.push((bc.query, to, bc.ncl));
+            let (query, ncl) = (bc.query, bc.ncl);
+            self.bcast_at[to.index()].push(id);
+            if self.buffers[to.index()].contains(query.data) {
+                decisions.push((query, to, ncl));
             }
             self.log(ProtocolEvent::BroadcastSpread {
                 at: ctx.now(),
-                query: query_id,
+                query: query.id,
                 node: to,
             });
         }
-        for (query, node, ncl) in decisions {
+        for &(query, node, ncl) in &decisions {
             let before = self.responses.len();
             self.maybe_respond(ctx, query, node);
             if self.responses.len() > before {
@@ -633,12 +1084,27 @@ impl IntentionalScheme {
                 }
             }
         }
+        decisions.clear();
+        self.sx_decisions = decisions;
+        spreads.clear();
+        self.sx_spreads = spreads;
+        batch.clear();
+        self.sx_batch = batch;
     }
 
     /// §V-C: one response decision per (query, caching node).
     fn maybe_respond(&mut self, ctx: &mut SimCtx<'_>, query: Query, node: NodeId) {
-        if !self.responded.insert((query.id, node)) {
-            return; // already decided
+        match self.responded.entry(query.id) {
+            Entry::Occupied(mut o) => {
+                if !o.get_mut().insert(node) {
+                    return; // already decided
+                }
+            }
+            Entry::Vacant(v) => {
+                v.insert(HashSet::from([node]));
+                self.responded_gc
+                    .push(Reverse((query.expires_at, query.id)));
+            }
         }
         let remaining = query.remaining(ctx.now());
         if remaining == Duration::ZERO {
@@ -688,43 +1154,95 @@ impl IntentionalScheme {
         if let ForwardingStrategy::SprayAndWait { initial_copies } = self.cfg.response_routing {
             msg = msg.with_copy_budget(initial_copies);
         }
-        self.responses.push(ResponseInFlight { query, msg });
+        let (id, seq) = self.responses.insert(ResponseInFlight { query, msg });
+        self.resp_at[from.index()].push(id);
+        self.pending_gc
+            .push(Reverse((query.expires_at, GC_RESP, id, seq)));
     }
 
     /// Return cached data copies to their requesters using the
     /// configured forwarding strategy (§V-B).
     fn advance_responses(&mut self, ctx: &mut SimCtx<'_>, a: NodeId, b: NodeId) {
         let now = ctx.now();
-        let open: Vec<bool> = self
-            .responses
-            .iter()
-            .map(|r| ctx.query_is_open(r.query.id))
-            .collect();
+        let mut batch = mem::take(&mut self.sx_batch);
+        batch.clear();
+        batch.extend(
+            self.resp_at[a.index()]
+                .iter()
+                .map(|&id| (self.responses.seq(id).expect("indexed response live"), id)),
+        );
+        if b != a {
+            batch.extend(
+                self.resp_at[b.index()]
+                    .iter()
+                    .map(|&id| (self.responses.seq(id).expect("indexed response live"), id)),
+            );
+        }
+        batch.sort_unstable();
+        batch.dedup(); // multi-copy responses may be carried by both ends
+        let mut process = mem::take(&mut self.sx_process);
+        process.clear();
+        for &(_, id) in &batch {
+            let Some(resp) = self.responses.get(id) else {
+                continue;
+            };
+            if ctx.query_is_open(resp.query.id) {
+                process.push(id);
+            } else {
+                self.remove_response(id);
+            }
+        }
         let strategy = self.cfg.response_routing;
-        let oracle = self.oracle.as_mut().expect("configured");
-        let mut delivered = Vec::new();
+        let mut delivered = mem::take(&mut self.sx_delivered);
+        delivered.clear();
         {
+            let oracle = self.oracle.as_mut().expect("configured");
             let mut link = ctx.link_access();
-            for (resp, is_open) in self.responses.iter_mut().zip(&open) {
-                if !*is_open {
-                    continue;
+            for &id in &process {
+                let resp = self.responses.get_mut(id).expect("live");
+                let had_a = resp.msg.carries(a);
+                let had_b = resp.msg.carries(b);
+                let done = resp
+                    .msg
+                    .on_contact_fast(strategy, oracle, now, a, b, &mut link);
+                let has_a = resp.msg.carries(a);
+                let has_b = resp.msg.carries(b);
+                let query = resp.query.id;
+                if had_a != has_a {
+                    if has_a {
+                        self.resp_at[a.index()].push(id);
+                    } else {
+                        remove_u32(&mut self.resp_at[a.index()], id);
+                    }
                 }
-                let out = resp.msg.on_contact(strategy, oracle, now, a, b, &mut link);
-                if out.delivered {
-                    delivered.push(resp.query.id);
+                if b != a && had_b != has_b {
+                    if has_b {
+                        self.resp_at[b.index()].push(id);
+                    } else {
+                        remove_u32(&mut self.resp_at[b.index()], id);
+                    }
+                }
+                if done {
+                    delivered.push((id, query));
                 }
             }
         }
         let at = ctx.now();
-        for id in delivered {
+        for &(id, query) in &delivered {
             if matches!(
-                ctx.mark_delivered(id),
+                ctx.mark_delivered(query),
                 dtn_sim::engine::DeliveryOutcome::Accepted { .. }
             ) {
-                self.log(ProtocolEvent::Delivered { at, query: id });
+                self.log(ProtocolEvent::Delivered { at, query });
             }
+            self.remove_response(id);
         }
-        self.responses.retain(|r| !r.msg.is_delivered());
+        delivered.clear();
+        self.sx_delivered = delivered;
+        process.clear();
+        self.sx_process = process;
+        batch.clear();
+        self.sx_batch = batch;
     }
 
     /// §V-D: contact-time cache replacement between two caching nodes.
@@ -736,34 +1254,81 @@ impl IntentionalScheme {
     /// removed from the network when no participant can hold them
     /// ("in cases of limited cache space, some cached data with lower
     /// popularity may be removed", §V-D-2).
+    ///
+    /// When a previous meeting of this pair found every NCL pool empty
+    /// and neither node's copy state or buffer changed since (dirty
+    /// generations match), the whole exchange is provably a no-op — the
+    /// reference implementation returns before any oracle or RNG use on
+    /// empty pools — and is skipped.
     fn exchange_caches(&mut self, ctx: &mut SimCtx<'_>, a: NodeId, b: NodeId) {
         if self.cfg.replacement != ReplacementKind::UtilityKnapsack {
             return;
         }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        let gens = (
+            self.cache_gen[key.0.index()],
+            self.cache_gen[key.1.index()],
+            self.buffers[key.0.index()].generation(),
+            self.buffers[key.1.index()].generation(),
+        );
+        if self.pair_clean.get(&key) == Some(&gens) {
+            return;
+        }
         let now = ctx.now();
+        let mut all_empty = true;
         for k in 0..self.centrals.len() {
-            self.exchange_ncl(ctx, a, b, k, now);
+            if !self.exchange_ncl(ctx, a, b, k, now) {
+                all_empty = false;
+            }
+        }
+        if all_empty {
+            self.pair_clean.insert(key, gens);
+        } else {
+            self.pair_clean.remove(&key);
         }
     }
 
-    fn exchange_ncl(&mut self, ctx: &mut SimCtx<'_>, a: NodeId, b: NodeId, k: usize, now: Time) {
+    /// Runs the §V-D exchange for NCL `k`. Returns whether the pooled
+    /// item set was empty (used for the pair-skip memo).
+    fn exchange_ncl(
+        &mut self,
+        ctx: &mut SimCtx<'_>,
+        a: NodeId,
+        b: NodeId,
+        k: usize,
+        now: Time,
+    ) -> bool {
         // Pool the settled copies of NCL k held by either node, skipping
         // copies whose physical bytes are pinned by another NCL's tag at
-        // the same node (they are not free to move).
-        let mut pool: Vec<(DataItem, NodeId)> = Vec::new();
-        for (&data, states) in &self.copies {
-            let CopyState::Settled(holder) = states[k] else {
-                continue;
-            };
-            if holder != a && holder != b {
-                continue;
+        // the same node (they are not free to move). Candidates come
+        // from the per-holder indexes, sorted by data id to match the
+        // reference implementation's copy-table iteration order.
+        let mut cand = mem::take(&mut self.sx_push_batch);
+        cand.clear();
+        for &(data, kk) in &self.settled_at[a.index()] {
+            if kk as usize == k {
+                cand.push((data, a.0));
             }
+        }
+        if b != a {
+            for &(data, kk) in &self.settled_at[b.index()] {
+                if kk as usize == k {
+                    cand.push((data, b.0));
+                }
+            }
+        }
+        cand.sort_unstable();
+        let mut pool = mem::take(&mut self.sx_pool);
+        pool.clear();
+        for &(data, holder_raw) in &cand {
+            let holder = NodeId(holder_raw);
             let Some(&item) = self.registry.get(data) else {
                 continue;
             };
             if !item.is_alive(now) {
                 continue;
             }
+            let states = self.copies.get(&data).expect("settled copy is tracked");
             let pinned = states
                 .iter()
                 .enumerate()
@@ -772,8 +1337,11 @@ impl IntentionalScheme {
                 pool.push((item, holder));
             }
         }
+        cand.clear();
+        self.sx_push_batch = cand;
         if pool.is_empty() {
-            return;
+            self.sx_pool = pool;
+            return true;
         }
         // Nothing to optimise if only one node participates and already
         // holds everything — still run when both hold copies or the
@@ -790,65 +1358,81 @@ impl IntentionalScheme {
             self.meta[holder.index()].on_remove(item.id);
         }
 
-        let items: Vec<CacheItem> = pool
-            .iter()
-            .map(|(d, _)| CacheItem {
-                size: d.size,
-                utility: self.registry.popularity(d.id, now),
-            })
-            .collect();
+        let mut items = mem::take(&mut self.sx_items);
+        items.clear();
+        items.extend(pool.iter().map(|(d, _)| CacheItem {
+            size: d.size,
+            utility: self.registry.popularity(d.id, now),
+        }));
 
         // Algorithm 1 (or the deterministic basic strategy when
         // ablated) for the better-placed node, then the remainder for
-        // the other.
+        // the other. The solver reuses its DP scratch across calls.
         let cap_first = self.buffers[first.index()].free();
-        let chosen_first = if self.cfg.probabilistic_selection {
-            self.solver
-                .probabilistic_select(&items, cap_first, ctx.rng())
+        let mut chosen_first = mem::take(&mut self.sx_chosen);
+        chosen_first.clear();
+        if self.cfg.probabilistic_selection {
+            chosen_first.extend_from_slice(self.solver.probabilistic_select_in(
+                &items,
+                cap_first,
+                ctx.rng(),
+            ));
         } else {
-            self.solver.solve(&items, cap_first).indices
-        };
-        let first_set: HashSet<usize> = chosen_first.iter().copied().collect();
-        let rest: Vec<usize> = (0..items.len())
-            .filter(|i| !first_set.contains(i))
-            .collect();
-        let rest_items: Vec<CacheItem> = rest.iter().map(|&i| items[i]).collect();
+            chosen_first.extend_from_slice(&self.solver.solve_in(&items, cap_first).indices);
+        }
+        let mut in_first = mem::take(&mut self.sx_in_first);
+        in_first.clear();
+        in_first.resize(items.len(), false);
+        for &i in &chosen_first {
+            in_first[i] = true;
+        }
+        let mut rest = mem::take(&mut self.sx_rest);
+        rest.clear();
+        rest.extend((0..items.len()).filter(|&i| !in_first[i]));
+        let mut rest_items = mem::take(&mut self.sx_rest_items);
+        rest_items.clear();
+        rest_items.extend(rest.iter().map(|&i| items[i]));
         let cap_second = self.buffers[second.index()].free();
-        let chosen_second_local = if self.cfg.probabilistic_selection {
-            self.solver
-                .probabilistic_select(&rest_items, cap_second, ctx.rng())
-        } else {
-            self.solver.solve(&rest_items, cap_second).indices
-        };
-        let second_set: HashSet<usize> = chosen_second_local.iter().map(|&j| rest[j]).collect();
+        let mut in_second = mem::take(&mut self.sx_in_second);
+        in_second.clear();
+        in_second.resize(items.len(), false);
+        {
+            let chosen_second: &[usize] = if self.cfg.probabilistic_selection {
+                self.solver
+                    .probabilistic_select_in(&rest_items, cap_second, ctx.rng())
+            } else {
+                &self.solver.solve_in(&rest_items, cap_second).indices
+            };
+            for &j in chosen_second {
+                in_second[rest[j]] = true;
+            }
+        }
 
         let mut moves = 0u64;
-        for (i, (item, prior_holder)) in pool.iter().enumerate() {
-            let target = if first_set.contains(&i) {
+        for (i, &(item, prior_holder)) in pool.iter().enumerate() {
+            let target = if in_first[i] {
                 Some(first)
-            } else if second_set.contains(&i) {
+            } else if in_second[i] {
                 Some(second)
             } else {
                 None
             };
             // Preference: knapsack target, then where it was before.
-            let mut candidates: Vec<NodeId> = Vec::new();
-            if let Some(node) = target {
-                candidates.push(node);
-            }
-            if !candidates.contains(prior_holder) {
-                candidates.push(*prior_holder);
-            }
+            let fallback = if target == Some(prior_holder) {
+                None
+            } else {
+                Some(prior_holder)
+            };
             let mut placed = false;
-            for node in candidates {
-                let moved = node != *prior_holder;
+            for node in [target, fallback].into_iter().flatten() {
+                let moved = node != prior_holder;
                 // Moving needs bandwidth unless the bytes are already
                 // there via another NCL's copy.
                 let needs_transfer = moved && !self.buffers[node.index()].contains(item.id);
                 if needs_transfer && !ctx.try_transmit(item.size) {
                     continue; // contact too short to carry the move
                 }
-                if self.buffers[node.index()].insert(*item).is_ok() {
+                if self.buffers[node.index()].insert(item).is_ok() {
                     let pop = self.registry.popularity(item.id, now);
                     self.meta[node.index()].on_insert(item.id, now, pop, item.size);
                     self.set_copy(item.id, k, CopyState::Settled(node));
@@ -865,18 +1449,22 @@ impl IntentionalScheme {
             }
         }
         ctx.note_replacements(moves);
-    }
-}
 
-impl CopyState {
-    /// A copy that just moved to `node`: settled if `node` is the target
-    /// central node, still in transit otherwise.
-    fn transit(node: NodeId, central: NodeId) -> CopyState {
-        if node == central {
-            CopyState::Settled(node)
-        } else {
-            CopyState::Carried(node)
-        }
+        pool.clear();
+        self.sx_pool = pool;
+        items.clear();
+        self.sx_items = items;
+        chosen_first.clear();
+        self.sx_chosen = chosen_first;
+        in_first.clear();
+        self.sx_in_first = in_first;
+        rest.clear();
+        self.sx_rest = rest;
+        rest_items.clear();
+        self.sx_rest_items = rest_items;
+        in_second.clear();
+        self.sx_in_second = in_second;
+        false
     }
 }
 
@@ -886,16 +1474,22 @@ impl Scheme for IntentionalScheme {
             return;
         }
         self.registry.register(item);
+        self.data_gc.push(Reverse((item.expires_at, item.id)));
         // The source holds one physical copy and owes one to each NCL.
+        let k_count = self.centrals.len();
         if self.insert_physical(ctx, item.source, item) {
-            self.copies.insert(
-                item.id,
-                vec![CopyState::Carried(item.source); self.centrals.len()],
-            );
+            self.copies
+                .insert(item.id, vec![CopyState::Carried(item.source); k_count]);
+            let src = item.source.index();
+            for k in 0..k_count {
+                self.carried_at[src].push((item.id, k as u32));
+                self.member_count[src][k] += 1;
+            }
+            self.cache_gen[src] += 1;
         } else {
             // The item never fits anywhere; it is lost.
             self.copies
-                .insert(item.id, vec![CopyState::Dropped; self.centrals.len()]);
+                .insert(item.id, vec![CopyState::Dropped; k_count]);
         }
     }
 
@@ -918,11 +1512,14 @@ impl Scheme for IntentionalScheme {
             if central == query.requester {
                 self.handle_query_at_central(ctx, query, k);
             } else {
-                self.pulls.push(PullCopy {
+                let (id, seq) = self.pulls.insert(PullCopy {
                     query,
                     ncl: k,
                     carrier: query.requester,
                 });
+                self.pull_at[query.requester.index()].push(id);
+                self.pending_gc
+                    .push(Reverse((query.expires_at, GC_PULL, id, seq)));
             }
         }
     }
@@ -982,6 +1579,23 @@ impl CachingScheme for IntentionalScheme {
             .iter()
             .map(|_| NodeCacheMeta::default())
             .collect();
+        let n = setup.capacities.len();
+        self.copies.clear();
+        self.pulls.clear();
+        self.broadcasts.clear();
+        self.responses.clear();
+        self.pull_at = vec![Vec::new(); n];
+        self.bcast_at = vec![Vec::new(); n];
+        self.resp_at = vec![Vec::new(); n];
+        self.carried_at = vec![Vec::new(); n];
+        self.settled_at = vec![Vec::new(); n];
+        self.member_count = vec![vec![0; self.centrals.len()]; n];
+        self.cache_gen = vec![0; n];
+        self.pair_clean.clear();
+        self.pending_gc.clear();
+        self.data_gc.clear();
+        self.responded.clear();
+        self.responded_gc.clear();
     }
 
     fn central_nodes(&self) -> &[NodeId] {
@@ -996,10 +1610,36 @@ impl CachingScheme for IntentionalScheme {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference::ReferenceIntentionalScheme;
     use dtn_core::time::Duration;
     use dtn_sim::engine::{SimConfig, Simulator, WorkloadEvent};
     use dtn_trace::synthetic::SyntheticTraceBuilder;
     use dtn_trace::trace::ContactTrace;
+
+    fn run_scheme<S: CachingScheme>(
+        trace: &ContactTrace,
+        scheme: S,
+        events: Vec<WorkloadEvent>,
+        sim_cfg: SimConfig,
+    ) -> dtn_sim::metrics::Metrics {
+        let mut sim = Simulator::new(trace, scheme, sim_cfg);
+        let mid = trace.midpoint();
+        sim.run_until(mid);
+        let capacities: Vec<u64> = (0..trace.node_count() as u32)
+            .map(|n| sim.buffer_capacity(NodeId(n)))
+            .collect();
+        let rate_table = sim.rate_table().clone();
+        let setup = NetworkSetup {
+            rate_table: &rate_table,
+            now: mid,
+            capacities,
+            horizon: 3600.0,
+        };
+        sim.scheme_mut().configure(&setup);
+        sim.add_workload(events);
+        sim.run_to_end();
+        sim.metrics().clone()
+    }
 
     fn run_intentional(
         trace: &ContactTrace,
@@ -1017,8 +1657,9 @@ mod tests {
         let capacities: Vec<u64> = (0..trace.node_count() as u32)
             .map(|n| sim.buffer_capacity(NodeId(n)))
             .collect();
+        let rate_table = sim.rate_table().clone();
         let setup = NetworkSetup {
-            rate_table: &sim.rate_table().clone(),
+            rate_table: &rate_table,
             now: mid,
             capacities,
             horizon: 3600.0,
@@ -1042,6 +1683,30 @@ mod tests {
         WorkloadEvent::GenerateData {
             item: DataItem::new(DataId(id), NodeId(source), size, at, life),
         }
+    }
+
+    fn mixed_workload(trace: &ContactTrace, items: u64, size: u64) -> Vec<WorkloadEvent> {
+        let mid = trace.midpoint();
+        let life = Duration::days(1);
+        let mut events = Vec::new();
+        for i in 0..items {
+            events.push(gen_event(
+                i,
+                (i % 16) as u32,
+                size,
+                mid + Duration::minutes(i),
+                life,
+            ));
+        }
+        for i in 0..items {
+            events.push(WorkloadEvent::IssueQuery {
+                at: mid + Duration::hours(1) + Duration::minutes(i),
+                requester: NodeId(((i + 5) % 16) as u32),
+                data: DataId(i),
+                constraint: Duration::hours(12),
+            });
+        }
+        events
     }
 
     #[test]
@@ -1228,6 +1893,7 @@ mod tests {
         for buf in &sim.scheme().buffers {
             assert!(buf.used() <= buf.capacity());
         }
+        sim.scheme().validate().expect("indexes stay consistent");
     }
 
     #[test]
@@ -1339,5 +2005,68 @@ mod tests {
                 p_max: 0.8
             }
         );
+    }
+
+    #[test]
+    fn matches_reference_scheme_bit_for_bit() {
+        // The indexed-queue engine must reproduce the retain-sweep
+        // reference implementation exactly: same RNG draws, same link
+        // charges, same metrics. The broader randomized suite lives in
+        // tests/scheme_equivalence.rs; this is the fast smoke check.
+        for seed in [11u64, 12, 13] {
+            let trace = busy_trace(seed);
+            let cfg = IntentionalConfig {
+                ncl_count: 3,
+                ..IntentionalConfig::default()
+            };
+            let events = mixed_workload(&trace, 10, 900);
+            let sim_cfg = SimConfig {
+                seed,
+                ..SimConfig::default()
+            };
+            let fast = run_scheme(
+                &trace,
+                IntentionalScheme::new(cfg.clone()),
+                events.clone(),
+                sim_cfg.clone(),
+            );
+            let reference = run_scheme(
+                &trace,
+                ReferenceIntentionalScheme::new(cfg),
+                events,
+                sim_cfg,
+            );
+            assert_eq!(fast, reference, "seed {seed} diverged from reference");
+        }
+    }
+
+    #[test]
+    fn matches_reference_under_replacement_pressure() {
+        // Tight buffers force evictions, knapsack exchanges and push
+        // settles — the paths with the trickiest index bookkeeping.
+        let trace = busy_trace(14);
+        let cfg = IntentionalConfig {
+            ncl_count: 2,
+            ..IntentionalConfig::default()
+        };
+        let events = mixed_workload(&trace, 12, 400);
+        let sim_cfg = SimConfig {
+            buffer_range: (1000, 1200),
+            seed: 14,
+            ..SimConfig::default()
+        };
+        let fast = run_scheme(
+            &trace,
+            IntentionalScheme::new(cfg.clone()),
+            events.clone(),
+            sim_cfg.clone(),
+        );
+        let reference = run_scheme(
+            &trace,
+            ReferenceIntentionalScheme::new(cfg),
+            events,
+            sim_cfg,
+        );
+        assert_eq!(fast, reference);
     }
 }

@@ -41,6 +41,7 @@ pub mod baselines;
 pub mod common;
 pub mod experiment;
 pub mod intentional;
+pub mod reference;
 pub mod replacement;
 pub mod routing;
 

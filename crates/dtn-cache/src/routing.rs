@@ -163,6 +163,11 @@ impl RoutedMessage {
         self.copies.len()
     }
 
+    /// Whether `node` currently carries a copy.
+    pub fn carries(&self, node: NodeId) -> bool {
+        self.carried_by(node).is_some()
+    }
+
     fn carried_by(&self, node: NodeId) -> Option<usize> {
         self.copies.iter().position(|c| c.carrier == node)
     }
@@ -183,8 +188,44 @@ impl RoutedMessage {
         link: &mut impl Link,
     ) -> ContactOutcome {
         let mut outcome = ContactOutcome::default();
+        outcome.delivered = self.advance_inner(strategy, oracle, now, a, b, link, &mut |f, t| {
+            outcome.transfers.push((f, t))
+        });
+        outcome
+    }
+
+    /// Advances the message like [`on_contact`](Self::on_contact) but
+    /// only reports delivery, skipping the per-hop transfer log — for
+    /// hot paths that never read `ContactOutcome::transfers`. Same state
+    /// transitions and the same `link` charge sequence.
+    pub fn on_contact_fast(
+        &mut self,
+        strategy: ForwardingStrategy,
+        oracle: &mut PathOracle,
+        now: Time,
+        a: NodeId,
+        b: NodeId,
+        link: &mut impl Link,
+    ) -> bool {
+        self.advance_inner(strategy, oracle, now, a, b, link, &mut |_, _| {})
+    }
+
+    /// Shared advancement core; `transfers` observes each relay hop.
+    /// Returns whether the destination received the message during this
+    /// contact.
+    #[allow(clippy::too_many_arguments)]
+    fn advance_inner(
+        &mut self,
+        strategy: ForwardingStrategy,
+        oracle: &mut PathOracle,
+        now: Time,
+        a: NodeId,
+        b: NodeId,
+        link: &mut impl Link,
+        transfers: &mut dyn FnMut(NodeId, NodeId),
+    ) -> bool {
         if self.delivered {
-            return outcome;
+            return false;
         }
         for (from, to) in [(a, b), (b, a)] {
             let Some(idx) = self.carried_by(from) else {
@@ -194,10 +235,10 @@ impl RoutedMessage {
             if to == self.destination {
                 if link.try_transmit(self.size) {
                     self.delivered = true;
-                    outcome.delivered = true;
-                    outcome.transfers.push((from, to));
+                    transfers(from, to);
+                    return true;
                 }
-                return outcome;
+                return false;
             }
             match strategy {
                 ForwardingStrategy::Direct => {}
@@ -207,7 +248,7 @@ impl RoutedMessage {
                         && link.try_transmit(self.size)
                     {
                         self.copies[idx].carrier = to;
-                        outcome.transfers.push((from, to));
+                        transfers(from, to);
                     }
                 }
                 ForwardingStrategy::SprayAndWait { .. } => {
@@ -219,7 +260,7 @@ impl RoutedMessage {
                             carrier: to,
                             tokens: given,
                         });
-                        outcome.transfers.push((from, to));
+                        transfers(from, to);
                     }
                 }
                 ForwardingStrategy::Epidemic => {
@@ -228,12 +269,12 @@ impl RoutedMessage {
                             carrier: to,
                             tokens: 1,
                         });
-                        outcome.transfers.push((from, to));
+                        transfers(from, to);
                     }
                 }
             }
         }
-        outcome
+        false
     }
 }
 
@@ -435,6 +476,41 @@ mod tests {
     #[should_panic(expected = "already at its destination")]
     fn message_to_self_panics() {
         let _ = RoutedMessage::new(NodeId(1), 10, NodeId(1));
+    }
+
+    #[test]
+    fn fast_path_matches_logged_path() {
+        // on_contact and on_contact_fast must produce identical state and
+        // delivery results for the same contact sequence.
+        let mut w = wire();
+        let mut o = oracle();
+        let mut logged = RoutedMessage::new(NodeId(3), 100, NodeId(0));
+        let mut fast = logged.clone();
+        for (a, b, t) in [(0u32, 1u32, 600u64), (1, 2, 700), (2, 3, 800)] {
+            let out = logged.on_contact(
+                ForwardingStrategy::Greedy,
+                &mut o,
+                Time(t),
+                NodeId(a),
+                NodeId(b),
+                &mut w,
+            );
+            let delivered = fast.on_contact_fast(
+                ForwardingStrategy::Greedy,
+                &mut o,
+                Time(t),
+                NodeId(a),
+                NodeId(b),
+                &mut w,
+            );
+            assert_eq!(out.delivered, delivered);
+            assert_eq!(logged, fast);
+        }
+        assert!(fast.is_delivered());
+        assert!(
+            fast.carries(NodeId(2)),
+            "copy stays where it delivered from"
+        );
     }
 
     mod properties {

@@ -40,12 +40,18 @@ pub struct Selection {
 
 /// 0/1 knapsack solver with size quantisation.
 ///
+/// The solver owns reusable scratch buffers (DP table, decision bits,
+/// Algorithm-1 pools), so a long-lived solver performs no per-call heap
+/// allocation once the buffers have grown to the working-set size: the
+/// `*_in` methods return borrowed results, and the owned-result methods
+/// merely copy out of the scratch.
+///
 /// # Example
 ///
 /// ```
 /// use dtn_core::knapsack::{CacheItem, KnapsackSolver};
 ///
-/// let solver = KnapsackSolver::new(1);
+/// let mut solver = KnapsackSolver::new(1);
 /// let items = [
 ///     CacheItem { size: 4, utility: 0.9 },
 ///     CacheItem { size: 3, utility: 0.6 },
@@ -55,9 +61,20 @@ pub struct Selection {
 /// let sel = solver.solve(&items, 6);
 /// assert_eq!(sel.indices, vec![1, 2]);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct KnapsackSolver {
     quantum: u64,
+    // Reusable scratch: grown on demand, never shrunk, so steady-state
+    // calls allocate nothing.
+    weights: Vec<usize>,
+    dp: Vec<f64>,
+    take: Vec<bool>,
+    out: Selection,
+    sel_pool: Vec<usize>,
+    sel_pool_items: Vec<CacheItem>,
+    sel_candidates: Vec<usize>,
+    sel_taken: Vec<usize>,
+    sel_out: Vec<usize>,
 }
 
 impl Default for KnapsackSolver {
@@ -72,6 +89,17 @@ impl Default for KnapsackSolver {
 /// pools of near-zero-utility items cannot spin forever.
 const MAX_STALLED_ROUNDS: u32 = 8;
 
+fn validate_items(items: &[CacheItem]) {
+    for it in items {
+        assert!(it.size > 0, "items must have positive size");
+        assert!(
+            it.utility.is_finite() && it.utility >= 0.0,
+            "utility must be finite and non-negative, got {}",
+            it.utility
+        );
+    }
+}
+
 impl KnapsackSolver {
     /// Creates a solver that quantises sizes to multiples of `quantum`
     /// bytes (item sizes round up, capacity rounds down — selections are
@@ -82,7 +110,18 @@ impl KnapsackSolver {
     /// Panics if `quantum == 0`.
     pub fn new(quantum: u64) -> Self {
         assert!(quantum > 0, "quantum must be positive");
-        KnapsackSolver { quantum }
+        KnapsackSolver {
+            quantum,
+            weights: Vec::new(),
+            dp: Vec::new(),
+            take: Vec::new(),
+            out: Selection::default(),
+            sel_pool: Vec::new(),
+            sel_pool_items: Vec::new(),
+            sel_candidates: Vec::new(),
+            sel_taken: Vec::new(),
+            sel_out: Vec::new(),
+        }
     }
 
     /// The configured quantum in bytes.
@@ -93,62 +132,108 @@ impl KnapsackSolver {
     /// Solves the 0/1 knapsack exactly (at quantum granularity) by
     /// dynamic programming: maximise `Σ u_i` subject to `Σ s_i ≤ capacity`.
     ///
+    /// Equivalent to [`solve_in`](Self::solve_in) but returns an owned
+    /// `Selection` (one clone of the scratch result).
+    ///
     /// # Panics
     ///
     /// Panics if an item has zero size or a utility that is negative or
     /// not finite.
-    pub fn solve(&self, items: &[CacheItem], capacity: u64) -> Selection {
-        for it in items {
-            assert!(it.size > 0, "items must have positive size");
-            assert!(
-                it.utility.is_finite() && it.utility >= 0.0,
-                "utility must be finite and non-negative, got {}",
-                it.utility
-            );
-        }
+    pub fn solve(&mut self, items: &[CacheItem], capacity: u64) -> Selection {
+        self.solve_in(items, capacity).clone()
+    }
+
+    /// Solves the 0/1 knapsack into the solver's internal scratch and
+    /// returns a borrow of the result — zero heap allocation once the
+    /// scratch has grown to the working-set size.
+    ///
+    /// When every positive-utility item individually fits and their total
+    /// quantised weight fits the capacity, the DP is skipped entirely: the
+    /// optimum is exactly the positive-utility items in index order, which
+    /// is also what the DP reconstruction produces (zero-utility items can
+    /// never satisfy the strict `with > dp[w]` improvement test, and the
+    /// additions run in the same ascending-index order, so even the f64
+    /// `total_utility` is bit-identical to the DP path's).
+    ///
+    /// # Panics
+    ///
+    /// Same as [`solve`](Self::solve).
+    pub fn solve_in(&mut self, items: &[CacheItem], capacity: u64) -> &Selection {
+        validate_items(items);
+        self.out.indices.clear();
+        self.out.total_utility = 0.0;
+        self.out.total_size = 0;
         let cap_units = (capacity / self.quantum) as usize;
         if cap_units == 0 || items.is_empty() {
-            return Selection::default();
+            return &self.out;
         }
-        let weights: Vec<usize> = items
-            .iter()
-            .map(|it| (it.size.div_ceil(self.quantum)) as usize)
-            .collect();
+        self.weights.clear();
+        self.weights.extend(
+            items
+                .iter()
+                .map(|it| (it.size.div_ceil(self.quantum)) as usize),
+        );
 
+        // Fast path: everything worth taking fits at once.
+        let mut total_w = 0usize;
+        let mut individually_fit = true;
+        for (&w_i, it) in self.weights.iter().zip(items) {
+            if it.utility > 0.0 {
+                if w_i > cap_units {
+                    individually_fit = false;
+                    break;
+                }
+                total_w = total_w.saturating_add(w_i);
+            }
+        }
+        if individually_fit && total_w <= cap_units {
+            for (i, it) in items.iter().enumerate() {
+                if it.utility > 0.0 {
+                    self.out.indices.push(i);
+                    self.out.total_utility += it.utility;
+                    self.out.total_size += it.size;
+                }
+            }
+            return &self.out;
+        }
+
+        self.solve_dp(items, cap_units);
+        &self.out
+    }
+
+    /// Full DP over `self.weights` (already filled for `items`) into
+    /// `self.out` (already cleared).
+    fn solve_dp(&mut self, items: &[CacheItem], cap_units: usize) {
         // dp[w] = best utility using a prefix of items within weight w;
         // `take[i][w]` records the decision for reconstruction.
-        let mut dp = vec![0.0f64; cap_units + 1];
-        let mut take = vec![false; items.len() * (cap_units + 1)];
-        for (i, (&w_i, it)) in weights.iter().zip(items).enumerate() {
+        self.dp.clear();
+        self.dp.resize(cap_units + 1, 0.0);
+        self.take.clear();
+        self.take.resize(items.len() * (cap_units + 1), false);
+        for (i, (&w_i, it)) in self.weights.iter().zip(items).enumerate() {
             if w_i > cap_units {
                 continue;
             }
             let row = i * (cap_units + 1);
             for w in (w_i..=cap_units).rev() {
-                let with = dp[w - w_i] + it.utility;
-                if with > dp[w] {
-                    dp[w] = with;
-                    take[row + w] = true;
+                let with = self.dp[w - w_i] + it.utility;
+                if with > self.dp[w] {
+                    self.dp[w] = with;
+                    self.take[row + w] = true;
                 }
             }
         }
 
-        let mut indices = Vec::new();
         let mut w = cap_units;
         for i in (0..items.len()).rev() {
-            if take[i * (cap_units + 1) + w] {
-                indices.push(i);
-                w -= weights[i];
+            if self.take[i * (cap_units + 1) + w] {
+                self.out.indices.push(i);
+                w -= self.weights[i];
             }
         }
-        indices.reverse();
-        let total_utility = indices.iter().map(|&i| items[i].utility).sum();
-        let total_size = indices.iter().map(|&i| items[i].size).sum();
-        Selection {
-            indices,
-            total_utility,
-            total_size,
-        }
+        self.out.indices.reverse();
+        self.out.total_utility = self.out.indices.iter().map(|&i| items[i].utility).sum();
+        self.out.total_size = self.out.indices.iter().map(|&i| items[i].size).sum();
     }
 
     /// Greedy density-order approximation: picks items by descending
@@ -162,14 +247,7 @@ impl KnapsackSolver {
     ///
     /// Panics on the same invalid items as [`solve`](Self::solve).
     pub fn solve_greedy(&self, items: &[CacheItem], capacity: u64) -> Selection {
-        for it in items {
-            assert!(it.size > 0, "items must have positive size");
-            assert!(
-                it.utility.is_finite() && it.utility >= 0.0,
-                "utility must be finite and non-negative, got {}",
-                it.utility
-            );
-        }
+        validate_items(items);
         let mut order: Vec<usize> = (0..items.len()).collect();
         order.sort_by(|&a, &b| {
             let da = items[a].utility / items[a].size as f64;
@@ -210,6 +288,24 @@ impl KnapsackSolver {
 
     /// Algorithm 1: probabilistic data selection.
     ///
+    /// Equivalent to
+    /// [`probabilistic_select_in`](Self::probabilistic_select_in) but
+    /// returns an owned `Vec` (one copy of the scratch result).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same invalid items as [`solve`](Self::solve).
+    pub fn probabilistic_select<R: Rng + ?Sized>(
+        &mut self,
+        items: &[CacheItem],
+        capacity: u64,
+        rng: &mut R,
+    ) -> Vec<usize> {
+        self.probabilistic_select_in(items, capacity, rng).to_vec()
+    }
+
+    /// Algorithm 1: probabilistic data selection, into internal scratch.
+    ///
     /// Repeatedly solves the knapsack over the not-yet-selected items and
     /// walks the DP-selected candidates in decreasing utility order; each
     /// is actually cached with probability `u_i` (a Bernoulli experiment).
@@ -218,21 +314,32 @@ impl KnapsackSolver {
     /// pool empties, or a fixed number of consecutive rounds select
     /// nothing (guards against all-zero-utility pools).
     ///
-    /// Returns the indices of the items to cache, in selection order.
+    /// Returns the indices of the items to cache, in selection order. The
+    /// RNG draw sequence is identical to the historical allocating
+    /// implementation: one `gen_bool` per visited candidate, in the same
+    /// visit order.
     ///
     /// # Panics
     ///
     /// Panics on the same invalid items as [`solve`](Self::solve).
-    pub fn probabilistic_select<R: Rng + ?Sized>(
-        &self,
+    pub fn probabilistic_select_in<R: Rng + ?Sized>(
+        &mut self,
         items: &[CacheItem],
         capacity: u64,
         rng: &mut R,
-    ) -> Vec<usize> {
-        let mut selected = Vec::new();
+    ) -> &[usize] {
+        // Move the scratch vectors out so `self.solve_in` can be called
+        // while they are live; moved back before returning.
+        let mut selected = std::mem::take(&mut self.sel_out);
+        let mut pool = std::mem::take(&mut self.sel_pool);
+        let mut pool_items = std::mem::take(&mut self.sel_pool_items);
+        let mut candidates = std::mem::take(&mut self.sel_candidates);
+        let mut taken = std::mem::take(&mut self.sel_taken);
+        selected.clear();
         let mut remaining_cap = capacity;
         // Pool of candidate indices still up for selection.
-        let mut pool: Vec<usize> = (0..items.len()).collect();
+        pool.clear();
+        pool.extend(0..items.len());
         let mut stalled = 0;
 
         loop {
@@ -240,14 +347,16 @@ impl KnapsackSolver {
             if pool.is_empty() || stalled >= MAX_STALLED_ROUNDS {
                 break;
             }
-            let pool_items: Vec<CacheItem> = pool.iter().map(|&i| items[i]).collect();
-            let dp = self.solve(&pool_items, remaining_cap);
+            pool_items.clear();
+            pool_items.extend(pool.iter().map(|&i| items[i]));
+            let dp = self.solve_in(&pool_items, remaining_cap);
             if dp.indices.is_empty() {
                 break;
             }
             // Visit DP-selected candidates by decreasing utility (the
             // paper's argmax loop over S').
-            let mut candidates: Vec<usize> = dp.indices.clone();
+            candidates.clear();
+            candidates.extend_from_slice(&dp.indices);
             candidates.sort_by(|&a, &b| {
                 pool_items[b]
                     .utility
@@ -255,8 +364,8 @@ impl KnapsackSolver {
                     .then(a.cmp(&b))
             });
             let mut progressed = false;
-            let mut taken = Vec::new();
-            for c in candidates {
+            taken.clear();
+            for &c in &candidates {
                 let item = pool_items[c];
                 if item.size <= remaining_cap && rng.gen_bool(item.utility.clamp(0.0, 1.0)) {
                     selected.push(pool[c]);
@@ -268,12 +377,18 @@ impl KnapsackSolver {
             // Remove the taken items from the pool (descending positions
             // so indices stay valid).
             taken.sort_unstable_by(|a, b| b.cmp(a));
-            for c in taken {
+            for &c in &taken {
                 pool.swap_remove(c);
             }
             stalled = if progressed { 0 } else { stalled + 1 };
         }
-        selected
+
+        self.sel_pool = pool;
+        self.sel_pool_items = pool_items;
+        self.sel_candidates = candidates;
+        self.sel_taken = taken;
+        self.sel_out = selected;
+        &self.sel_out
     }
 }
 
@@ -308,9 +423,26 @@ mod tests {
         best
     }
 
+    /// Runs the full DP, bypassing the everything-fits fast path.
+    fn solve_forced_dp(s: &mut KnapsackSolver, it: &[CacheItem], capacity: u64) -> Selection {
+        validate_items(it);
+        s.out.indices.clear();
+        s.out.total_utility = 0.0;
+        s.out.total_size = 0;
+        let cap_units = (capacity / s.quantum) as usize;
+        if cap_units == 0 || it.is_empty() {
+            return s.out.clone();
+        }
+        s.weights.clear();
+        s.weights
+            .extend(it.iter().map(|x| (x.size.div_ceil(s.quantum)) as usize));
+        s.solve_dp(it, cap_units);
+        s.out.clone()
+    }
+
     #[test]
     fn empty_inputs() {
-        let s = KnapsackSolver::new(1);
+        let mut s = KnapsackSolver::new(1);
         assert_eq!(s.solve(&[], 10), Selection::default());
         let it = items(&[(5, 0.5)]);
         assert_eq!(s.solve(&it, 0), Selection::default());
@@ -318,7 +450,7 @@ mod tests {
 
     #[test]
     fn single_item_fits_or_not() {
-        let s = KnapsackSolver::new(1);
+        let mut s = KnapsackSolver::new(1);
         let it = items(&[(5, 0.5)]);
         assert_eq!(s.solve(&it, 5).indices, vec![0]);
         assert!(s.solve(&it, 4).indices.is_empty());
@@ -326,7 +458,7 @@ mod tests {
 
     #[test]
     fn classic_instance_is_optimal() {
-        let s = KnapsackSolver::new(1);
+        let mut s = KnapsackSolver::new(1);
         let it = items(&[(4, 0.9), (3, 0.6), (3, 0.5), (2, 0.1)]);
         let sel = s.solve(&it, 6);
         assert_eq!(sel.indices, vec![1, 2]);
@@ -338,7 +470,7 @@ mod tests {
     fn quantised_selection_still_fits_in_bytes() {
         // Sizes round UP under quantisation, so this 1000-quantum solver
         // must treat a 1500-byte item as 2 units and never overpack.
-        let s = KnapsackSolver::new(1000);
+        let mut s = KnapsackSolver::new(1000);
         let it = items(&[(1500, 0.9), (1500, 0.8), (1500, 0.7)]);
         let sel = s.solve(&it, 4000);
         assert!(sel.total_size <= 4000);
@@ -347,13 +479,48 @@ mod tests {
 
     #[test]
     fn matches_brute_force_small_instances() {
-        let s = KnapsackSolver::new(1);
+        let mut s = KnapsackSolver::new(1);
         let it = items(&[(3, 0.2), (5, 0.9), (2, 0.3), (4, 0.55), (1, 0.05)]);
         for cap in 0..=15 {
             let dp = s.solve(&it, cap).total_utility;
             let bf = brute_force(&it, cap);
             assert!((dp - bf).abs() < 1e-9, "cap {cap}: {dp} vs {bf}");
         }
+    }
+
+    #[test]
+    fn fast_path_matches_forced_dp() {
+        // The everything-fits fast path must return exactly what the DP
+        // would — same indices, bit-identical floats — including with
+        // zero-utility items in the mix (the DP's strict improvement test
+        // never takes them).
+        let mut s = KnapsackSolver::new(1);
+        let cases: &[Vec<CacheItem>] = &[
+            items(&[(3, 0.2), (5, 0.0), (2, 0.3), (4, 0.55), (1, 0.05)]),
+            items(&[(2, 0.0), (3, 0.0)]),
+            items(&[(1, 1.0), (1, 0.5), (1, 0.25)]),
+            items(&[(7, 0.9)]),
+        ];
+        for it in cases {
+            let total: u64 = it.iter().map(|x| x.size).sum();
+            for cap in 0..=total + 2 {
+                let fast = s.solve(it, cap);
+                let full = solve_forced_dp(&mut KnapsackSolver::new(1), it, cap);
+                assert_eq!(fast, full, "cap {cap} items {it:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_in_reuses_scratch_across_calls() {
+        // Back-to-back solves with different shapes must not leak state.
+        let mut s = KnapsackSolver::new(1);
+        let big = items(&[(4, 0.9), (3, 0.6), (3, 0.5), (2, 0.1)]);
+        let small = items(&[(5, 0.5)]);
+        assert_eq!(s.solve_in(&big, 6).indices, vec![1, 2]);
+        assert_eq!(s.solve_in(&small, 5).indices, vec![0]);
+        assert_eq!(s.solve_in(&big, 6).indices, vec![1, 2]);
+        assert!(s.solve_in(&small, 4).indices.is_empty());
     }
 
     #[test]
@@ -385,7 +552,7 @@ mod tests {
 
     #[test]
     fn probabilistic_select_respects_capacity() {
-        let s = KnapsackSolver::new(1);
+        let mut s = KnapsackSolver::new(1);
         let it = items(&[(4, 0.9), (3, 0.8), (3, 0.7), (2, 0.95)]);
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..50 {
@@ -402,7 +569,7 @@ mod tests {
 
     #[test]
     fn certain_utility_items_are_always_taken() {
-        let s = KnapsackSolver::new(1);
+        let mut s = KnapsackSolver::new(1);
         let it = items(&[(2, 1.0), (2, 1.0)]);
         let mut rng = StdRng::seed_from_u64(1);
         let sel = s.probabilistic_select(&it, 4, &mut rng);
@@ -411,7 +578,7 @@ mod tests {
 
     #[test]
     fn zero_utility_pool_terminates_empty() {
-        let s = KnapsackSolver::new(1);
+        let mut s = KnapsackSolver::new(1);
         let it = items(&[(2, 0.0), (3, 0.0)]);
         let mut rng = StdRng::seed_from_u64(1);
         let sel = s.probabilistic_select(&it, 10, &mut rng);
@@ -422,7 +589,7 @@ mod tests {
     fn low_utility_items_sometimes_survive() {
         // The whole point of Algorithm 1: a 0.2-utility item must be
         // cached in a non-negligible fraction of runs.
-        let s = KnapsackSolver::new(1);
+        let mut s = KnapsackSolver::new(1);
         let it = items(&[(2, 0.2)]);
         let mut rng = StdRng::seed_from_u64(99);
         let mut hits = 0;
@@ -438,9 +605,27 @@ mod tests {
     }
 
     #[test]
+    fn probabilistic_select_draws_match_across_scratch_reuse() {
+        // The same seed must produce the same selection whether the
+        // solver is fresh or has warm scratch from unrelated calls.
+        let it = items(&[(4, 0.9), (3, 0.8), (3, 0.7), (2, 0.95), (6, 0.4)]);
+        let mut fresh = KnapsackSolver::new(1);
+        let mut rng_a = StdRng::seed_from_u64(123);
+        let fresh_sel = fresh.probabilistic_select(&it, 9, &mut rng_a);
+
+        let mut warm = KnapsackSolver::new(1);
+        let _ = warm.solve(&items(&[(1, 0.5), (2, 0.25)]), 3);
+        let mut throwaway = StdRng::seed_from_u64(77);
+        let _ = warm.probabilistic_select(&it, 5, &mut throwaway);
+        let mut rng_b = StdRng::seed_from_u64(123);
+        let warm_sel = warm.probabilistic_select(&it, 9, &mut rng_b);
+        assert_eq!(fresh_sel, warm_sel);
+    }
+
+    #[test]
     #[should_panic(expected = "positive size")]
     fn zero_size_item_panics() {
-        let s = KnapsackSolver::new(1);
+        let mut s = KnapsackSolver::new(1);
         let _ = s.solve(&items(&[(0, 0.5)]), 10);
     }
 
@@ -461,12 +646,24 @@ mod tests {
                 cap in 0u64..60,
             ) {
                 let it = items(&specs);
-                let s = KnapsackSolver::new(1);
+                let mut s = KnapsackSolver::new(1);
                 let dp = s.solve(&it, cap);
                 let bf = brute_force(&it, cap);
                 prop_assert!((dp.total_utility - bf).abs() < 1e-9,
                     "{} vs {}", dp.total_utility, bf);
                 prop_assert!(dp.total_size <= cap);
+            }
+
+            #[test]
+            fn fast_path_indices_match_forced_dp(
+                specs in prop::collection::vec((1u64..20, 0.0f64..1.0), 1..10),
+                cap in 0u64..200,
+            ) {
+                let it = items(&specs);
+                let mut s = KnapsackSolver::new(1);
+                let fast = s.solve(&it, cap);
+                let full = solve_forced_dp(&mut KnapsackSolver::new(1), &it, cap);
+                prop_assert_eq!(fast, full);
             }
 
             #[test]
@@ -476,7 +673,7 @@ mod tests {
                 seed in any::<u64>(),
             ) {
                 let it = items(&specs);
-                let s = KnapsackSolver::new(1);
+                let mut s = KnapsackSolver::new(1);
                 let mut rng = StdRng::seed_from_u64(seed);
                 let sel = s.probabilistic_select(&it, cap, &mut rng);
                 let total: u64 = sel.iter().map(|&i| it[i].size).sum();

@@ -5,6 +5,16 @@
 //! holds and enforces the byte capacity; *what* to evict is the caching
 //! scheme's decision (see the `dtn-cache` crate), so the buffer only
 //! offers mechanical insert/remove plus expiry cleanup.
+//!
+//! Items live in a dense `Vec` of slots with a `DataId → slot` index on
+//! the side: `contains`/`get` are a single hash lookup, iteration is a
+//! cache-friendly slice walk in a deterministic order, and removal is a
+//! `swap_remove` plus one index fix-up. A monotone [`generation`]
+//! counter increments on every successful insert or remove so callers
+//! (e.g. the cache-exchange skip in `dtn-cache`) can cheaply detect
+//! "content unchanged since I last looked".
+//!
+//! [`generation`]: Buffer::generation
 
 use std::collections::HashMap;
 
@@ -35,7 +45,14 @@ use crate::message::DataItem;
 pub struct Buffer {
     capacity: u64,
     used: u64,
-    items: HashMap<DataId, DataItem>,
+    /// Dense item storage; order is insertion order permuted by
+    /// `swap_remove`s — deterministic for a deterministic op sequence.
+    slots: Vec<DataItem>,
+    /// `DataId → position in slots`.
+    index: HashMap<DataId, usize>,
+    /// Bumped on every successful insert and remove (not on duplicate
+    /// inserts or missing removes).
+    generation: u64,
 }
 
 /// Error returned when an item does not fit into a buffer.
@@ -65,7 +82,9 @@ impl Buffer {
         Buffer {
             capacity,
             used: 0,
-            items: HashMap::new(),
+            slots: Vec::new(),
+            index: HashMap::new(),
+            generation: 0,
         }
     }
 
@@ -86,12 +105,21 @@ impl Buffer {
 
     /// Number of stored items.
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.slots.len()
     }
 
     /// Whether the buffer holds no items.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.slots.is_empty()
+    }
+
+    /// Monotone counter of content changes: bumped by every successful
+    /// [`insert`](Self::insert) and [`remove`](Self::remove) (duplicate
+    /// inserts and removes of absent ids do not count). Two reads
+    /// returning the same value guarantee the stored item set is
+    /// unchanged in between.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Whether the item would fit right now.
@@ -108,7 +136,7 @@ impl Buffer {
     ///
     /// Returns [`InsufficientSpace`] if the item does not fit.
     pub fn insert(&mut self, item: DataItem) -> Result<(), InsufficientSpace> {
-        if self.items.contains_key(&item.id) {
+        if self.index.contains_key(&item.id) {
             return Ok(());
         }
         if !self.fits(item.size) {
@@ -118,45 +146,61 @@ impl Buffer {
             });
         }
         self.used += item.size;
-        self.items.insert(item.id, item);
+        self.index.insert(item.id, self.slots.len());
+        self.slots.push(item);
+        self.generation += 1;
         Ok(())
     }
 
     /// Removes and returns an item.
     pub fn remove(&mut self, id: DataId) -> Option<DataItem> {
-        let item = self.items.remove(&id)?;
+        let pos = self.index.remove(&id)?;
+        let item = self.slots.swap_remove(pos);
+        if let Some(moved) = self.slots.get(pos) {
+            self.index.insert(moved.id, pos);
+        }
         self.used -= item.size;
+        self.generation += 1;
         Some(item)
     }
 
     /// Whether the buffer holds `id`.
     pub fn contains(&self, id: DataId) -> bool {
-        self.items.contains_key(&id)
+        self.index.contains_key(&id)
     }
 
     /// The stored item with this id, if any.
     pub fn get(&self, id: DataId) -> Option<&DataItem> {
-        self.items.get(&id)
+        self.index.get(&id).map(|&pos| &self.slots[pos])
     }
 
-    /// Iterates over the stored items in arbitrary order.
+    /// Iterates over the stored items in slot order (deterministic for a
+    /// deterministic operation sequence, unlike a hash map's).
     pub fn iter(&self) -> impl Iterator<Item = &DataItem> {
-        self.items.values()
+        self.slots.iter()
     }
 
     /// Drops every item that has expired by `now`; returns how many were
-    /// dropped.
+    /// dropped. In-place — no temporary allocation.
     pub fn drop_expired(&mut self, now: Time) -> usize {
-        let dead: Vec<DataId> = self
-            .items
-            .values()
-            .filter(|d| !d.is_alive(now))
-            .map(|d| d.id)
-            .collect();
-        for id in &dead {
-            self.remove(*id);
+        let mut dropped = 0;
+        let mut pos = 0;
+        while pos < self.slots.len() {
+            if self.slots[pos].is_alive(now) {
+                pos += 1;
+                continue;
+            }
+            let item = self.slots.swap_remove(pos);
+            self.index.remove(&item.id);
+            if let Some(moved) = self.slots.get(pos) {
+                self.index.insert(moved.id, pos);
+            }
+            self.used -= item.size;
+            self.generation += 1;
+            dropped += 1;
+            // Re-examine `pos`: the swapped-in tail item is unchecked.
         }
-        dead.len()
+        dropped
     }
 }
 
@@ -216,6 +260,21 @@ mod tests {
     }
 
     #[test]
+    fn remove_middle_keeps_lookups_consistent() {
+        // swap_remove moves the tail item into the hole; the index must
+        // follow it.
+        let mut b = Buffer::new(100);
+        b.insert(item(1, 10, 50)).expect("fits");
+        b.insert(item(2, 10, 50)).expect("fits");
+        b.insert(item(3, 10, 50)).expect("fits");
+        b.remove(DataId(1)).expect("present");
+        assert_eq!(b.get(DataId(3)).map(|d| d.id), Some(DataId(3)));
+        assert_eq!(b.get(DataId(2)).map(|d| d.id), Some(DataId(2)));
+        assert!(b.get(DataId(1)).is_none());
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
     fn drop_expired_only_removes_dead_items() {
         let mut b = Buffer::new(100);
         b.insert(item(1, 10, 50)).expect("fits");
@@ -224,6 +283,40 @@ mod tests {
         assert!(!b.contains(DataId(1)));
         assert!(b.contains(DataId(2)));
         assert_eq!(b.used(), 10);
+    }
+
+    #[test]
+    fn drop_expired_handles_adjacent_dead_items() {
+        // Two dead items in a row exercises the "re-examine pos after
+        // swap_remove" path.
+        let mut b = Buffer::new(100);
+        b.insert(item(1, 10, 50)).expect("fits");
+        b.insert(item(2, 10, 300)).expect("fits");
+        b.insert(item(3, 10, 60)).expect("fits");
+        b.insert(item(4, 10, 70)).expect("fits");
+        assert_eq!(b.drop_expired(Time(100)), 3);
+        assert_eq!(b.len(), 1);
+        assert!(b.contains(DataId(2)));
+        assert_eq!(b.used(), 10);
+    }
+
+    #[test]
+    fn generation_counts_content_changes_only() {
+        let mut b = Buffer::new(100);
+        assert_eq!(b.generation(), 0);
+        b.insert(item(1, 10, 50)).expect("fits");
+        assert_eq!(b.generation(), 1);
+        b.insert(item(1, 10, 50)).expect("duplicate");
+        assert_eq!(b.generation(), 1, "duplicate insert must not bump");
+        assert!(b.remove(DataId(9)).is_none());
+        assert_eq!(b.generation(), 1, "missing remove must not bump");
+        b.remove(DataId(1)).expect("present");
+        assert_eq!(b.generation(), 2);
+        b.insert(item(2, 10, 50)).expect("fits");
+        b.insert(item(3, 10, 1)).expect("fits");
+        assert_eq!(b.generation(), 4);
+        assert_eq!(b.drop_expired(Time(10)), 1);
+        assert_eq!(b.generation(), 5);
     }
 
     #[test]
@@ -256,7 +349,8 @@ mod tests {
         proptest! {
             /// Accounting invariant: under arbitrary operation sequences
             /// the used-byte counter always equals the sum of stored item
-            /// sizes and never exceeds capacity.
+            /// sizes, never exceeds capacity, and the side index agrees
+            /// with the slot storage.
             #[test]
             fn usage_accounting_is_exact(
                 ops in prop::collection::vec(op_strategy(), 0..60),
@@ -282,6 +376,11 @@ mod tests {
                     prop_assert!(b.used() <= b.capacity());
                     prop_assert_eq!(b.free(), b.capacity() - b.used());
                     prop_assert_eq!(b.len(), b.iter().count());
+                    // Index ↔ slots agreement.
+                    for d in b.iter() {
+                        prop_assert!(b.contains(d.id));
+                        prop_assert_eq!(b.get(d.id).map(|x| x.size), Some(d.size));
+                    }
                 }
             }
         }

@@ -474,26 +474,54 @@ impl<'t, S: Scheme> Simulator<'t, S> {
                 self.shared.now
             );
         }
-        // Unprocessed old events keep their order; merge-sort the rest.
-        let mut rest = self.workload.split_off(self.next_workload);
-        rest.append(&mut events);
-        rest.sort_by_key(WorkloadEvent::at);
-        self.workload.append(&mut rest);
+        if events.is_empty() {
+            return;
+        }
+        // Stable sort: equal-time new events keep their submission order.
+        events.sort_by_key(WorkloadEvent::at);
+        let tail_start = self.next_workload;
+        if self.workload.len() == tail_start {
+            self.workload.append(&mut events);
+            return;
+        }
+        // The unprocessed tail is already sorted (invariant of this
+        // method), so merge instead of re-sorting the whole tail. Tail
+        // events win ties, matching what a stable sort of
+        // `tail ++ events` would produce.
+        let mut merged = Vec::with_capacity(self.workload.len() - tail_start + events.len());
+        {
+            let tail = &self.workload[tail_start..];
+            let (mut i, mut j) = (0, 0);
+            while i < tail.len() && j < events.len() {
+                if tail[i].at() <= events[j].at() {
+                    merged.push(tail[i]);
+                    i += 1;
+                } else {
+                    merged.push(events[j]);
+                    j += 1;
+                }
+            }
+            merged.extend_from_slice(&tail[i..]);
+            merged.extend_from_slice(&events[j..]);
+        }
+        self.workload.truncate(tail_start);
+        self.workload.append(&mut merged);
     }
 
     /// Processes every event strictly before `until`, then advances the
     /// clock to `until`.
     pub fn run_until(&mut self, until: Time) {
+        // The contact slice borrows the 't trace, not self, so it can be
+        // hoisted out of the dispatch loop.
+        let trace: &'t ContactTrace = self.trace;
+        let contacts = trace.contacts();
         loop {
-            let next_c = self
-                .trace
-                .contacts()
-                .get(self.next_contact)
-                .map(|c| c.start);
-            let next_w = self.workload.get(self.next_workload).map(|e| e.at());
+            let next_c = contacts.get(self.next_contact).copied();
+            let next_w = self.workload.get(self.next_workload).copied();
             // Workload events win ties so data generated at time t can be
             // pushed during a contact starting at the same instant.
-            let (event_time, is_workload) = match (next_c, next_w) {
+            let (event_time, is_workload) = match (next_c.map(|c| c.start), next_w.map(|e| e.at()))
+            {
                 (None, None) => break,
                 (Some(c), None) => (c, false),
                 (None, Some(w)) => (w, true),
@@ -511,13 +539,11 @@ impl<'t, S: Scheme> Simulator<'t, S> {
             self.shared.now = event_time;
             self.sample_if_due();
             if is_workload {
-                let event = self.workload[self.next_workload];
                 self.next_workload += 1;
-                self.dispatch_workload(event);
+                self.dispatch_workload(next_w.expect("is_workload implies a workload event"));
             } else {
-                let contact = self.trace.contacts()[self.next_contact];
                 self.next_contact += 1;
-                self.dispatch_contact(contact);
+                self.dispatch_contact(next_c.expect("!is_workload implies a contact"));
             }
         }
         self.shared.now = self.shared.now.max(until);
@@ -784,6 +810,51 @@ mod tests {
         assert_eq!(sim.metrics().queries_satisfied, 1);
         // satisfied at t=5000 contact → delay 1800
         assert_eq!(sim.metrics().total_delay_secs, 1800);
+    }
+
+    #[test]
+    fn interleaved_add_workload_preserves_tie_order() {
+        let trace = two_node_trace();
+        let mut sim = Simulator::new(&trace, DirectDelivery::default(), SimConfig::default());
+        sim.add_workload(vec![
+            gen_event(1, 0, 10, 300, 9000),
+            gen_event(2, 0, 10, 500, 9000),
+        ]);
+        // Consume the t=300 event so the merge runs against a tail with a
+        // processed prefix in front of it.
+        sim.run_until(Time(400));
+        // New same-time events must land *after* the already-queued t=500
+        // event (tail wins ties), while an earlier new event slots in
+        // front; a third call's t=500 event goes after both.
+        sim.add_workload(vec![
+            gen_event(3, 0, 10, 500, 9000),
+            gen_event(4, 0, 10, 450, 9000),
+        ]);
+        sim.add_workload(vec![gen_event(5, 0, 10, 500, 9000)]);
+        let ids: Vec<u64> = sim.workload[sim.next_workload..]
+            .iter()
+            .map(|e| match e {
+                WorkloadEvent::GenerateData { item } => item.id.0,
+                _ => unreachable!("only data events queued"),
+            })
+            .collect();
+        assert_eq!(ids, vec![4, 2, 3, 5]);
+        sim.run_to_end();
+        assert_eq!(sim.metrics().data_generated, 5);
+    }
+
+    #[test]
+    fn merged_workload_still_wins_ties_against_contacts() {
+        // Data generated and queried at exactly the first contact's start
+        // time (t=1000) must be processed before that contact, so the
+        // delivery happens during the same-instant contact with zero delay.
+        let trace = two_node_trace();
+        let mut sim = Simulator::new(&trace, DirectDelivery::default(), SimConfig::default());
+        sim.add_workload(vec![gen_event(1, 0, 10, 1000, 9000)]);
+        sim.add_workload(vec![query_event(1000, 1, 1, 5000)]);
+        sim.run_to_end();
+        assert_eq!(sim.metrics().queries_satisfied, 1);
+        assert_eq!(sim.metrics().total_delay_secs, 0);
     }
 
     #[test]
