@@ -8,7 +8,8 @@
 //! `--scale` shrinks trace duration and contact count proportionally
 //! (default 0.1 — a laptop-friendly run preserving contact density);
 //! `--seeds` sets repetitions per point (default 3); `--timing` prints
-//! simulation throughput (events/sec) per figure point.
+//! simulation throughput (events/sec) per figure point; `--epoch SECS`
+//! narrows the `churn` sweep to frozen NCLs vs one re-election cadence.
 
 use std::env;
 use std::fs;
@@ -18,6 +19,7 @@ use std::process::ExitCode;
 use bench::figures;
 use dtn_cache::replacement::ReplacementKind;
 use dtn_cache::SchemeKind;
+use dtn_core::time::Duration;
 
 struct Options {
     scale: f64,
@@ -25,6 +27,7 @@ struct Options {
     command: String,
     csv_dir: Option<PathBuf>,
     timing: bool,
+    epoch: Option<Duration>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -33,11 +36,20 @@ fn parse_args() -> Result<Options, String> {
     let mut command = None;
     let mut csv_dir = None;
     let mut timing = false;
+    let mut epoch = None;
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--timing" => {
                 timing = true;
+            }
+            "--epoch" => {
+                let v = args.next().ok_or("--epoch needs seconds")?;
+                let secs: u64 = v.parse().map_err(|_| format!("bad epoch {v:?}"))?;
+                if secs == 0 {
+                    return Err("epoch must be positive".into());
+                }
+                epoch = Some(Duration(secs));
             }
             "--scale" => {
                 let v = args.next().ok_or("--scale needs a value")?;
@@ -72,6 +84,7 @@ fn parse_args() -> Result<Options, String> {
         command: command.unwrap_or_else(|| "help".into()),
         csv_dir,
         timing,
+        epoch,
     })
 }
 
@@ -112,7 +125,7 @@ fn main() -> ExitCode {
     let commands: Vec<&str> = if opts.command == "all" {
         vec![
             "table1", "fig4", "fig7", "fig9", "fig10", "fig11", "fig12", "fig13", "ablation",
-            "ncl", "bounds",
+            "ncl", "bounds", "churn",
         ]
     } else {
         vec![opts.command.as_str()]
@@ -130,10 +143,12 @@ fn main() -> ExitCode {
             "ablation" => ablation(&opts),
             "ncl" => ncl(&opts),
             "bounds" => bounds(&opts),
+            "churn" => churn(&opts),
             "help" => {
                 println!(
                     "usage: experiments [--scale F] [--seeds N] [--csv DIR] [--timing] \
-                     <table1|fig4|fig7|fig9|fig10|fig11|fig12|fig13|ablation|ncl|bounds|all>"
+                     [--epoch SECS] \
+                     <table1|fig4|fig7|fig9|fig10|fig11|fig12|fig13|ablation|ncl|bounds|churn|all>"
                 );
             }
             other => {
@@ -442,6 +457,55 @@ fn ncl(opts: &Options) {
         .map(|row| (row.label.clone(), row.timings.iter().collect()))
         .collect();
     print_timings(opts, "strategy", &columns, &timing_rows);
+}
+
+fn churn(opts: &Options) {
+    header(
+        "Churn: NCL re-election cadence on a regime-shift trace",
+        opts,
+    );
+    let rows = match opts.epoch {
+        Some(d) => figures::churn_with(opts.scale, opts.seeds, vec![None, Some(d)]),
+        None => figures::churn(opts.scale, opts.seeds),
+    };
+    println!(
+        "{:<8} {:>10} {:>12} {:>14}",
+        "epoch", "success", "delay (h)", "copies/item"
+    );
+    for row in &rows {
+        println!(
+            "{:<8} {:>10.3} {:>12.2} {:>14.3}",
+            row.label,
+            row.report.success_ratio,
+            row.report.avg_delay_hours,
+            row.report.avg_copies_per_item,
+        );
+    }
+    let csv_rows: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            format!(
+                "{},{},{:.6},{:.6},{:.6}",
+                row.label,
+                row.epoch_interval.map_or(0, |d| d.as_secs()),
+                row.report.success_ratio,
+                row.report.avg_delay_hours,
+                row.report.avg_copies_per_item,
+            )
+        })
+        .collect();
+    write_csv(
+        opts,
+        "churn.csv",
+        "epoch,epoch_secs,success_ratio,delay_hours,copies_per_item",
+        &csv_rows,
+    );
+    let columns = vec!["events/s".to_string()];
+    let timing_rows: Vec<(String, Vec<&bench::PointTiming>)> = rows
+        .iter()
+        .map(|row| (row.label.clone(), vec![&row.timing]))
+        .collect();
+    print_timings(opts, "epoch", &columns, &timing_rows);
 }
 
 fn fig13(opts: &Options) {

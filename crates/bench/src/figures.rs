@@ -15,7 +15,7 @@ use dtn_core::sigmoid::ResponseFunction;
 use dtn_core::time::{Duration, Time};
 use dtn_sim::engine::megabits;
 use dtn_trace::stats::{metric_distribution, TraceStats};
-use dtn_trace::synthetic::SyntheticTraceBuilder;
+use dtn_trace::synthetic::{regime_shift_trace, SyntheticTraceBuilder};
 use dtn_trace::trace::ContactTrace;
 use dtn_trace::TracePreset;
 use dtn_workload::{Workload, WorkloadConfig, Zipf};
@@ -606,6 +606,86 @@ pub fn ncl_strategies(scale: f64, seeds: u32) -> Vec<NclStrategyRow> {
         .collect()
 }
 
+// -------------------------------------------------- Epoch churn study
+
+/// One epoch-interval point of the churn study.
+#[derive(Debug, Clone)]
+pub struct ChurnRow {
+    /// Human-readable epoch cadence ("frozen" for no epochs).
+    pub label: String,
+    /// The swept maintenance-epoch interval (`None` = frozen NCLs).
+    pub epoch_interval: Option<Duration>,
+    /// Averaged intentional-scheme metrics at this cadence.
+    pub report: AveragedReport,
+    /// Throughput accounting for this point's runs.
+    pub timing: PointTiming,
+}
+
+/// The epoch cadences of the churn sweep, scaled with the trace. The
+/// leading `None` is the frozen-NCL baseline every other point is read
+/// against.
+pub fn churn_intervals(scale: f64) -> Vec<Option<Duration>> {
+    let mut intervals = vec![None];
+    intervals.extend(
+        [
+            Duration::hours(2),
+            Duration::hours(6),
+            Duration::hours(12),
+            Duration::days(1),
+        ]
+        .into_iter()
+        .map(|d| {
+            Some(Duration((d.as_secs() as f64 * scale.max(0.25)) as u64).max(Duration::minutes(30)))
+        }),
+    );
+    intervals
+}
+
+/// The churn study: delivery ratio and delay of the intentional scheme
+/// vs the maintenance-epoch interval, on a two-regime synthetic trace
+/// whose hubs move at the midpoint (so warm-up-frozen NCLs are stale
+/// for the whole measurement phase). Fast cadences adapt quickly but
+/// churn the central set and migrate more cache copies; `None` never
+/// adapts — the gap between the two is what online re-election buys.
+pub fn churn(scale: f64, seeds: u32) -> Vec<ChurnRow> {
+    churn_with(scale, seeds, churn_intervals(scale))
+}
+
+/// [`churn`] with caller-chosen epoch cadences — the `--epoch` flag of
+/// `experiments` narrows the sweep to frozen-vs-one-cadence this way.
+pub fn churn_with(scale: f64, seeds: u32, intervals: Vec<Option<Duration>>) -> Vec<ChurnRow> {
+    let s = scale.max(0.05);
+    let half = Duration((Duration::days(2).as_secs() as f64 * s) as u64).max(Duration::hours(4));
+    let trace = regime_shift_trace(30, (10_000.0 * s) as u64, 42, half);
+    let base = ExperimentConfig {
+        ncl_count: 4,
+        mean_data_lifetime: Duration((half.as_secs() as f64 * 0.9) as u64),
+        ..ExperimentConfig::default()
+    };
+    let points: Vec<SweepPoint<'_>> = intervals
+        .iter()
+        .map(|&epoch_interval| SweepPoint {
+            trace: &trace,
+            scheme: SchemeKind::Intentional,
+            config: ExperimentConfig {
+                epoch_interval,
+                ..base.clone()
+            },
+        })
+        .collect();
+    let results = timed_averaged_sweep(&points, seeds);
+    intervals
+        .into_iter()
+        .zip(results)
+        .map(|(epoch_interval, (report, timing))| ChurnRow {
+            label: epoch_interval.map_or_else(|| "frozen".into(), human_duration),
+            epoch_interval,
+            report,
+            timing,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -664,6 +744,22 @@ mod tests {
         assert_eq!(human_duration(Duration::days(3)), "3d");
         assert_eq!(human_duration(Duration::minutes(90)), "1.5h");
         assert_eq!(human_duration(Duration((1.4 * 86_400.0) as u64)), "1.4d");
+    }
+
+    #[test]
+    fn churn_intervals_start_frozen_and_stay_sorted() {
+        let intervals = churn_intervals(1.0);
+        assert_eq!(intervals.len(), 5);
+        assert!(intervals[0].is_none());
+        let cadences: Vec<u64> = intervals[1..]
+            .iter()
+            .map(|i| i.expect("swept cadence").as_secs())
+            .collect();
+        assert!(cadences.windows(2).all(|w| w[0] < w[1]));
+        // Scaling shrinks cadences but never below the floor.
+        for i in churn_intervals(0.01).into_iter().flatten() {
+            assert!(i >= Duration::minutes(30));
+        }
     }
 
     #[test]

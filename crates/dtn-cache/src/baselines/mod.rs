@@ -402,6 +402,10 @@ impl<P: IncidentalPolicy> Scheme for IncidentalScheme<P> {
         self.advance_responses(ctx, contact.a, contact.b);
     }
 
+    fn on_epoch(&mut self, _ctx: &mut SimCtx<'_>, _epoch: dtn_sim::engine::Epoch) {
+        // Incidental caching has no NCLs to re-elect; epochs are no-ops.
+    }
+
     fn cache_stats(&self, now: Time) -> CacheStats {
         let mut copies = 0u64;
         let mut bytes = 0u64;
@@ -476,6 +480,7 @@ mod tests {
             now: mid,
             capacities,
             horizon: 3600.0,
+            path_refresh: None,
         });
         sim.add_workload(events);
         sim.run_to_end();
@@ -592,6 +597,7 @@ mod tests {
             now: mid,
             capacities,
             horizon: 3600.0,
+            path_refresh: None,
         });
         sim.add_workload(events);
         sim.run_to_end();

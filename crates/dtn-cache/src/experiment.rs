@@ -52,6 +52,11 @@ pub struct ExperimentConfig {
     pub ncl_selection: dtn_core::ncl::SelectionStrategy,
     /// Interval between cache-occupancy samples.
     pub sample_interval: Duration,
+    /// Interval between maintenance epochs (online NCL re-election);
+    /// `None` keeps the warm-up NCLs frozen for the whole run.
+    pub epoch_interval: Option<Duration>,
+    /// Overrides the scheme's default path-oracle refresh interval.
+    pub path_refresh: Option<Duration>,
 }
 
 impl Default for ExperimentConfig {
@@ -74,6 +79,8 @@ impl Default for ExperimentConfig {
             response_routing: crate::routing::ForwardingStrategy::Greedy,
             ncl_selection: dtn_core::ncl::SelectionStrategy::PathMetric,
             sample_interval: Duration::hours(6),
+            epoch_interval: None,
+            path_refresh: None,
         }
     }
 }
@@ -192,6 +199,8 @@ pub fn run_experiment_with(
     let sim_config = SimConfig {
         buffer_range: config.buffer_range,
         sample_interval: config.sample_interval,
+        epoch_interval: config.epoch_interval,
+        path_refresh: config.path_refresh,
         seed,
         ..SimConfig::default()
     };
@@ -212,10 +221,9 @@ pub fn run_experiment_with(
         now: mid,
         capacities,
         horizon: config.effective_horizon(),
+        path_refresh: config.path_refresh,
     };
     sim.scheme_mut().configure(&setup);
-    let central_nodes = sim.scheme().central_nodes().to_vec();
-    let _ = &central_nodes;
 
     // Phase 3: workload over the second half.
     let end = Time(trace.duration().as_secs());
@@ -233,8 +241,10 @@ pub fn run_experiment_with(
     sim.add_workload(workload.into_events());
     sim.run_to_end();
 
+    // The central set is read back *after* the run so reports reflect
+    // any online re-elections (with epochs off it equals the warm-up
+    // selection).
     let metrics = sim.metrics().clone();
-    let ncl_query_load = sim.scheme().ncl_query_load().to_vec();
     ExperimentReport {
         scheme: kind,
         queries_issued: metrics.queries_issued,
@@ -243,8 +253,8 @@ pub fn run_experiment_with(
         avg_copies_per_item: metrics.avg_copies_per_item(),
         avg_replacements_per_item: metrics.avg_replacements_per_item(),
         data_items,
-        central_nodes,
-        ncl_query_load,
+        central_nodes: sim.scheme().central_nodes().to_vec(),
+        ncl_query_load: sim.scheme().ncl_query_load().to_vec(),
         bytes_per_satisfied_query: metrics.bytes_per_satisfied_query(),
         metrics,
     }

@@ -1,0 +1,154 @@
+//! §V-A: intentional data push toward the central nodes, plus the
+//! epoch-time cache migration that re-enters demoted copies into the
+//! push pipeline after an NCL re-election.
+
+use std::mem;
+
+use dtn_core::ids::NodeId;
+
+use crate::common::better_relay;
+use crate::replacement::ReplacementKind;
+
+use super::state::{CopyState, IntentionalScheme};
+use super::ProtocolEvent;
+use dtn_sim::engine::SimCtx;
+
+impl IntentionalScheme {
+    /// §V-A: advance the push copies carried by either contact endpoint.
+    ///
+    /// Gathers the two endpoints' carried copies from `carried_at` and
+    /// replays them in ascending `(data, k)` order — exactly the order
+    /// the reference implementation's full copy-table scan visits the
+    /// same entries. States are re-read at visit time because an
+    /// eviction earlier in the batch can drop a later entry.
+    pub(super) fn advance_pushes(&mut self, ctx: &mut SimCtx<'_>, a: NodeId, b: NodeId) {
+        let now = ctx.now();
+        let mut batch = mem::take(&mut self.sx_push_batch);
+        batch.clear();
+        batch.extend_from_slice(&self.carried_at[a.index()]);
+        if b != a {
+            batch.extend_from_slice(&self.carried_at[b.index()]);
+        }
+        batch.sort_unstable();
+        for &(data, k32) in &batch {
+            let k = k32 as usize;
+            let Some(&item) = self.registry.get(data) else {
+                continue;
+            };
+            if !item.is_alive(now) {
+                continue;
+            }
+            let Some(state) = self.copies.get(&data).map(|s| s[k]) else {
+                continue;
+            };
+            let CopyState::Carried(holder) = state else {
+                continue;
+            };
+            let (from, to) = if holder == a {
+                (a, b)
+            } else if holder == b {
+                (b, a)
+            } else {
+                continue;
+            };
+            let central = self.centrals[k];
+            let oracle = self.oracle.as_mut().expect("configured");
+            if !better_relay(oracle, ctx.rate_table(), now, from, to, central) {
+                continue;
+            }
+            // The next selected relay: forward if it can hold the
+            // item, otherwise settle at the current relay (§V-A).
+            let already_there = self.buffers[to.index()].contains(data);
+            if already_there {
+                self.set_copy(data, k, CopyState::transit(to, central));
+                self.drop_physical_if_unreferenced(from, data);
+                continue;
+            }
+            if !self.buffers[to.index()].fits(item.size)
+                && self.cfg.replacement == ReplacementKind::UtilityKnapsack
+            {
+                // Next relay's buffer is full: cache here.
+                self.set_copy(data, k, CopyState::Settled(from));
+                self.log(ProtocolEvent::PushSettled {
+                    at: now,
+                    data,
+                    node: from,
+                    ncl: k,
+                });
+                continue;
+            }
+            if !ctx.try_transmit(item.size) {
+                continue; // contact too short; retry later
+            }
+            if self.insert_physical(ctx, to, item) {
+                self.set_copy(data, k, CopyState::transit(to, central));
+                if to == central {
+                    self.log(ProtocolEvent::PushSettled {
+                        at: now,
+                        data,
+                        node: to,
+                        ncl: k,
+                    });
+                }
+                self.drop_physical_if_unreferenced(from, data);
+            } else {
+                // Traditional policy could not make room either.
+                self.set_copy(data, k, CopyState::Settled(from));
+                self.log(ProtocolEvent::PushSettled {
+                    at: now,
+                    data,
+                    node: from,
+                    ncl: k,
+                });
+            }
+        }
+        batch.clear();
+        self.sx_push_batch = batch;
+    }
+
+    /// Re-enters NCL `k`'s settled copies into the §V-A push pipeline
+    /// after its central node moved in a re-election.
+    ///
+    /// No data moves here — an epoch fires between contacts, so there is
+    /// no link to transmit over. Each live settled copy merely flips
+    /// back to `Carried` at its current holder (or re-settles in place
+    /// when the holder *is* the new central node); subsequent contacts
+    /// push it toward the new central node per the §V-A relay rule.
+    /// Returns `(copies flipped, payload bytes)` for the re-election
+    /// counters.
+    pub(super) fn migrate_ncl(&mut self, now: dtn_core::time::Time, k: usize) -> (u64, u64) {
+        let new_central = self.centrals[k];
+        let mut batch = mem::take(&mut self.sx_push_batch);
+        batch.clear();
+        for list in &self.settled_at {
+            for &(data, kk) in list {
+                if kk as usize == k {
+                    batch.push((data, kk));
+                }
+            }
+        }
+        batch.sort_unstable();
+        let mut copies = 0u64;
+        let mut bytes = 0u64;
+        for &(data, _) in &batch {
+            let Some(&item) = self.registry.get(data) else {
+                continue;
+            };
+            if !item.is_alive(now) {
+                continue;
+            }
+            let Some(CopyState::Settled(holder)) = self.copies.get(&data).map(|s| s[k]) else {
+                continue;
+            };
+            if holder == new_central {
+                continue; // already where it belongs
+            }
+            self.set_copy(data, k, CopyState::Carried(holder));
+            copies += 1;
+            bytes += item.size;
+        }
+        batch.clear();
+        self.sx_push_batch = batch;
+        (copies, bytes)
+    }
+}

@@ -124,6 +124,13 @@ pub struct NetworkSetup<'a> {
     pub capacities: Vec<u64>,
     /// Time horizon `T` (seconds) for opportunistic path weights.
     pub horizon: f64,
+    /// Overrides the scheme's default [`PathOracle`] refresh interval
+    /// when set (plumbed from [`SimConfig::path_refresh`] by the
+    /// experiment harness).
+    ///
+    /// [`PathOracle`]: dtn_sim::oracle::PathOracle
+    /// [`SimConfig::path_refresh`]: dtn_sim::engine::SimConfig::path_refresh
+    pub path_refresh: Option<dtn_core::time::Duration>,
 }
 
 /// A [`Scheme`] that can be configured from warm-up network information.
@@ -164,6 +171,9 @@ impl Scheme for Box<dyn CachingScheme> {
         contact: dtn_trace::trace::Contact,
     ) {
         (**self).on_contact(ctx, contact);
+    }
+    fn on_epoch(&mut self, ctx: &mut dtn_sim::engine::SimCtx<'_>, epoch: dtn_sim::engine::Epoch) {
+        (**self).on_epoch(ctx, epoch);
     }
     fn cache_stats(&self, now: Time) -> dtn_sim::engine::CacheStats {
         (**self).cache_stats(now)

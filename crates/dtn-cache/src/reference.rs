@@ -685,6 +685,13 @@ impl Scheme for ReferenceIntentionalScheme {
         self.exchange_caches(ctx, a, b);
     }
 
+    fn on_epoch(&mut self, _ctx: &mut SimCtx<'_>, _epoch: dtn_sim::engine::Epoch) {
+        // The reference scheme keeps its NCLs frozen for the whole run:
+        // it is the fixed point the optimized scheme must match bit for
+        // bit when `epoch_interval` is `None`, and the frozen baseline
+        // the re-election experiment compares against.
+    }
+
     fn cache_stats(&self, now: Time) -> CacheStats {
         let mut copies = 0u64;
         let mut bytes = 0u64;
@@ -719,7 +726,7 @@ impl CachingScheme for ReferenceIntentionalScheme {
         self.oracle = Some(PathOracle::new(
             setup.capacities.len(),
             setup.horizon,
-            self.cfg.path_refresh,
+            setup.path_refresh.unwrap_or(self.cfg.path_refresh),
         ));
         self.buffers = setup.capacities.iter().map(|&c| Buffer::new(c)).collect();
         self.meta = setup

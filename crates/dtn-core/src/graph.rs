@@ -61,6 +61,56 @@ impl ContactGraph {
         g
     }
 
+    /// Rebuilds this graph in place from a [`RateTable`], reusing the
+    /// per-node adjacency allocations. Equivalent to replacing `self`
+    /// with [`ContactGraph::from_rate_table`], but allocation-free once
+    /// the graph has reached its steady-state size — the path periodic
+    /// re-elections take.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dtn_core::graph::ContactGraph;
+    /// use dtn_core::ids::NodeId;
+    /// use dtn_core::rate::RateTable;
+    /// use dtn_core::time::Time;
+    ///
+    /// let mut table = RateTable::new(3, Time::ZERO);
+    /// table.record(NodeId(0), NodeId(1), Time(50));
+    /// let mut g = ContactGraph::new(0);
+    /// g.refresh_from_rate_table(&table, Time(100));
+    /// assert_eq!(g.node_count(), 3);
+    /// assert_eq!(g.edge_count(), 1);
+    /// ```
+    pub fn refresh_from_rate_table(&mut self, table: &RateTable, now: Time) {
+        self.reset_for(table.node_count());
+        for (a, b, rate) in table.iter_rates(now) {
+            self.set_rate(a, b, rate);
+        }
+    }
+
+    /// Like [`ContactGraph::refresh_from_rate_table`], but weighting
+    /// edges by the regime-tracking
+    /// [`current_rate`](crate::rate::RateEstimator::current_rate)
+    /// instead of the cumulative time average. Pairs that have gone
+    /// silent see their rates decay, so the graph reflects the *current*
+    /// contact regime — the view online NCL re-election needs to demote
+    /// hubs that stopped meeting anyone.
+    pub fn refresh_from_current_rates(&mut self, table: &RateTable, now: Time) {
+        self.reset_for(table.node_count());
+        for (a, b, rate) in table.iter_current_rates(now) {
+            self.set_rate(a, b, rate);
+        }
+    }
+
+    /// Clears all edges and resizes to `nodes`, keeping allocations.
+    fn reset_for(&mut self, nodes: usize) {
+        self.adjacency.resize(nodes, Vec::new());
+        for list in &mut self.adjacency {
+            list.clear();
+        }
+    }
+
     /// Number of nodes (including isolated ones).
     pub fn node_count(&self) -> usize {
         self.adjacency.len()
@@ -234,6 +284,24 @@ mod tests {
         peers.sort_unstable();
         assert_eq!(peers, vec![1, 2]);
         assert_eq!(g.degree(NodeId(3)), 0);
+    }
+
+    #[test]
+    fn refresh_matches_from_rate_table_and_drops_stale_edges() {
+        let mut t = RateTable::new(4, Time::ZERO);
+        t.record(NodeId(0), NodeId(1), Time(10));
+        let mut g = ContactGraph::new(4);
+        // A stale edge from a previous refresh must disappear.
+        g.set_rate(NodeId(2), NodeId(3), 0.9);
+        g.refresh_from_rate_table(&t, Time(100));
+        let fresh = ContactGraph::from_rate_table(&t, Time(100));
+        assert_eq!(g.node_count(), fresh.node_count());
+        assert_eq!(g.edge_count(), fresh.edge_count());
+        assert_eq!(
+            g.rate(NodeId(0), NodeId(1)),
+            fresh.rate(NodeId(0), NodeId(1))
+        );
+        assert_eq!(g.rate(NodeId(2), NodeId(3)), None);
     }
 
     #[test]

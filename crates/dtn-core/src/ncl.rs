@@ -210,6 +210,61 @@ pub fn select_by_strategy(
     scores
 }
 
+/// Re-assigns an elected central set onto the previous NCL slots with
+/// minimal churn.
+///
+/// `ranked` is a fresh election result (best first, e.g. from
+/// [`select_by_strategy`]); `previous` is the central node of each NCL
+/// slot from the last election. A previous central node that is still
+/// elected keeps its slot, so the NCLs it anchors see no churn; slots
+/// whose central node dropped out receive the new entrants in rank
+/// order. If the election returned fewer nodes than there are slots
+/// (e.g. the graph shrank), leftover slots keep their previous central
+/// node rather than going dark.
+///
+/// The returned vector always has `previous.len()` entries, so per-slot
+/// scheme state (membership counters, load counters) stays valid across
+/// re-elections.
+///
+/// # Example
+///
+/// ```
+/// use dtn_core::ids::NodeId;
+/// use dtn_core::ncl::{reassign_central_nodes, CentralityScore};
+///
+/// let previous = [NodeId(4), NodeId(7), NodeId(2)];
+/// let ranked = [
+///     CentralityScore { node: NodeId(2), metric: 0.9 },
+///     CentralityScore { node: NodeId(5), metric: 0.8 },
+///     CentralityScore { node: NodeId(4), metric: 0.7 },
+/// ];
+/// // 4 and 2 keep their slots; 7 dropped out, so its slot gets the
+/// // best new entrant, 5.
+/// assert_eq!(
+///     reassign_central_nodes(&previous, &ranked),
+///     vec![NodeId(4), NodeId(5), NodeId(2)]
+/// );
+/// ```
+pub fn reassign_central_nodes(previous: &[NodeId], ranked: &[CentralityScore]) -> Vec<NodeId> {
+    let elected: Vec<NodeId> = ranked.iter().take(previous.len()).map(|s| s.node).collect();
+    let mut entrants = elected
+        .iter()
+        .copied()
+        .filter(|n| !previous.contains(n))
+        .collect::<Vec<_>>()
+        .into_iter();
+    previous
+        .iter()
+        .map(|&old| {
+            if elected.contains(&old) {
+                old
+            } else {
+                entrants.next().unwrap_or(old)
+            }
+        })
+        .collect()
+}
+
 /// Skewness summary of a metric distribution, used to validate that the
 /// contact pattern is heterogeneous enough for NCL selection (Fig. 4 of
 /// the paper: "the metric values of a few nodes are much higher than
@@ -374,6 +429,84 @@ mod tests {
         let via_strategy = select_by_strategy(&g, 2, 3600.0, SelectionStrategy::PathMetric);
         let direct = select_central_nodes(&g, 2, 3600.0);
         assert_eq!(via_strategy, direct);
+    }
+
+    #[test]
+    fn reassign_keeps_unchanged_set_in_place() {
+        let previous = [NodeId(3), NodeId(1), NodeId(9)];
+        // Same membership, different rank order: no slot moves.
+        let ranked = [
+            CentralityScore {
+                node: NodeId(9),
+                metric: 0.9,
+            },
+            CentralityScore {
+                node: NodeId(3),
+                metric: 0.5,
+            },
+            CentralityScore {
+                node: NodeId(1),
+                metric: 0.4,
+            },
+        ];
+        assert_eq!(reassign_central_nodes(&previous, &ranked), previous);
+    }
+
+    #[test]
+    fn reassign_fills_vacated_slots_in_rank_order() {
+        let previous = [NodeId(0), NodeId(1), NodeId(2)];
+        let ranked = [
+            CentralityScore {
+                node: NodeId(5),
+                metric: 0.9,
+            },
+            CentralityScore {
+                node: NodeId(1),
+                metric: 0.8,
+            },
+            CentralityScore {
+                node: NodeId(6),
+                metric: 0.7,
+            },
+        ];
+        // Slots 0 and 2 vacated; best entrant 5 goes to the first
+        // vacated slot, 6 to the second.
+        assert_eq!(
+            reassign_central_nodes(&previous, &ranked),
+            vec![NodeId(5), NodeId(1), NodeId(6)]
+        );
+    }
+
+    #[test]
+    fn reassign_short_election_keeps_old_centrals() {
+        let previous = [NodeId(0), NodeId(1), NodeId(2)];
+        let ranked = [CentralityScore {
+            node: NodeId(7),
+            metric: 0.9,
+        }];
+        // Only one node elected: it replaces the first vacated slot,
+        // the others keep their previous central node.
+        assert_eq!(
+            reassign_central_nodes(&previous, &ranked),
+            vec![NodeId(7), NodeId(1), NodeId(2)]
+        );
+    }
+
+    #[test]
+    fn reassign_ignores_ranked_overflow_beyond_slot_count() {
+        let previous = [NodeId(0)];
+        let ranked = [
+            CentralityScore {
+                node: NodeId(4),
+                metric: 0.9,
+            },
+            CentralityScore {
+                node: NodeId(0),
+                metric: 0.8,
+            },
+        ];
+        // Only the top-1 of the election counts for a 1-slot set.
+        assert_eq!(reassign_central_nodes(&previous, &ranked), vec![NodeId(4)]);
     }
 
     #[test]

@@ -90,6 +90,36 @@ impl RateEstimator {
     pub fn last_contact(&self) -> Option<Time> {
         self.last_contact
     }
+
+    /// A regime-tracking rate estimate: the EWMA inter-contact gap,
+    /// damped by how long the pair has been silent —
+    /// `1 / max(ewma_gap, now − last_contact)`.
+    ///
+    /// Unlike [`RateEstimator::rate`], which averages over the whole
+    /// observation window and never forgets, and
+    /// [`RateEstimator::recent_rate`], which freezes at the last
+    /// observed gap when a pair stops meeting, this estimate decays as
+    /// a pair goes quiet: a once-busy pair that has been silent for
+    /// `Δt ≫ ewma_gap` is rated `1/Δt`. Used by online NCL re-election,
+    /// where yesterday's hubs must lose their rank once they stop
+    /// meeting anyone. `None` until the first contact.
+    pub fn current_rate(&self, now: Time) -> Option<f64> {
+        let last = self.last_contact?;
+        let silence = now.saturating_since(last).as_secs_f64();
+        let gap = match self.ewma_gap_secs {
+            Some(g) => g,
+            // Zero or one gap observed: fall back to the cumulative
+            // mean inter-contact time.
+            None => {
+                let elapsed = now.saturating_since(self.observed_since).as_secs_f64();
+                if elapsed <= 0.0 {
+                    return None;
+                }
+                elapsed / self.contacts as f64
+            }
+        };
+        Some(1.0 / gap.max(silence))
+    }
 }
 
 /// Symmetric table of [`RateEstimator`]s for all `N·(N−1)/2` node pairs.
@@ -206,6 +236,22 @@ impl RateTable {
         })
     }
 
+    /// Like [`RateTable::iter_rates`], but yielding the regime-tracking
+    /// [`RateEstimator::current_rate`] of each pair.
+    pub fn iter_current_rates(
+        &self,
+        now: Time,
+    ) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        let n = self.nodes as u32;
+        (0..n).flat_map(move |a| {
+            (a + 1..n).filter_map(move |b| {
+                self.cells[self.index(NodeId(a), NodeId(b))]
+                    .current_rate(now)
+                    .map(|r| (NodeId(a), NodeId(b), r))
+            })
+        })
+    }
+
     /// Row-major upper-triangle index of the unordered pair.
     fn index(&self, a: NodeId, b: NodeId) -> usize {
         assert_ne!(a, b, "a node does not contact itself");
@@ -266,6 +312,77 @@ mod tests {
             "ewma {fast} must outrun cumulative {cumulative}"
         );
         assert_eq!(e.last_contact(), Some(Time(1300)));
+    }
+
+    #[test]
+    fn simultaneous_contacts_count_but_skip_the_ewma() {
+        // Two contacts at the same timestamp: both count toward the
+        // cumulative rate, but a zero gap must not poison the EWMA
+        // (1/0 would be an infinite recent rate).
+        let mut e = RateEstimator::new(Time::ZERO);
+        e.record_contact(Time(100));
+        e.record_contact(Time(100));
+        assert_eq!(e.contact_count(), 2);
+        assert_eq!(e.rate(Time(200)), Some(0.01));
+        assert_eq!(e.recent_rate(), None, "zero gap recorded into EWMA");
+        assert_eq!(e.last_contact(), Some(Time(100)));
+        // The next gapped contact seeds the EWMA from its real gap.
+        e.record_contact(Time(150));
+        assert_eq!(e.recent_rate(), Some(1.0 / 50.0));
+    }
+
+    #[test]
+    fn rate_at_observed_since_is_none() {
+        // A zero observation window has no defined rate, even with
+        // contacts on the books (contact exactly at `observed_since`).
+        let mut e = RateEstimator::new(Time(500));
+        e.record_contact(Time(500));
+        assert_eq!(e.contact_count(), 1);
+        assert_eq!(e.rate(Time(500)), None);
+        assert_eq!(e.rate(Time(499)), None, "before the window starts");
+        assert_eq!(e.rate(Time(501)), Some(1.0));
+    }
+
+    #[test]
+    fn long_silence_divergence_cumulative_vs_ewma_vs_current() {
+        // A pair that met every 100 s for a while, then went silent for
+        // a long stretch. The three estimators must diverge exactly as
+        // documented: the cumulative average decays slowly with the
+        // window, the EWMA freezes at the last observed gap, and the
+        // regime-tracking current rate decays as 1/silence.
+        let mut e = RateEstimator::new(Time::ZERO);
+        for i in 1..=10u64 {
+            e.record_contact(Time(i * 100));
+        }
+        let now = Time(101_000); // silent for 100 000 s
+        let cumulative = e.rate(now).expect("has contacts");
+        let ewma = e.recent_rate().expect("has gaps");
+        let current = e.current_rate(now).expect("has contacts");
+        assert!((cumulative - 10.0 / 101_000.0).abs() < 1e-12);
+        assert!((ewma - 0.01).abs() < 1e-9, "EWMA froze at the 100 s gap");
+        assert!((current - 1.0 / 100_000.0).abs() < 1e-12);
+        assert!(
+            current < cumulative && cumulative < ewma,
+            "expected current {current} < cumulative {cumulative} < ewma {ewma}"
+        );
+    }
+
+    #[test]
+    fn current_rate_matches_ewma_while_the_pair_stays_active() {
+        let mut e = RateEstimator::new(Time::ZERO);
+        for i in 1..=5u64 {
+            e.record_contact(Time(i * 100));
+        }
+        // Queried right at the last contact: no silence yet, so the
+        // current rate is exactly the EWMA rate.
+        assert_eq!(e.current_rate(Time(500)), e.recent_rate());
+        // One gapless contact only: falls back to the cumulative mean
+        // inter-contact time.
+        let mut single = RateEstimator::new(Time(40));
+        assert_eq!(single.current_rate(Time(140)), None, "no contact yet");
+        single.record_contact(Time(40));
+        assert_eq!(single.current_rate(Time(40)), None, "zero window");
+        assert_eq!(single.current_rate(Time(140)), Some(1.0 / 100.0));
     }
 
     #[test]

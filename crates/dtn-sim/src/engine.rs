@@ -60,6 +60,15 @@ pub struct SimConfig {
     /// interference): the nodes never learn it happened — no rate
     /// update, no scheme hook. Default 0.
     pub contact_loss_probability: f64,
+    /// Interval between [`Scheme::on_epoch`] maintenance callbacks.
+    /// `None` (the default) never fires the hook, making the epoch
+    /// runtime a strict no-op.
+    pub epoch_interval: Option<Duration>,
+    /// Overrides the scheme's cached-path refresh interval when set.
+    /// The engine itself does not consume this; harnesses forward it to
+    /// scheme configuration (e.g. `NetworkSetup::path_refresh` in
+    /// `dtn-cache`). Default `None` (use the scheme's own setting).
+    pub path_refresh: Option<Duration>,
     /// RNG seed for buffer assignment and scheme randomness.
     pub seed: u64,
 }
@@ -72,9 +81,24 @@ impl Default for SimConfig {
             buffer_range: (megabits(200), megabits(600)),
             sample_interval: Duration::hours(6),
             contact_loss_probability: 0.0,
+            epoch_interval: None,
+            path_refresh: None,
             seed: 0,
         }
     }
+}
+
+/// One firing of the periodic maintenance channel (see
+/// [`SimConfig::epoch_interval`] and [`Scheme::on_epoch`]).
+///
+/// The clock only advances at events, so a due epoch fires at the next
+/// event rather than being back-dated; `at` is the actual firing time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Epoch {
+    /// Zero-based count of epochs fired so far in this run.
+    pub index: u64,
+    /// The simulation time at which the epoch fired.
+    pub at: Time,
 }
 
 /// A workload event to inject into the simulation.
@@ -150,6 +174,13 @@ pub trait Scheme {
     /// Two nodes are in contact; `ctx.try_transmit` is available and
     /// draws from this contact's capacity.
     fn on_contact(&mut self, ctx: &mut SimCtx<'_>, contact: Contact);
+
+    /// Periodic maintenance callback, fired every
+    /// [`SimConfig::epoch_interval`] (never, by default). Epochs fire
+    /// *between* events — there is no contact, so `ctx.try_transmit`
+    /// must not be called here. Schemes use this for background work
+    /// such as re-electing central nodes from the live rate table.
+    fn on_epoch(&mut self, _ctx: &mut SimCtx<'_>, _epoch: Epoch) {}
 
     /// Reports current global cache occupancy for the overhead metric.
     fn cache_stats(&self, now: Time) -> CacheStats;
@@ -379,6 +410,9 @@ pub struct Simulator<'t, S> {
     next_workload: usize,
     next_sample: Time,
     sample_interval: Duration,
+    next_epoch: Time,
+    epoch_interval: Option<Duration>,
+    epoch_index: u64,
     bandwidth: u64,
     contact_loss: f64,
 }
@@ -420,6 +454,9 @@ impl<'t, S: Scheme> Simulator<'t, S> {
             next_workload: 0,
             next_sample: Time::ZERO + config.sample_interval,
             sample_interval: config.sample_interval,
+            next_epoch: config.epoch_interval.map_or(Time::ZERO, |i| Time::ZERO + i),
+            epoch_interval: config.epoch_interval,
+            epoch_index: 0,
             bandwidth: config.bandwidth_bytes_per_sec,
             contact_loss: config.contact_loss_probability,
         }
@@ -538,6 +575,7 @@ impl<'t, S: Scheme> Simulator<'t, S> {
             }
             self.shared.now = event_time;
             self.sample_if_due();
+            self.fire_epoch_if_due();
             if is_workload {
                 self.next_workload += 1;
                 self.dispatch_workload(next_w.expect("is_workload implies a workload event"));
@@ -548,6 +586,7 @@ impl<'t, S: Scheme> Simulator<'t, S> {
         }
         self.shared.now = self.shared.now.max(until);
         self.sample_if_due();
+        self.fire_epoch_if_due();
     }
 
     /// Processes every remaining event and returns the final metrics.
@@ -623,6 +662,32 @@ impl<'t, S: Scheme> Simulator<'t, S> {
         });
         while self.next_sample <= self.shared.now {
             self.next_sample += self.sample_interval;
+        }
+    }
+
+    /// Fires the [`Scheme::on_epoch`] maintenance hook if the epoch
+    /// interval has elapsed. Like sampling, a due epoch fires at the
+    /// next event with the actual clock time; several missed intervals
+    /// collapse into a single firing. Epochs fire outside contacts, so
+    /// `link_budget` is `None` and transmission is impossible.
+    fn fire_epoch_if_due(&mut self) {
+        let Some(interval) = self.epoch_interval else {
+            return;
+        };
+        if self.shared.now < self.next_epoch {
+            return;
+        }
+        let epoch = Epoch {
+            index: self.epoch_index,
+            at: self.shared.now,
+        };
+        self.epoch_index += 1;
+        let mut ctx = SimCtx {
+            shared: &mut self.shared,
+        };
+        self.scheme.on_epoch(&mut ctx, epoch);
+        while self.next_epoch <= self.shared.now {
+            self.next_epoch += interval;
         }
     }
 }

@@ -246,6 +246,40 @@ mod tests {
     }
 
     #[test]
+    fn generation_slack_and_doubling_thresholds_are_exact() {
+        // Pins the invalidation rule: a snapshot taken at generation g
+        // survives until generation g + max(g, GENERATION_SLACK)
+        // inclusive, and is rebuilt on the very next recorded contact.
+        let mut rates = RateTable::new(2, Time::ZERO);
+        // Wall-clock refresh effectively disabled; `now` held constant.
+        let mut o = PathOracle::new(2, 3600.0, Duration::hours(10_000));
+        let (a, b) = (NodeId(0), NodeId(1));
+        rates.record(a, b, Time(1));
+        let _ = o.weight(&rates, Time(10), a, b);
+        assert_eq!(o.snapshot_epoch(), 1); // snapshot at generation 1
+
+        // Slack regime (g = 1 < 64): stale only past generation 1 + 64.
+        while rates.generation() < 65 {
+            rates.record(a, b, Time(2));
+        }
+        let _ = o.weight(&rates, Time(10), a, b);
+        assert_eq!(o.snapshot_epoch(), 1, "gen 65 = 1 + max(1, 64): cached");
+        rates.record(a, b, Time(3));
+        let _ = o.weight(&rates, Time(10), a, b);
+        assert_eq!(o.snapshot_epoch(), 2, "gen 66 > 65: rebuilt");
+
+        // Doubling regime (g = 66 > 64): stale only past 66 + 66.
+        while rates.generation() < 132 {
+            rates.record(a, b, Time(4));
+        }
+        let _ = o.weight(&rates, Time(10), a, b);
+        assert_eq!(o.snapshot_epoch(), 2, "gen 132 = 66 + max(66, 64): cached");
+        rates.record(a, b, Time(5));
+        let _ = o.weight(&rates, Time(10), a, b);
+        assert_eq!(o.snapshot_epoch(), 3, "gen 133 > 132: rebuilt");
+    }
+
+    #[test]
     fn generation_rebuilds_are_amortised() {
         // Querying after every single contact must not rebuild per
         // contact: the doubling rule keeps rebuild count logarithmic.

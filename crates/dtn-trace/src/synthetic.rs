@@ -392,11 +392,89 @@ impl SyntheticTraceBuilder {
     }
 }
 
+/// A two-regime trace with a mid-run mobility shift: the first half is
+/// one synthetic trace, the second half an independently seeded trace
+/// with the node identities **reversed**, so the sociable hubs of the
+/// warm-up regime go quiet exactly at the midpoint and new hubs take
+/// over. Warm-up-frozen NCL selections are maximally stale on the
+/// second half, which is what the online re-election experiments
+/// measure.
+///
+/// `half_contacts` is the calibration target for *each* half and
+/// `half` its duration; the returned trace spans `2 × half` with
+/// [`ContactTrace::midpoint`] exactly at the regime boundary.
+///
+/// # Example
+///
+/// ```
+/// use dtn_core::time::Duration;
+/// use dtn_trace::synthetic::regime_shift_trace;
+///
+/// let trace = regime_shift_trace(20, 3_000, 7, Duration::days(1));
+/// assert_eq!(trace.node_count(), 20);
+/// assert_eq!(trace.midpoint(), dtn_core::time::Time(86_400));
+/// ```
+pub fn regime_shift_trace(
+    nodes: usize,
+    half_contacts: u64,
+    seed: u64,
+    half: Duration,
+) -> ContactTrace {
+    let build_half = |s: u64| {
+        SyntheticTraceBuilder::new(nodes)
+            .duration(half)
+            .target_contacts(half_contacts)
+            .activity_sigma(2.0)
+            .edge_density(0.25)
+            .seed(s)
+            .build()
+    };
+    let first = build_half(seed);
+    let second = build_half(seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+    let mut contacts = first.contacts().to_vec();
+    let flip = |n: NodeId| NodeId((nodes - 1 - n.index()) as u32);
+    let end = half + half;
+    contacts.extend(second.contacts().iter().map(|c| {
+        Contact::new(
+            flip(c.a),
+            flip(c.b),
+            Time(c.start.as_secs() + half.as_secs()),
+            Time(c.end.as_secs() + half.as_secs()),
+        )
+    }));
+    // Drop the stragglers past 2×half so the combined duration — and
+    // therefore the midpoint — stays exact.
+    contacts.retain(|c| c.end.as_secs() <= end.as_secs());
+    ContactTrace::new(nodes, contacts, end)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use dtn_core::graph::ContactGraph;
     use dtn_core::ncl::{all_metrics, metric_skew};
+
+    #[test]
+    fn regime_shift_trace_moves_the_hubs() {
+        let half = Duration::days(1);
+        let t = regime_shift_trace(20, 3_000, 9, half);
+        assert_eq!(t.midpoint(), Time(half.as_secs()));
+        let first = t.slice(Time::ZERO, t.midpoint());
+        let second = t.slice(t.midpoint(), Time(t.duration().as_secs()));
+        let hub = |tr: &ContactTrace| {
+            tr.node_contact_counts()
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &c)| c)
+                .map(|(i, _)| i)
+                .unwrap()
+        };
+        assert_ne!(
+            hub(&first),
+            hub(&second),
+            "the busiest node must change across the regime boundary"
+        );
+    }
 
     #[test]
     fn deterministic_under_seed() {

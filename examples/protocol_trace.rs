@@ -40,6 +40,7 @@ fn main() {
         now: mid,
         capacities,
         horizon: 3600.0 * 6.0,
+        path_refresh: None,
     });
     println!("central nodes: {:?}\n", sim.scheme().central_nodes());
 
@@ -63,7 +64,7 @@ fn main() {
         | ProtocolEvent::BroadcastSpread { query, .. }
         | ProtocolEvent::ResponseSpawned { query, .. }
         | ProtocolEvent::Delivered { query, .. } => Some(*query),
-        ProtocolEvent::PushSettled { .. } => None,
+        ProtocolEvent::PushSettled { .. } | ProtocolEvent::CentralReelected { .. } => None,
     };
     let delivered = events
         .iter()
@@ -81,7 +82,9 @@ fn main() {
                     | ProtocolEvent::BroadcastSpread { query, .. }
                     | ProtocolEvent::ResponseSpawned { query, .. }
                     | ProtocolEvent::Delivered { query, .. } => *query == q,
-                    ProtocolEvent::PushSettled { .. } => false,
+                    ProtocolEvent::PushSettled { .. } | ProtocolEvent::CentralReelected { .. } => {
+                        false
+                    }
                 };
                 if relevant {
                     println!("  {e:?}");

@@ -44,6 +44,7 @@ fn run_with_loss(loss: f64, seed: u64) -> dtn_coop_cache::sim::Metrics {
         now: mid,
         capacities,
         horizon: 3600.0 * 4.0,
+        path_refresh: None,
     });
     let workload = Workload::generate(
         18,

@@ -88,6 +88,7 @@ proptest! {
             now: Time::ZERO,
             capacities,
             horizon: 3600.0,
+            path_refresh: None,
         });
         let generated = events
             .iter()

@@ -48,6 +48,7 @@ fn run_with_sim_config(
         now: mid,
         capacities,
         horizon: 3600.0,
+        path_refresh: None,
     });
     let mut events = Vec::new();
     for i in 0..6u64 {
@@ -131,6 +132,7 @@ fn queries_for_expired_data_fail_cleanly() {
         now: mid,
         capacities,
         horizon: 3600.0,
+        path_refresh: None,
     });
     sim.add_workload(vec![
         WorkloadEvent::GenerateData {

@@ -100,6 +100,7 @@ fn run_walkthrough(
         now: mid,
         capacities,
         horizon: 3600.0,
+        path_refresh: None,
     });
     assert_eq!(
         sim.scheme().central_nodes(),
@@ -151,6 +152,9 @@ fn broadcast_path_delivers_from_non_central_caching_node() {
             ProtocolEvent::BroadcastSpread { .. } => 2,
             ProtocolEvent::ResponseSpawned { .. } => 3,
             ProtocolEvent::Delivered { .. } => 4,
+            // Epochs are disabled in this walkthrough; no re-elections
+            // can appear in the log.
+            ProtocolEvent::CentralReelected { .. } => unreachable!("epochs disabled"),
         })
         .collect();
     assert_eq!(kind_order, vec![0, 1, 2, 3, 4], "events: {events:?}");

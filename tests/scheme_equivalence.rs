@@ -55,6 +55,7 @@ fn run_one<S: CachingScheme>(
         now: mid,
         capacities,
         horizon: 7200.0,
+        path_refresh: None,
     };
     sim.scheme_mut().configure(&setup);
     sim.add_workload(events);

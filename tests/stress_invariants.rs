@@ -47,6 +47,7 @@ fn stress_once(
         now: mid,
         capacities,
         horizon: 3600.0,
+        path_refresh: None,
     });
     let workload = Workload::generate(
         nodes,
