@@ -3,6 +3,7 @@
 //! ```text
 //! experiments [--scale F] [--seeds N] [--timing] <command>
 //! commands: table1 fig4 fig7 fig9 fig10 fig11 fig12 fig13 all
+//!           observe <figure> [--out report.jsonl]
 //! ```
 //!
 //! `--scale` shrinks trace duration and contact count proportionally
@@ -10,6 +11,11 @@
 //! `--seeds` sets repetitions per point (default 3); `--timing` prints
 //! simulation throughput (events/sec) per figure point; `--epoch SECS`
 //! narrows the `churn` sweep to frozen NCLs vs one re-election cadence.
+//!
+//! `observe <figure>` re-runs the figure's base configuration with the
+//! probe layer recording every protocol event, prints a post-mortem
+//! (probe counters, per-NCL hit rates, delay decomposition, slowest
+//! queries), and streams events + per-query traces as JSONL to `--out`.
 
 use std::env;
 use std::fs;
@@ -25,7 +31,11 @@ struct Options {
     scale: f64,
     seeds: u32,
     command: String,
+    /// Second positional: the figure for `observe`.
+    figure: Option<String>,
     csv_dir: Option<PathBuf>,
+    /// JSONL output path for `observe`.
+    out: Option<PathBuf>,
     timing: bool,
     epoch: Option<Duration>,
 }
@@ -34,7 +44,9 @@ fn parse_args() -> Result<Options, String> {
     let mut scale = 0.1;
     let mut seeds = 3;
     let mut command = None;
+    let mut figure = None;
     let mut csv_dir = None;
+    let mut out = None;
     let mut timing = false;
     let mut epoch = None;
     let mut args = env::args().skip(1);
@@ -69,11 +81,18 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.next().ok_or("--csv needs a directory")?;
                 csv_dir = Some(PathBuf::from(v));
             }
+            "--out" => {
+                let v = args.next().ok_or("--out needs a file path")?;
+                out = Some(PathBuf::from(v));
+            }
             "--help" | "-h" => {
                 command = Some("help".to_string());
             }
             other if command.is_none() && !other.starts_with('-') => {
                 command = Some(other.to_string());
+            }
+            other if command.is_some() && figure.is_none() && !other.starts_with('-') => {
+                figure = Some(other.to_string());
             }
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -82,7 +101,9 @@ fn parse_args() -> Result<Options, String> {
         scale,
         seeds,
         command: command.unwrap_or_else(|| "help".into()),
+        figure,
         csv_dir,
+        out,
         timing,
         epoch,
     })
@@ -144,11 +165,20 @@ fn main() -> ExitCode {
             "ncl" => ncl(&opts),
             "bounds" => bounds(&opts),
             "churn" => churn(&opts),
+            "observe" => {
+                if let Err(e) = observe(&opts) {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
             "help" => {
                 println!(
                     "usage: experiments [--scale F] [--seeds N] [--csv DIR] [--timing] \
                      [--epoch SECS] \
-                     <table1|fig4|fig7|fig9|fig10|fig11|fig12|fig13|ablation|ncl|bounds|churn|all>"
+                     <table1|fig4|fig7|fig9|fig10|fig11|fig12|fig13|ablation|ncl|bounds|churn|all>\n\
+                     \x20      experiments observe <{}> [--out report.jsonl] [--scale F] \
+                     [--seeds SEED]",
+                    bench::observe::FIGURES.join("|")
                 );
             }
             other => {
@@ -506,6 +536,26 @@ fn churn(opts: &Options) {
         .map(|row| (row.label.clone(), vec![&row.timing]))
         .collect();
     print_timings(opts, "epoch", &columns, &timing_rows);
+}
+
+/// The `observe <figure>` command: one probe-instrumented run, JSONL
+/// export via `--out`, post-mortem on stdout. `--seeds` picks the seed
+/// of the single observed run.
+fn observe(opts: &Options) -> Result<(), String> {
+    let figure = opts.figure.as_deref().ok_or_else(|| {
+        format!(
+            "observe needs a figure: one of {}",
+            bench::observe::FIGURES.join(", ")
+        )
+    })?;
+    let run = bench::observe::observe_figure(figure, opts.scale, u64::from(opts.seeds))?;
+    if let Some(path) = &opts.out {
+        let lines = bench::observe::write_jsonl_file(&run, path)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("[jsonl] wrote {lines} lines to {}", path.display());
+    }
+    print!("{}", bench::observe::render_report(&run));
+    Ok(())
 }
 
 fn fig13(opts: &Options) {

@@ -219,7 +219,7 @@ fn lifetimes_mit(scale: f64) -> Vec<Duration> {
 }
 
 /// Base configuration of the §VI-B MIT Reality experiments, scaled.
-fn mit_config(scale: f64) -> ExperimentConfig {
+pub(crate) fn mit_config(scale: f64) -> ExperimentConfig {
     ExperimentConfig {
         ncl_count: 8,
         mean_data_lifetime: Duration((Duration::weeks(1).as_secs() as f64 * scale) as u64)

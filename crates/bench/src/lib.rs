@@ -6,6 +6,7 @@
 //! index and EXPERIMENTS.md for recorded results.
 
 pub mod figures;
+pub mod observe;
 pub mod runner;
 
 pub use runner::{

@@ -1,0 +1,511 @@
+//! The `observe` command: one fully-instrumented experiment run.
+//!
+//! Re-runs a figure's base configuration (intentional scheme, same
+//! warm-up → configure → workload protocol as
+//! [`dtn_cache::experiment::run_experiment`]) with a
+//! [`RecordingProbe`] installed for the measurement phase, then
+//!
+//! - streams every probe event and every assembled query trace as
+//!   JSONL (`--out PATH`), and
+//! - renders a human-readable post-mortem: the probe counter table,
+//!   per-NCL query arrivals and hit rates, the three-phase delay
+//!   decomposition (which sums exactly to the metrics'
+//!   `total_delay_secs`), delay/hop/occupancy histograms, oracle cache
+//!   behavior, and the top-k slowest satisfied queries with their full
+//!   lifecycle.
+//!
+//! The probe is installed *after* `configure`, so the export covers the
+//! measurement phase only — the phase every figure reports on.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::io::{self, Write as _};
+use std::path::Path;
+use std::rc::Rc;
+
+use dtn_cache::experiment::{build_scheme, ExperimentConfig};
+use dtn_cache::{NetworkSetup, SchemeKind};
+use dtn_core::ids::NodeId;
+use dtn_core::time::{Duration, Time};
+use dtn_sim::engine::{SimConfig, Simulator};
+use dtn_sim::metrics::Metrics;
+use dtn_sim::probe::{ProbeEvent, QueryTrace, RecordingProbe};
+use dtn_trace::synthetic::regime_shift_trace;
+use dtn_trace::trace::ContactTrace;
+use dtn_trace::TracePreset;
+use dtn_workload::{Workload, WorkloadConfig};
+
+use crate::figures::{mit_config, preset_trace};
+
+/// Everything one instrumented run produced.
+#[derive(Debug)]
+pub struct ObserveRun {
+    /// The figure whose base configuration ran.
+    pub figure: String,
+    /// The scheme that ran (always the intentional scheme today).
+    pub scheme: SchemeKind,
+    /// Workload/protocol seed.
+    pub seed: u64,
+    /// Engine metrics of the run.
+    pub metrics: Metrics,
+    /// The recorder with events, traces, counters and histograms.
+    pub probe: RecordingProbe,
+    /// Central nodes after the run (reflects re-elections).
+    pub central_nodes: Vec<NodeId>,
+    /// Queries that arrived at each central node, by NCL index.
+    pub ncl_query_load: Vec<u64>,
+}
+
+/// The figures `observe` knows base configurations for.
+pub const FIGURES: [&str; 5] = ["fig10", "fig11", "fig12", "fig13", "churn"];
+
+/// The trace and base configuration behind one figure, at `scale`.
+fn figure_setup(figure: &str, scale: f64, seed: u64) -> Option<(ContactTrace, ExperimentConfig)> {
+    match figure {
+        // The three MIT Reality sweeps share one base point.
+        "fig10" | "fig11" | "fig12" => Some((
+            preset_trace(TracePreset::MitReality, scale, 42),
+            mit_config(scale),
+        )),
+        "fig13" => {
+            let lifetime = Duration((Duration::hours(3).as_secs() as f64 * scale) as u64)
+                .max(Duration::minutes(30));
+            Some((
+                preset_trace(TracePreset::Infocom06, scale, 42),
+                ExperimentConfig {
+                    ncl_count: TracePreset::Infocom06.default_ncl_count(),
+                    mean_data_lifetime: lifetime,
+                    ..ExperimentConfig::default()
+                },
+            ))
+        }
+        // The churn study's regime-shift trace with online re-election:
+        // exercises epoch, re-election and oracle-invalidation events.
+        "churn" => {
+            let s = scale.max(0.05);
+            let half =
+                Duration((Duration::days(2).as_secs() as f64 * s) as u64).max(Duration::hours(4));
+            let trace = regime_shift_trace(30, (10_000.0 * s) as u64, 42, half);
+            let cfg = ExperimentConfig {
+                ncl_count: 4,
+                mean_data_lifetime: Duration((half.as_secs() as f64 * 0.9) as u64),
+                epoch_interval: Some(
+                    Duration((half.as_secs() as f64 * 0.25) as u64).max(Duration::minutes(30)),
+                ),
+                ..ExperimentConfig::default()
+            };
+            Some((trace, cfg))
+        }
+        _ => None,
+    }
+    .map(|(trace, cfg)| {
+        let _ = seed; // trace seeds are pinned to the figures' 42
+        (trace, cfg)
+    })
+}
+
+/// Runs the named figure's base configuration once with a recording
+/// probe covering the measurement phase. `Err` names the unknown figure.
+pub fn observe_figure(figure: &str, scale: f64, seed: u64) -> Result<ObserveRun, String> {
+    let (trace, config) = figure_setup(figure, scale, seed)
+        .ok_or_else(|| format!("unknown figure {figure:?}; expected one of {FIGURES:?}"))?;
+    let kind = SchemeKind::Intentional;
+    let scheme = build_scheme(kind, &config);
+    let sim_config = SimConfig {
+        buffer_range: config.buffer_range,
+        sample_interval: config.sample_interval,
+        epoch_interval: config.epoch_interval,
+        path_refresh: config.path_refresh,
+        seed,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(&trace, scheme, sim_config);
+
+    // Phase 1: warm-up over the first half of the trace (unobserved —
+    // figures measure the second half only).
+    let mid = trace.midpoint();
+    sim.run_until(mid);
+
+    // Phase 2: NCL selection and scheme configuration.
+    let capacities: Vec<u64> = (0..trace.node_count() as u32)
+        .map(|n| sim.buffer_capacity(NodeId(n)))
+        .collect();
+    let rate_table = sim.rate_table().clone();
+    let setup = NetworkSetup {
+        rate_table: &rate_table,
+        now: mid,
+        capacities,
+        horizon: config
+            .horizon
+            .unwrap_or_else(|| config.mean_data_lifetime.as_secs_f64().max(3600.0)),
+        path_refresh: config.path_refresh,
+    };
+    sim.scheme_mut().configure(&setup);
+
+    // Install the probe now, so the export covers the measurement phase.
+    let recorder = Rc::new(RefCell::new(RecordingProbe::new()));
+    sim.set_probe(Box::new(Rc::clone(&recorder)));
+
+    // Phase 3: workload over the second half.
+    let end = Time(trace.duration().as_secs());
+    let workload_cfg = WorkloadConfig {
+        generation_probability: config.generation_probability,
+        mean_lifetime: config.mean_data_lifetime,
+        mean_size: config.mean_data_size,
+        zipf_exponent: config.zipf_exponent,
+        query_constraint: config.query_constraint,
+        window: (mid, end),
+        seed,
+    };
+    let workload = Workload::generate(trace.node_count(), &workload_cfg);
+    sim.add_workload(workload.into_events());
+    sim.run_to_end();
+
+    drop(sim.take_probe());
+    let probe = Rc::try_unwrap(recorder)
+        .expect("engine returned its probe handle")
+        .into_inner();
+    Ok(ObserveRun {
+        figure: figure.to_string(),
+        scheme: kind,
+        seed,
+        metrics: sim.metrics().clone(),
+        probe,
+        central_nodes: sim.scheme().central_nodes().to_vec(),
+        ncl_query_load: sim.scheme().ncl_query_load().to_vec(),
+    })
+}
+
+/// One `{"type":"run",...}` JSONL header line describing the run.
+pub fn run_header_json(run: &ObserveRun) -> String {
+    let d = run.probe.total_decomposition();
+    format!(
+        "{{\"type\":\"run\",\"figure\":\"{}\",\"scheme\":\"{}\",\"seed\":{},\
+         \"queries_issued\":{},\"queries_satisfied\":{},\"total_delay_secs\":{},\
+         \"pull_secs\":{},\"ncl_secs\":{},\"response_secs\":{}}}",
+        run.figure,
+        run.scheme.name(),
+        run.seed,
+        run.metrics.queries_issued,
+        run.metrics.queries_satisfied,
+        run.metrics.total_delay_secs,
+        d.pull_secs,
+        d.ncl_secs,
+        d.response_secs,
+    )
+}
+
+/// Streams the run as JSONL: one header line, every probe event, then
+/// every assembled query trace. Returns the number of lines written.
+pub fn write_jsonl(run: &ObserveRun, out: &mut dyn io::Write) -> io::Result<usize> {
+    let mut lines = 0usize;
+    writeln!(out, "{}", run_header_json(run))?;
+    lines += 1;
+    for event in run.probe.events() {
+        writeln!(out, "{}", event.to_json())?;
+        lines += 1;
+    }
+    for trace in run.probe.traces() {
+        writeln!(out, "{}", trace.to_json())?;
+        lines += 1;
+    }
+    Ok(lines)
+}
+
+/// [`write_jsonl`] into a file path.
+pub fn write_jsonl_file(run: &ObserveRun, path: &Path) -> io::Result<usize> {
+    let file = std::fs::File::create(path)?;
+    let mut out = io::BufWriter::new(file);
+    let lines = write_jsonl(run, &mut out)?;
+    out.flush()?;
+    Ok(lines)
+}
+
+fn render_trace(out: &mut String, t: &QueryTrace) {
+    let _ = writeln!(
+        out,
+        "  query {} (requester {}, data {}): issued t={}, expires t={}",
+        t.query.0, t.requester.0, t.data.0, t.issued_at.0, t.expires_at.0
+    );
+    if let Some(at) = t.first_central_at {
+        let _ = writeln!(
+            out,
+            "    t={:>8}  reached central (NCL {})",
+            at.0,
+            t.first_central_ncl.unwrap_or(0)
+        );
+    }
+    if let Some(at) = t.first_response_at {
+        let _ = writeln!(
+            out,
+            "    t={:>8}  response spawned at node {} (broadcast fan-out {})",
+            at.0,
+            t.responder.map_or(0, |n| n.0),
+            t.broadcast_fanout
+        );
+    }
+    if let Some(at) = t.delivered_at {
+        let _ = writeln!(out, "    t={:>8}  delivered", at.0);
+    }
+    // A query keeps one pull copy per NCL, so several identical hops
+    // often cross the same link at the same contact; collapse them.
+    let mut i = 0;
+    while i < t.hops.len() {
+        let h = &t.hops[i];
+        let mut copies = 1;
+        while i + copies < t.hops.len() && t.hops[i + copies] == *h {
+            copies += 1;
+        }
+        let _ = write!(
+            out,
+            "    t={:>8}  {:>8} hop {} -> {}",
+            h.at.0,
+            match h.phase {
+                dtn_sim::probe::HopPhase::Pull => "pull",
+                dtn_sim::probe::HopPhase::Response => "response",
+            },
+            h.from.0,
+            h.to.0
+        );
+        if copies > 1 {
+            let _ = write!(out, " (x{copies} copies)");
+        }
+        out.push('\n');
+        i += copies;
+    }
+    if let Some(d) = t.decomposition() {
+        let _ = writeln!(
+            out,
+            "    delay {}s = pull {}s + ncl {}s + response {}s",
+            d.total_secs(),
+            d.pull_secs,
+            d.ncl_secs,
+            d.response_secs
+        );
+    }
+}
+
+/// Renders the human-readable post-mortem of one observed run.
+pub fn render_report(run: &ObserveRun) -> String {
+    let mut out = String::new();
+    let m = &run.metrics;
+    let _ = writeln!(
+        out,
+        "== observe {}: {} (seed {}) ==",
+        run.figure,
+        run.scheme.name(),
+        run.seed
+    );
+    let _ = writeln!(
+        out,
+        "queries: {} issued, {} satisfied ({:.1}%), avg delay {:.2}h; \
+         {} duplicate / {} late deliveries, {} transfers rejected",
+        m.queries_issued,
+        m.queries_satisfied,
+        m.success_ratio() * 100.0,
+        m.avg_delay_hours(),
+        m.duplicate_deliveries,
+        m.late_deliveries,
+        m.transfers_rejected,
+    );
+
+    // Probe counter table: every vocabulary kind, observed count.
+    let _ = writeln!(out, "\n-- probe counters --");
+    for kind in ProbeEvent::KINDS {
+        let count = run.probe.count(kind);
+        if count > 0 {
+            let _ = writeln!(out, "{kind:>24} {count:>10}");
+        }
+    }
+
+    // Per-NCL arrivals and hit rates from the assembled traces.
+    let _ = writeln!(out, "\n-- NCL query arrivals & hit rates --");
+    let k = run.central_nodes.len();
+    let mut arrived = vec![0u64; k];
+    let mut hit = vec![0u64; k];
+    for t in run.probe.traces() {
+        if let Some(ncl) = t.first_central_ncl {
+            if ncl < k {
+                arrived[ncl] += 1;
+                if t.delivered() {
+                    hit[ncl] += 1;
+                }
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{:>4} {:>8} {:>10} {:>10} {:>10}",
+        "NCL", "central", "load", "1st-here", "hit rate"
+    );
+    for (i, &central) in run.central_nodes.iter().enumerate() {
+        let rate = if arrived[i] > 0 {
+            hit[i] as f64 / arrived[i] as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "{:>4} {:>8} {:>10} {:>10} {:>9.1}%",
+            i,
+            central.0,
+            run.ncl_query_load.get(i).copied().unwrap_or(0),
+            arrived[i],
+            rate * 100.0
+        );
+    }
+
+    // Delay decomposition: the three phases sum to total_delay_secs.
+    let d = run.probe.total_decomposition();
+    let total = d.total_secs().max(1);
+    let _ = writeln!(out, "\n-- delay decomposition (satisfied queries) --");
+    let _ = writeln!(out, "{:>12} {:>12} {:>8}", "phase", "seconds", "share");
+    for (name, secs) in [
+        ("pull", d.pull_secs),
+        ("ncl", d.ncl_secs),
+        ("response", d.response_secs),
+    ] {
+        let _ = writeln!(
+            out,
+            "{:>12} {:>12} {:>7.1}%",
+            name,
+            secs,
+            secs as f64 / total as f64 * 100.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:>12} {:>12} (metrics total_delay_secs: {}{})",
+        "sum",
+        d.total_secs(),
+        m.total_delay_secs,
+        if d.total_secs() == m.total_delay_secs {
+            ", exact match"
+        } else {
+            " -- MISMATCH"
+        }
+    );
+
+    // Oracle cache behavior relayed from the scheme.
+    let (rebuilds, recomputes, hits) = run.probe.oracle_counters();
+    if rebuilds + recomputes + hits > 0 {
+        let _ = writeln!(out, "\n-- path oracle --");
+        let served = recomputes + hits;
+        let _ = writeln!(
+            out,
+            "snapshots rebuilt: {rebuilds}; path tables: {recomputes} recomputed, \
+             {hits} reused ({:.1}% hit rate)",
+            if served > 0 {
+                hits as f64 / served as f64 * 100.0
+            } else {
+                0.0
+            }
+        );
+    }
+
+    // Histograms (alloc-free fixed buckets, recorded in the hot loop).
+    if run.probe.delay_hist().count() > 0 {
+        let _ = writeln!(out, "\n{}", run.probe.delay_hist().render("delay", "s"));
+    }
+    if run.probe.hop_hist().count() > 0 {
+        let _ = writeln!(out, "{}", run.probe.hop_hist().render("hops/query", ""));
+    }
+    if run.probe.occupancy_hist().count() > 0 {
+        let _ = writeln!(
+            out,
+            "{}",
+            run.probe.occupancy_hist().render("cache occupancy", "B")
+        );
+    }
+
+    // Top-k slowest satisfied queries, full lifecycle each.
+    let mut slowest: Vec<&QueryTrace> = run.probe.traces().filter(|t| t.delivered()).collect();
+    slowest.sort_by_key(|t| {
+        std::cmp::Reverse(t.delivered_at.unwrap_or(t.issued_at).0 - t.issued_at.0)
+    });
+    let _ = writeln!(
+        out,
+        "\n-- top {} slowest satisfied queries --",
+        5.min(slowest.len())
+    );
+    for t in slowest.iter().take(5) {
+        render_trace(&mut out, t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observed_run_covers_every_satisfied_query() {
+        let run = observe_figure("fig10", 0.02, 7).expect("known figure");
+        assert!(run.metrics.queries_issued > 0, "workload generated queries");
+        // Every issued query has an assembled trace; every satisfied one
+        // carries a delivery timestamp.
+        assert_eq!(
+            run.probe.traces().count() as u64,
+            run.metrics.queries_issued
+        );
+        assert_eq!(
+            run.probe.traces().filter(|t| t.delivered()).count() as u64,
+            run.metrics.queries_satisfied
+        );
+        // The per-phase decomposition sums exactly to the metric delay.
+        assert_eq!(
+            run.probe.total_decomposition().total_secs(),
+            run.metrics.total_delay_secs
+        );
+        // The probe's delay histogram mirrors the delivery count.
+        assert_eq!(
+            run.probe.delay_hist().count(),
+            run.metrics.queries_satisfied
+        );
+    }
+
+    #[test]
+    fn jsonl_lines_parse_as_flat_objects() {
+        let run = observe_figure("fig10", 0.02, 7).expect("known figure");
+        let mut buf = Vec::new();
+        let lines = write_jsonl(&run, &mut buf).expect("in-memory write");
+        let text = String::from_utf8(buf).expect("utf8");
+        assert_eq!(text.lines().count(), lines);
+        assert!(lines > 1, "header plus events/traces");
+        for line in text.lines() {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "bad line {line:?}"
+            );
+            assert!(line.contains("\"type\":\""), "line missing type: {line:?}");
+        }
+        // Header first, then events, then traces.
+        assert!(text.lines().next().unwrap().contains("\"type\":\"run\""));
+        assert!(text.contains("\"type\":\"event\""));
+        assert!(text.contains("\"type\":\"trace\""));
+    }
+
+    #[test]
+    fn report_renders_decomposition_and_ncl_table() {
+        let run = observe_figure("fig10", 0.02, 7).expect("known figure");
+        let report = render_report(&run);
+        assert!(report.contains("delay decomposition"));
+        assert!(report.contains("exact match"), "{report}");
+        assert!(report.contains("NCL query arrivals"));
+        assert!(report.contains("probe counters"));
+        assert!(!report.contains("MISMATCH"), "{report}");
+    }
+
+    #[test]
+    fn unknown_figure_is_an_error() {
+        assert!(observe_figure("fig99", 0.02, 1).is_err());
+    }
+
+    #[test]
+    fn churn_run_observes_reelections() {
+        let run = observe_figure("churn", 0.05, 3).expect("known figure");
+        // Epochs fire on the churn setup; re-elections and oracle
+        // invalidations surface through the probe vocabulary.
+        assert!(run.probe.count("epoch_fired") > 0, "no epochs observed");
+    }
+}

@@ -28,6 +28,7 @@ use dtn_sim::buffer::Buffer;
 use dtn_sim::engine::{CacheStats, Scheme, SimCtx};
 use dtn_sim::message::{DataItem, Query};
 use dtn_sim::oracle::PathOracle;
+use dtn_sim::probe::ProbeEvent;
 use dtn_trace::trace::Contact;
 
 use crate::common::DataRegistry;
@@ -183,6 +184,11 @@ impl<P: IncidentalPolicy> IncidentalScheme<P> {
             }
             self.buffers[node.index()].remove(victim);
             ctx.note_replacements(1);
+            ctx.probe().emit(|| ProbeEvent::ReplacementEvicted {
+                at: now,
+                node,
+                data: victim,
+            });
         }
         self.buffers[node.index()].insert(item).is_ok()
     }
@@ -199,6 +205,13 @@ impl<P: IncidentalPolicy> IncidentalScheme<P> {
     /// Answers `query` from `holder`'s copy (holder caches or sources
     /// the data).
     fn respond(&mut self, ctx: &mut SimCtx<'_>, query: &dtn_sim::message::Query, holder: NodeId) {
+        let at = ctx.now();
+        let query_id = query.id;
+        ctx.probe().emit(|| ProbeEvent::ResponseSpawned {
+            at,
+            query: query_id,
+            node: holder,
+        });
         if holder == query.requester {
             ctx.mark_delivered(query.id);
             return;
@@ -223,6 +236,11 @@ impl<P: IncidentalPolicy> IncidentalScheme<P> {
         to_respond.clear();
         let mut seen_bumps = mem::take(&mut self.sx_bumps);
         seen_bumps.clear();
+        // Relay hops observed this contact, replayed to the probe after
+        // the link borrow ends (empty and alloc-free when no probe is
+        // installed).
+        let probing = ctx.probe_enabled();
+        let mut relay_hops: Vec<(dtn_core::ids::QueryId, NodeId, NodeId)> = Vec::new();
         {
             let mut link = ctx.link_access();
             for (qc, is_open) in self.queries.iter_mut().zip(&open) {
@@ -230,6 +248,10 @@ impl<P: IncidentalPolicy> IncidentalScheme<P> {
                     continue;
                 }
                 let out = qc.msg.on_contact(strategy, oracle, now, a, b, &mut link);
+                if probing {
+                    let query = qc.query.id;
+                    relay_hops.extend(out.transfers.iter().map(|&(f, t)| (query, f, t)));
+                }
                 for &(_, to) in &out.transfers {
                     seen_bumps.push((to, qc.query.data));
                     // En-route hit: a new carrier holds the data.
@@ -248,6 +270,14 @@ impl<P: IncidentalPolicy> IncidentalScheme<P> {
                     qc.answered = true;
                 }
             }
+        }
+        for &(query, from, to) in &relay_hops {
+            ctx.probe().emit(|| ProbeEvent::QueryRelay {
+                at: now,
+                query,
+                from,
+                to,
+            });
         }
         for &(node, data) in &seen_bumps {
             *self.local_seen.entry((node, data)).or_insert(0) += 1;
@@ -277,6 +307,8 @@ impl<P: IncidentalPolicy> IncidentalScheme<P> {
         passby.clear();
         let mut requester_caches = mem::take(&mut self.sx_req_caches);
         requester_caches.clear();
+        let probing = ctx.probe_enabled();
+        let mut relay_hops: Vec<(dtn_core::ids::QueryId, NodeId, NodeId)> = Vec::new();
         {
             let mut link = ctx.link_access();
             for (resp, is_open) in self.responses.iter_mut().zip(&open) {
@@ -291,6 +323,10 @@ impl<P: IncidentalPolicy> IncidentalScheme<P> {
                 let out = resp
                     .msg
                     .on_contact(response_routing, oracle, now, a, b, &mut link);
+                if probing {
+                    let query = resp.query.id;
+                    relay_hops.extend(out.transfers.iter().map(|&(f, t)| (query, f, t)));
+                }
                 for &(_, to) in &out.transfers {
                     if to == resp.query.requester {
                         if self.policy.cache_at_requester() {
@@ -306,6 +342,14 @@ impl<P: IncidentalPolicy> IncidentalScheme<P> {
                     delivered.push(resp.query.id);
                 }
             }
+        }
+        for &(query, from, to) in &relay_hops {
+            ctx.probe().emit(|| ProbeEvent::ResponseRelay {
+                at: now,
+                query,
+                from,
+                to,
+            });
         }
         for &id in &delivered {
             ctx.mark_delivered(id);
@@ -351,6 +395,9 @@ impl<P: IncidentalPolicy> Scheme for IncidentalScheme<P> {
                     Some((_, id)) => {
                         self.buffers[node.index()].remove(id);
                         ctx.note_replacements(1);
+                        let at = ctx.now();
+                        ctx.probe()
+                            .emit(|| ProbeEvent::ReplacementEvicted { at, node, data: id });
                     }
                     None => break,
                 }

@@ -97,6 +97,7 @@ use dtn_sim::buffer::Buffer;
 use dtn_sim::engine::{CacheStats, Epoch, Scheme, SimCtx};
 use dtn_sim::message::{DataItem, Query};
 use dtn_sim::oracle::PathOracle;
+use dtn_sim::probe::ProbeEvent;
 use dtn_trace::trace::Contact;
 
 use crate::replacement::{NodeCacheMeta, ReplacementKind};
@@ -239,6 +240,41 @@ pub enum ProtocolEvent {
     },
 }
 
+impl ProtocolEvent {
+    /// The same milestone in the engine-wide [`ProbeEvent`] vocabulary,
+    /// or `None` for [`ProtocolEvent::Delivered`]: the engine's
+    /// `mark_delivered` emits the probe-level `Delivery` event at the
+    /// same instant, so mapping it here would double-count deliveries.
+    pub(super) fn probe_event(self) -> Option<ProbeEvent> {
+        match self {
+            ProtocolEvent::PushSettled {
+                at,
+                data,
+                node,
+                ncl,
+            } => Some(ProbeEvent::PushSettled {
+                at,
+                data,
+                node,
+                ncl,
+            }),
+            ProtocolEvent::QueryAtCentral { at, query, ncl } => {
+                Some(ProbeEvent::QueryAtCentral { at, query, ncl })
+            }
+            ProtocolEvent::BroadcastSpread { at, query, node } => {
+                Some(ProbeEvent::BroadcastSpread { at, query, node })
+            }
+            ProtocolEvent::ResponseSpawned { at, query, node } => {
+                Some(ProbeEvent::ResponseSpawned { at, query, node })
+            }
+            ProtocolEvent::Delivered { .. } => None,
+            ProtocolEvent::CentralReelected { at, ncl, old, new } => {
+                Some(ProbeEvent::CentralReelected { at, ncl, old, new })
+            }
+        }
+    }
+}
+
 impl IntentionalScheme {
     /// Epoch-based NCL re-election (driven by [`Scheme::on_epoch`]).
     ///
@@ -285,14 +321,19 @@ impl IntentionalScheme {
         self.centrals = new_centrals;
         if let Some(oracle) = &mut self.oracle {
             oracle.invalidate();
+            ctx.probe()
+                .emit(|| ProbeEvent::OracleInvalidated { at: now });
         }
         for &(k, old, new) in &changed {
-            self.log(ProtocolEvent::CentralReelected {
-                at: now,
-                ncl: k,
-                old,
-                new,
-            });
+            self.log(
+                ctx,
+                ProtocolEvent::CentralReelected {
+                    at: now,
+                    ncl: k,
+                    old,
+                    new,
+                },
+            );
             let (copies, bytes) = self.migrate_ncl(now, k);
             self.reelection.migrated_copies += copies;
             self.reelection.migrated_bytes += bytes;
@@ -333,10 +374,13 @@ impl Scheme for IntentionalScheme {
         // Local hit: the requester happens to cache the data already.
         if self.buffers[query.requester.index()].contains(query.data) {
             ctx.mark_delivered(query.id);
-            self.log(ProtocolEvent::Delivered {
-                at: ctx.now(),
-                query: query.id,
-            });
+            self.log(
+                ctx,
+                ProtocolEvent::Delivered {
+                    at: ctx.now(),
+                    query: query.id,
+                },
+            );
             return;
         }
         let centrals = self.centrals.clone();
@@ -367,6 +411,25 @@ impl Scheme for IntentionalScheme {
         self.advance_broadcasts(ctx, a, b);
         self.advance_responses(ctx, a, b);
         self.exchange_caches(ctx, a, b);
+        // Relay oracle rebuilds to an installed probe. The oracle cannot
+        // emit directly (it is queried under a rate-table borrow), so the
+        // scheme watches its epoch counter between contacts instead.
+        if ctx.probe_enabled() {
+            if let Some(oracle) = &self.oracle {
+                let epoch = oracle.snapshot_epoch();
+                if epoch > self.last_oracle_epoch {
+                    self.last_oracle_epoch = epoch;
+                    let stats = oracle.stats();
+                    let at = ctx.now();
+                    ctx.probe().emit(|| ProbeEvent::OracleRebuilt {
+                        at,
+                        epoch,
+                        table_recomputes: stats.table_recomputes,
+                        table_hits: stats.table_hits,
+                    });
+                }
+            }
+        }
     }
 
     fn on_epoch(&mut self, ctx: &mut SimCtx<'_>, _epoch: Epoch) {
@@ -437,6 +500,7 @@ impl CachingScheme for IntentionalScheme {
         self.responded_gc.clear();
         self.horizon = setup.horizon;
         self.reelection = ReelectionStats::default();
+        self.last_oracle_epoch = 0;
     }
 
     fn central_nodes(&self) -> &[NodeId] {

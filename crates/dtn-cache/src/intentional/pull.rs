@@ -8,6 +8,7 @@ use std::mem;
 use dtn_core::ids::NodeId;
 use dtn_sim::engine::SimCtx;
 use dtn_sim::message::Query;
+use dtn_sim::probe::ProbeEvent;
 
 use crate::common::better_relay;
 
@@ -57,6 +58,12 @@ impl IntentionalScheme {
             self.pulls.get_mut(id).expect("live").carrier = to;
             remove_u32(&mut self.pull_at[from.index()], id);
             self.pull_at[to.index()].push(id);
+            ctx.probe().emit(|| ProbeEvent::QueryRelay {
+                at: now,
+                query: pull.query.id,
+                from,
+                to,
+            });
             if to == central {
                 arrived.push(id);
             }
@@ -83,11 +90,14 @@ impl IntentionalScheme {
         if let Some(slot) = self.ncl_query_load.get_mut(ncl) {
             *slot += 1;
         }
-        self.log(ProtocolEvent::QueryAtCentral {
-            at: ctx.now(),
-            query: query.id,
-            ncl,
-        });
+        self.log(
+            ctx,
+            ProtocolEvent::QueryAtCentral {
+                at: ctx.now(),
+                query: query.id,
+                ncl,
+            },
+        );
         let central = self.centrals[ncl];
         if self.buffers[central.index()].contains(query.data) {
             // "a central node immediately replies to the requester with
@@ -175,11 +185,14 @@ impl IntentionalScheme {
             if self.buffers[to.index()].contains(query.data) {
                 decisions.push((query, to, ncl));
             }
-            self.log(ProtocolEvent::BroadcastSpread {
-                at: ctx.now(),
-                query: query.id,
-                node: to,
-            });
+            self.log(
+                ctx,
+                ProtocolEvent::BroadcastSpread {
+                    at: ctx.now(),
+                    query: query.id,
+                    node: to,
+                },
+            );
         }
         for &(query, node, ncl) in &decisions {
             let before = self.responses.len();

@@ -12,6 +12,7 @@ use crate::replacement::ReplacementKind;
 use super::state::{CopyState, IntentionalScheme};
 use super::ProtocolEvent;
 use dtn_sim::engine::SimCtx;
+use dtn_sim::probe::ProbeEvent;
 
 impl IntentionalScheme {
     /// §V-A: advance the push copies carried by either contact endpoint.
@@ -61,6 +62,13 @@ impl IntentionalScheme {
             let already_there = self.buffers[to.index()].contains(data);
             if already_there {
                 self.set_copy(data, k, CopyState::transit(to, central));
+                ctx.probe().emit(|| ProbeEvent::PushRelay {
+                    at: now,
+                    data,
+                    from,
+                    to,
+                    ncl: k,
+                });
                 self.drop_physical_if_unreferenced(from, data);
                 continue;
             }
@@ -69,12 +77,15 @@ impl IntentionalScheme {
             {
                 // Next relay's buffer is full: cache here.
                 self.set_copy(data, k, CopyState::Settled(from));
-                self.log(ProtocolEvent::PushSettled {
-                    at: now,
-                    data,
-                    node: from,
-                    ncl: k,
-                });
+                self.log(
+                    ctx,
+                    ProtocolEvent::PushSettled {
+                        at: now,
+                        data,
+                        node: from,
+                        ncl: k,
+                    },
+                );
                 continue;
             }
             if !ctx.try_transmit(item.size) {
@@ -82,24 +93,37 @@ impl IntentionalScheme {
             }
             if self.insert_physical(ctx, to, item) {
                 self.set_copy(data, k, CopyState::transit(to, central));
+                ctx.probe().emit(|| ProbeEvent::PushRelay {
+                    at: now,
+                    data,
+                    from,
+                    to,
+                    ncl: k,
+                });
                 if to == central {
-                    self.log(ProtocolEvent::PushSettled {
-                        at: now,
-                        data,
-                        node: to,
-                        ncl: k,
-                    });
+                    self.log(
+                        ctx,
+                        ProtocolEvent::PushSettled {
+                            at: now,
+                            data,
+                            node: to,
+                            ncl: k,
+                        },
+                    );
                 }
                 self.drop_physical_if_unreferenced(from, data);
             } else {
                 // Traditional policy could not make room either.
                 self.set_copy(data, k, CopyState::Settled(from));
-                self.log(ProtocolEvent::PushSettled {
-                    at: now,
-                    data,
-                    node: from,
-                    ncl: k,
-                });
+                self.log(
+                    ctx,
+                    ProtocolEvent::PushSettled {
+                        at: now,
+                        data,
+                        node: from,
+                        ncl: k,
+                    },
+                );
             }
         }
         batch.clear();

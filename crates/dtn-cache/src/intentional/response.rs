@@ -13,6 +13,7 @@ use dtn_core::sigmoid::ResponseFunction;
 use dtn_core::time::Duration;
 use dtn_sim::engine::SimCtx;
 use dtn_sim::message::Query;
+use dtn_sim::probe::ProbeEvent;
 
 use crate::routing::{ForwardingStrategy, RoutedMessage};
 
@@ -56,24 +57,39 @@ impl IntentionalScheme {
         };
         let pop = self.registry.popularity(query.data, ctx.now());
         let size = self.registry.get(query.data).map_or(1, |d| d.size);
-        if ctx.rng().gen_bool(probability.clamp(0.0, 1.0)) {
+        let responded = ctx.rng().gen_bool(probability.clamp(0.0, 1.0));
+        let at = ctx.now();
+        ctx.probe().emit(|| ProbeEvent::ResponseDecision {
+            at,
+            query: query.id,
+            node,
+            probability,
+            responded,
+        });
+        if responded {
             self.meta[node.index()].on_use(query.data, ctx.now(), pop, size);
             self.spawn_response(ctx, query, node);
         }
     }
 
     pub(super) fn spawn_response(&mut self, ctx: &mut SimCtx<'_>, query: Query, from: NodeId) {
-        self.log(ProtocolEvent::ResponseSpawned {
-            at: ctx.now(),
-            query: query.id,
-            node: from,
-        });
-        if from == query.requester {
-            ctx.mark_delivered(query.id);
-            self.log(ProtocolEvent::Delivered {
+        self.log(
+            ctx,
+            ProtocolEvent::ResponseSpawned {
                 at: ctx.now(),
                 query: query.id,
-            });
+                node: from,
+            },
+        );
+        if from == query.requester {
+            ctx.mark_delivered(query.id);
+            self.log(
+                ctx,
+                ProtocolEvent::Delivered {
+                    at: ctx.now(),
+                    query: query.id,
+                },
+            );
             return;
         }
         let Some(&item) = self.registry.get(query.data) else {
@@ -124,6 +140,11 @@ impl IntentionalScheme {
         let strategy = self.cfg.response_routing;
         let mut delivered = mem::take(&mut self.sx_delivered);
         delivered.clear();
+        // With a probe installed, use the transfer-logging routed path
+        // (same state transitions and link charges as the fast path) and
+        // replay the hops after the link borrow ends.
+        let probing = ctx.probe_enabled();
+        let mut relay_hops: Vec<(dtn_core::ids::QueryId, NodeId, NodeId)> = Vec::new();
         {
             let oracle = self.oracle.as_mut().expect("configured");
             let mut link = ctx.link_access();
@@ -131,9 +152,15 @@ impl IntentionalScheme {
                 let resp = self.responses.get_mut(id).expect("live");
                 let had_a = resp.msg.carries(a);
                 let had_b = resp.msg.carries(b);
-                let done = resp
-                    .msg
-                    .on_contact_fast(strategy, oracle, now, a, b, &mut link);
+                let done = if probing {
+                    let out = resp.msg.on_contact(strategy, oracle, now, a, b, &mut link);
+                    let query = resp.query.id;
+                    relay_hops.extend(out.transfers.iter().map(|&(f, t)| (query, f, t)));
+                    out.delivered
+                } else {
+                    resp.msg
+                        .on_contact_fast(strategy, oracle, now, a, b, &mut link)
+                };
                 let has_a = resp.msg.carries(a);
                 let has_b = resp.msg.carries(b);
                 let query = resp.query.id;
@@ -156,13 +183,21 @@ impl IntentionalScheme {
                 }
             }
         }
+        for &(query, from, to) in &relay_hops {
+            ctx.probe().emit(|| ProbeEvent::ResponseRelay {
+                at: now,
+                query,
+                from,
+                to,
+            });
+        }
         let at = ctx.now();
         for &(id, query) in &delivered {
             if matches!(
                 ctx.mark_delivered(query),
                 dtn_sim::engine::DeliveryOutcome::Accepted { .. }
             ) {
-                self.log(ProtocolEvent::Delivered { at, query });
+                self.log(ctx, ProtocolEvent::Delivered { at, query });
             }
             self.remove_response(id);
         }

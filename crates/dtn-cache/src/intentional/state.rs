@@ -15,6 +15,7 @@ use dtn_sim::buffer::Buffer;
 use dtn_sim::engine::SimCtx;
 use dtn_sim::message::DataItem;
 use dtn_sim::oracle::PathOracle;
+use dtn_sim::probe::ProbeEvent;
 
 use crate::common::DataRegistry;
 use crate::replacement::{make_room, NodeCacheMeta, ReplacementKind};
@@ -129,6 +130,9 @@ pub struct IntentionalScheme {
     pub(super) ncl_response_load: Vec<u64>,
     /// Protocol milestones, recorded when enabled.
     pub(super) event_log: Option<Vec<ProtocolEvent>>,
+    /// Last oracle snapshot epoch relayed to an installed probe; only
+    /// consulted while a probe is enabled.
+    pub(super) last_oracle_epoch: u64,
     /// Path horizon `T` installed by `configure`; reused by epoch
     /// re-elections so they score candidates exactly like the initial
     /// selection did.
@@ -186,6 +190,7 @@ impl IntentionalScheme {
             ncl_query_load: Vec::new(),
             ncl_response_load: Vec::new(),
             event_log: None,
+            last_oracle_epoch: 0,
             horizon: 0.0,
             reelect_graph: ContactGraph::default(),
             reelection: ReelectionStats::default(),
@@ -218,7 +223,15 @@ impl IntentionalScheme {
         self.event_log.as_deref().unwrap_or(&[])
     }
 
-    pub(super) fn log(&mut self, event: ProtocolEvent) {
+    /// Records a protocol milestone: re-emitted through the engine's
+    /// probe vocabulary (when a probe is installed), and appended to the
+    /// opt-in event log.
+    pub(super) fn log(&mut self, ctx: &mut SimCtx<'_>, event: ProtocolEvent) {
+        if ctx.probe_enabled() {
+            if let Some(probe_event) = event.probe_event() {
+                ctx.probe().emit(|| probe_event);
+            }
+        }
         if let Some(log) = &mut self.event_log {
             log.push(event);
         }
@@ -484,7 +497,10 @@ impl IntentionalScheme {
             );
             if !evicted.is_empty() {
                 ctx.note_replacements(evicted.len() as u64);
+                let at = ctx.now();
                 for id in evicted {
+                    ctx.probe()
+                        .emit(|| ProbeEvent::ReplacementEvicted { at, node, data: id });
                     for k in 0..self.centrals.len() {
                         let holds = self
                             .copies
@@ -760,6 +776,11 @@ impl IntentionalScheme {
             }
             if !placed {
                 self.set_copy(item.id, k, CopyState::Dropped);
+                ctx.probe().emit(|| ProbeEvent::ReplacementEvicted {
+                    at: now,
+                    node: prior_holder,
+                    data: item.id,
+                });
                 moves += 1;
             }
         }

@@ -36,7 +36,7 @@ use dtn_sim::oracle::PathOracle;
 use dtn_trace::trace::Contact;
 
 use crate::common::{better_relay, DataRegistry};
-use crate::intentional::{IntentionalConfig, ResponseStrategy};
+use crate::intentional::{IntentionalConfig, ProtocolEvent, ResponseStrategy};
 use crate::replacement::{make_room, NodeCacheMeta, ReplacementKind};
 use crate::routing::{ForwardingStrategy, RoutedMessage};
 use crate::{CachingScheme, NetworkSetup};
@@ -116,6 +116,13 @@ pub struct ReferenceIntentionalScheme {
     ncl_query_load: Vec<u64>,
     /// Responses spawned on behalf of each NCL (central or member).
     ncl_response_load: Vec<u64>,
+    /// Opt-in protocol-milestone log, recording the same
+    /// [`ProtocolEvent`] stream the optimized scheme emits so the
+    /// differential suite can assert event-for-event equality. Unlike
+    /// the optimized scheme, the reference never re-emits through the
+    /// engine probe — it is the boring baseline, not an observability
+    /// surface.
+    event_log: Option<Vec<ProtocolEvent>>,
 }
 
 impl ReferenceIntentionalScheme {
@@ -137,6 +144,7 @@ impl ReferenceIntentionalScheme {
             solver,
             ncl_query_load: Vec::new(),
             ncl_response_load: Vec::new(),
+            event_log: None,
         }
     }
 
@@ -144,6 +152,24 @@ impl ReferenceIntentionalScheme {
     /// members), by NCL index.
     pub fn ncl_response_load(&self) -> &[u64] {
         &self.ncl_response_load
+    }
+
+    /// Turns on protocol-event recording (off by default; events cost
+    /// memory on long runs). Returns `self` for builder-style use.
+    pub fn enable_event_log(mut self) -> Self {
+        self.event_log = Some(Vec::new());
+        self
+    }
+
+    /// Recorded protocol milestones (empty slice when logging is off).
+    pub fn events(&self) -> &[ProtocolEvent] {
+        self.event_log.as_deref().unwrap_or(&[])
+    }
+
+    fn log(&mut self, event: ProtocolEvent) {
+        if let Some(log) = &mut self.event_log {
+            log.push(event);
+        }
     }
 
     fn configured(&self) -> bool {
@@ -280,6 +306,12 @@ impl ReferenceIntentionalScheme {
                 {
                     // Next relay's buffer is full: cache here.
                     self.set_copy(data, k, CopyState::Settled(from));
+                    self.log(ProtocolEvent::PushSettled {
+                        at: now,
+                        data,
+                        node: from,
+                        ncl: k,
+                    });
                     continue;
                 }
                 if !ctx.try_transmit(item.size) {
@@ -287,10 +319,24 @@ impl ReferenceIntentionalScheme {
                 }
                 if self.insert_physical(ctx, to, item) {
                     self.set_copy(data, k, CopyState::transit(to, central));
+                    if to == central {
+                        self.log(ProtocolEvent::PushSettled {
+                            at: now,
+                            data,
+                            node: to,
+                            ncl: k,
+                        });
+                    }
                     self.drop_physical_if_unreferenced(from, data);
                 } else {
                     // Traditional policy could not make room either.
                     self.set_copy(data, k, CopyState::Settled(from));
+                    self.log(ProtocolEvent::PushSettled {
+                        at: now,
+                        data,
+                        node: from,
+                        ncl: k,
+                    });
                 }
             }
         }
@@ -350,6 +396,11 @@ impl ReferenceIntentionalScheme {
         if let Some(slot) = self.ncl_query_load.get_mut(ncl) {
             *slot += 1;
         }
+        self.log(ProtocolEvent::QueryAtCentral {
+            at: ctx.now(),
+            query: query.id,
+            ncl,
+        });
         let central = self.centrals[ncl];
         if self.buffers[central.index()].contains(query.data) {
             // "a central node immediately replies to the requester with
@@ -403,10 +454,15 @@ impl ReferenceIntentionalScheme {
             }
             let bc = &mut self.broadcasts[i];
             bc.holders.insert(to);
-            let data = bc.query.data;
+            let (query, data) = (bc.query, bc.query.data);
             if self.buffers[to.index()].contains(data) {
-                decisions.push((bc.query, to, bc.ncl));
+                decisions.push((query, to, bc.ncl));
             }
+            self.log(ProtocolEvent::BroadcastSpread {
+                at: ctx.now(),
+                query: query.id,
+                node: to,
+            });
         }
         for (query, node, ncl) in decisions {
             let before = self.responses.len();
@@ -452,8 +508,17 @@ impl ReferenceIntentionalScheme {
     }
 
     fn spawn_response(&mut self, ctx: &mut SimCtx<'_>, query: Query, from: NodeId) {
+        self.log(ProtocolEvent::ResponseSpawned {
+            at: ctx.now(),
+            query: query.id,
+            node: from,
+        });
         if from == query.requester {
             ctx.mark_delivered(query.id);
+            self.log(ProtocolEvent::Delivered {
+                at: ctx.now(),
+                query: query.id,
+            });
             return;
         }
         let Some(&item) = self.registry.get(query.data) else {
@@ -490,8 +555,14 @@ impl ReferenceIntentionalScheme {
                 }
             }
         }
+        let at = ctx.now();
         for id in delivered {
-            let _ = ctx.mark_delivered(id);
+            if matches!(
+                ctx.mark_delivered(id),
+                dtn_sim::engine::DeliveryOutcome::Accepted { .. }
+            ) {
+                self.log(ProtocolEvent::Delivered { at, query: id });
+            }
         }
         self.responses.retain(|r| !r.msg.is_delivered());
     }
@@ -656,6 +727,10 @@ impl Scheme for ReferenceIntentionalScheme {
         // Local hit: the requester happens to cache the data already.
         if self.buffers[query.requester.index()].contains(query.data) {
             ctx.mark_delivered(query.id);
+            self.log(ProtocolEvent::Delivered {
+                at: ctx.now(),
+                query: query.id,
+            });
             return;
         }
         let centrals = self.centrals.clone();

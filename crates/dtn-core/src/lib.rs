@@ -15,7 +15,9 @@
 //!   probabilistic data selection (Algorithm 1),
 //! - [`rate`] — online pairwise contact-rate estimation,
 //! - [`par`] — deterministic order-preserving parallel map used by the
-//!   NCL metric sweep.
+//!   NCL metric sweep,
+//! - [`hist`] — alloc-free fixed-bucket histograms for hot-loop
+//!   instrumentation (delays, hop counts, buffer occupancy).
 //!
 //! # Example
 //!
@@ -40,6 +42,7 @@
 
 pub mod error;
 pub mod graph;
+pub mod hist;
 pub mod hypoexp;
 pub mod ids;
 pub mod knapsack;

@@ -26,6 +26,7 @@ use dtn_trace::trace::{Contact, ContactTrace};
 
 use crate::message::{DataItem, Query};
 use crate::metrics::{CacheSample, Metrics};
+use crate::probe::{Probe, ProbeEvent, ProbeSink};
 
 /// Bytes per megabit, for converting the paper's "Mb" figures.
 pub const MEGABIT_BYTES: u64 = 125_000;
@@ -69,6 +70,17 @@ pub struct SimConfig {
     /// scheme configuration (e.g. `NetworkSetup::path_refresh` in
     /// `dtn-cache`). Default `None` (use the scheme's own setting).
     pub path_refresh: Option<Duration>,
+    /// Caps [`Metrics::delays_secs`] at this many samples (`None`, the
+    /// default, keeps every delay). Large runs should cap the vector
+    /// and read the delay *histogram* instead (see `delay_histogram`);
+    /// `total_delay_secs` and the exact mean are unaffected by the cap.
+    pub max_delay_samples: Option<usize>,
+    /// When set, [`Metrics::delay_hist`] collects satisfied-query
+    /// delays into `(bucket_width_secs, bucket_count)` fixed buckets —
+    /// an alloc-free alternative to the unbounded `delays_secs` vector.
+    /// Default `None` (field stays `None`, metric comparisons across
+    /// schemes are unaffected).
+    pub delay_histogram: Option<(u64, usize)>,
     /// RNG seed for buffer assignment and scheme randomness.
     pub seed: u64,
 }
@@ -83,6 +95,8 @@ impl Default for SimConfig {
             contact_loss_probability: 0.0,
             epoch_interval: None,
             path_refresh: None,
+            max_delay_samples: None,
+            delay_histogram: None,
             seed: 0,
         }
     }
@@ -204,6 +218,8 @@ struct Shared {
     queries: Vec<QueryRecord>, // indexed by QueryId
     query_size: u64,
     link_budget: Option<u64>, // bytes left in the current contact
+    max_delay_samples: Option<usize>,
+    probe: ProbeSink,
 }
 
 /// The services a [`Scheme`] can call while handling an event.
@@ -246,6 +262,19 @@ impl SimCtx<'_> {
         self.shared.query_size
     }
 
+    /// The probe sink: schemes emit [`ProbeEvent`]s through this. With
+    /// no probe installed (the default) an emission is one predicted
+    /// branch and the event is never constructed.
+    pub fn probe(&mut self) -> &mut ProbeSink {
+        &mut self.shared.probe
+    }
+
+    /// Whether a probe is installed — for gating instrumentation work
+    /// that a lazy [`ProbeSink::emit`] closure cannot express.
+    pub fn probe_enabled(&self) -> bool {
+        self.shared.probe.is_enabled()
+    }
+
     /// Attempts to transmit `bytes` over the current contact, consuming
     /// link capacity. Returns `false` (and counts a rejected transfer)
     /// if the contact's remaining capacity is insufficient.
@@ -255,6 +284,7 @@ impl SimCtx<'_> {
     /// Panics if called outside a contact hook — transmission without a
     /// contact is impossible in a DTN and indicates a scheme bug.
     pub fn try_transmit(&mut self, bytes: u64) -> bool {
+        let at = self.shared.now;
         let budget = self
             .shared
             .link_budget
@@ -263,9 +293,15 @@ impl SimCtx<'_> {
         if *budget >= bytes {
             *budget -= bytes;
             self.shared.metrics.bytes_transmitted += bytes;
+            self.shared
+                .probe
+                .emit(|| ProbeEvent::TransmitAccepted { at, bytes });
             true
         } else {
             self.shared.metrics.transfers_rejected += 1;
+            self.shared
+                .probe
+                .emit(|| ProbeEvent::TransmitRejected { at, bytes });
             false
         }
     }
@@ -283,23 +319,40 @@ impl SimCtx<'_> {
     /// bandwidth" §V-C talks about).
     pub fn mark_delivered(&mut self, query: QueryId) -> DeliveryOutcome {
         let now = self.shared.now;
-        let Some(rec) = self.shared.queries.get_mut(query.0 as usize) else {
-            return DeliveryOutcome::Unknown;
+        let outcome = 'classify: {
+            let Some(rec) = self.shared.queries.get_mut(query.0 as usize) else {
+                break 'classify DeliveryOutcome::Unknown;
+            };
+            if rec.satisfied_at.is_some() {
+                self.shared.metrics.duplicate_deliveries += 1;
+                break 'classify DeliveryOutcome::Duplicate;
+            }
+            if now >= rec.expires_at {
+                self.shared.metrics.late_deliveries += 1;
+                break 'classify DeliveryOutcome::Late;
+            }
+            rec.satisfied_at = Some(now);
+            let delay = now - rec.issued_at;
+            self.shared.metrics.queries_satisfied += 1;
+            self.shared.metrics.total_delay_secs += delay.as_secs();
+            if self
+                .shared
+                .max_delay_samples
+                .is_none_or(|cap| self.shared.metrics.delays_secs.len() < cap)
+            {
+                self.shared.metrics.delays_secs.push(delay.as_secs());
+            }
+            if let Some(hist) = &mut self.shared.metrics.delay_hist {
+                hist.record(delay.as_secs());
+            }
+            DeliveryOutcome::Accepted { delay }
         };
-        if rec.satisfied_at.is_some() {
-            self.shared.metrics.duplicate_deliveries += 1;
-            return DeliveryOutcome::Duplicate;
-        }
-        if now >= rec.expires_at {
-            self.shared.metrics.late_deliveries += 1;
-            return DeliveryOutcome::Late;
-        }
-        rec.satisfied_at = Some(now);
-        let delay = now - rec.issued_at;
-        self.shared.metrics.queries_satisfied += 1;
-        self.shared.metrics.total_delay_secs += delay.as_secs();
-        self.shared.metrics.delays_secs.push(delay.as_secs());
-        DeliveryOutcome::Accepted { delay }
+        self.shared.probe.emit(|| ProbeEvent::Delivery {
+            at: now,
+            query,
+            outcome,
+        });
+        outcome
     }
 
     /// Whether `query` is still unsatisfied and unexpired.
@@ -335,6 +388,8 @@ impl SimCtx<'_> {
                 .as_mut()
                 .expect("checked just above"),
             metrics: &mut self.shared.metrics,
+            now: self.shared.now,
+            probe: &mut self.shared.probe,
         }
     }
 }
@@ -345,6 +400,8 @@ pub struct LinkAccess<'a> {
     rates: &'a RateTable,
     budget: &'a mut u64,
     metrics: &'a mut Metrics,
+    now: Time,
+    probe: &'a mut ProbeSink,
 }
 
 /// A transmission medium: pairwise rates plus a budgeted transmit
@@ -364,12 +421,17 @@ impl Link for LinkAccess<'_> {
     }
 
     fn try_transmit(&mut self, bytes: u64) -> bool {
+        let at = self.now;
         if *self.budget >= bytes {
             *self.budget -= bytes;
             self.metrics.bytes_transmitted += bytes;
+            self.probe
+                .emit(|| ProbeEvent::TransmitAccepted { at, bytes });
             true
         } else {
             self.metrics.transfers_rejected += 1;
+            self.probe
+                .emit(|| ProbeEvent::TransmitRejected { at, bytes });
             false
         }
     }
@@ -436,18 +498,24 @@ impl<'t, S: Scheme> Simulator<'t, S> {
         let buffer_capacities = (0..trace.node_count())
             .map(|_| rng.gen_range(config.buffer_range.0..=config.buffer_range.1))
             .collect();
+        let mut metrics = Metrics::default();
+        if let Some((width, buckets)) = config.delay_histogram {
+            metrics.delay_hist = Some(dtn_core::hist::Histogram::new(width, buckets));
+        }
         Simulator {
             trace,
             scheme,
             shared: Shared {
                 now: Time::ZERO,
                 rate_table: RateTable::new(trace.node_count(), Time::ZERO),
-                metrics: Metrics::default(),
+                metrics,
                 rng,
                 buffer_capacities,
                 queries: Vec::new(),
                 query_size: config.query_size_bytes,
                 link_budget: None,
+                max_delay_samples: config.max_delay_samples,
+                probe: ProbeSink::Noop,
             },
             next_contact: 0,
             workload: Vec::new(),
@@ -494,6 +562,21 @@ impl<'t, S: Scheme> Simulator<'t, S> {
     /// Metrics accumulated so far.
     pub fn metrics(&self) -> &Metrics {
         &self.shared.metrics
+    }
+
+    /// Installs a probe; every layer's [`ProbeEvent`]s flow into it
+    /// from now on. Replaces any previously installed probe.
+    pub fn set_probe(&mut self, probe: Box<dyn Probe>) {
+        self.shared.probe = ProbeSink::Enabled(probe);
+    }
+
+    /// Removes and returns the installed probe (engine reverts to the
+    /// zero-cost noop sink). `None` if no probe was installed.
+    pub fn take_probe(&mut self) -> Option<Box<dyn Probe>> {
+        match std::mem::take(&mut self.shared.probe) {
+            ProbeSink::Enabled(p) => Some(p),
+            ProbeSink::Noop => None,
+        }
     }
 
     /// Appends workload events. Events must not be in the past; they are
@@ -600,6 +683,12 @@ impl<'t, S: Scheme> Simulator<'t, S> {
         match event {
             WorkloadEvent::GenerateData { item } => {
                 self.shared.metrics.data_generated += 1;
+                self.shared.probe.emit(|| ProbeEvent::DataInjected {
+                    at: item.created_at,
+                    data: item.id,
+                    source: item.source,
+                    size: item.size,
+                });
                 let mut ctx = SimCtx {
                     shared: &mut self.shared,
                 };
@@ -618,6 +707,13 @@ impl<'t, S: Scheme> Simulator<'t, S> {
                     satisfied_at: None,
                 });
                 self.shared.metrics.queries_issued += 1;
+                self.shared.probe.emit(|| ProbeEvent::QueryInjected {
+                    at,
+                    query: id,
+                    requester,
+                    data,
+                    expires_at: at + constraint,
+                });
                 let query = Query::new(id, requester, data, at, constraint);
                 let mut ctx = SimCtx {
                     shared: &mut self.shared,
@@ -631,6 +727,11 @@ impl<'t, S: Scheme> Simulator<'t, S> {
         if self.contact_loss > 0.0 && self.shared.rng.gen_bool(self.contact_loss) {
             // Fault injection: the radios never connected.
             self.shared.metrics.contacts_lost += 1;
+            self.shared.probe.emit(|| ProbeEvent::ContactLost {
+                at: contact.start,
+                a: contact.a,
+                b: contact.b,
+            });
             return;
         }
         self.shared
@@ -638,11 +739,23 @@ impl<'t, S: Scheme> Simulator<'t, S> {
             .record(contact.a, contact.b, contact.start);
         let budget = contact.duration().as_secs().saturating_mul(self.bandwidth);
         self.shared.link_budget = Some(budget);
+        self.shared.probe.emit(|| ProbeEvent::ContactBegin {
+            at: contact.start,
+            a: contact.a,
+            b: contact.b,
+            budget,
+        });
         let mut ctx = SimCtx {
             shared: &mut self.shared,
         };
         self.scheme.on_contact(&mut ctx, contact);
-        self.shared.link_budget = None;
+        let remaining = self.shared.link_budget.take().unwrap_or(0);
+        self.shared.probe.emit(|| ProbeEvent::ContactEnd {
+            at: contact.start,
+            a: contact.a,
+            b: contact.b,
+            bytes_used: budget - remaining,
+        });
     }
 
     /// Takes one cache-occupancy sample if the sampling interval has
@@ -658,6 +771,12 @@ impl<'t, S: Scheme> Simulator<'t, S> {
             at: self.shared.now,
             copies: stats.copies,
             distinct: stats.distinct,
+            bytes: stats.bytes,
+        });
+        let at = self.shared.now;
+        self.shared.probe.emit(|| ProbeEvent::CacheSampled {
+            at,
+            copies: stats.copies,
             bytes: stats.bytes,
         });
         while self.next_sample <= self.shared.now {
@@ -682,6 +801,10 @@ impl<'t, S: Scheme> Simulator<'t, S> {
             at: self.shared.now,
         };
         self.epoch_index += 1;
+        self.shared.probe.emit(|| ProbeEvent::EpochFired {
+            at: epoch.at,
+            index: epoch.index,
+        });
         let mut ctx = SimCtx {
             shared: &mut self.shared,
         };
@@ -839,6 +962,78 @@ mod tests {
         // are independent); satisfy count is 2, duplicates 0.
         assert_eq!(sim.metrics().queries_satisfied, 2);
         assert_eq!(sim.metrics().duplicate_deliveries, 0);
+    }
+
+    /// A scheme that never forgets: it re-delivers every known query on
+    /// every contact, like a multi-copy response arriving over several
+    /// paths.
+    #[derive(Default)]
+    struct RedundantDelivery {
+        queries: Vec<QueryId>,
+        outcomes: Vec<DeliveryOutcome>,
+    }
+
+    impl Scheme for RedundantDelivery {
+        fn on_data_generated(&mut self, _ctx: &mut SimCtx<'_>, _item: DataItem) {}
+        fn on_query_issued(&mut self, _ctx: &mut SimCtx<'_>, query: Query) {
+            self.queries.push(query.id);
+        }
+        fn on_contact(&mut self, ctx: &mut SimCtx<'_>, _contact: Contact) {
+            for &q in &self.queries {
+                self.outcomes.push(ctx.mark_delivered(q));
+            }
+        }
+        fn cache_stats(&self, _now: Time) -> CacheStats {
+            CacheStats::default()
+        }
+    }
+
+    #[test]
+    fn redelivered_query_counts_as_duplicate() {
+        // The same query delivered at both contacts: the t=1000 arrival
+        // satisfies it, the t=5000 re-delivery is wasted bandwidth and
+        // must land in `duplicate_deliveries`, not `queries_satisfied`.
+        let trace = two_node_trace();
+        let mut sim = Simulator::new(&trace, RedundantDelivery::default(), SimConfig::default());
+        sim.add_workload(vec![query_event(200, 1, 1, 9000)]);
+        sim.run_to_end();
+        let m = sim.metrics();
+        assert_eq!(m.queries_satisfied, 1);
+        assert_eq!(m.duplicate_deliveries, 1);
+        assert_eq!(m.late_deliveries, 0);
+        assert_eq!(m.total_delay_secs, 800); // satisfied at the first contact
+        assert_eq!(
+            sim.scheme().outcomes,
+            vec![
+                DeliveryOutcome::Accepted {
+                    delay: Duration(800)
+                },
+                DeliveryOutcome::Duplicate,
+            ]
+        );
+    }
+
+    #[test]
+    fn duplicate_late_and_rejected_metrics_disagree_never() {
+        // One trace, three failure modes, each counted exactly once in
+        // its own bucket: a satisfied query with one duplicate re-send, a
+        // query that expires before its only delivery (late), and an
+        // oversized transfer (rejected). None of them leak into
+        // `queries_satisfied`.
+        let trace = two_node_trace();
+        let mut sim = Simulator::new(&trace, RedundantDelivery::default(), SimConfig::default());
+        sim.add_workload(vec![
+            query_event(200, 1, 1, 9000), // satisfied at 1000, duplicate at 5000
+            query_event(300, 0, 2, 400),  // expires at 700 < first contact
+        ]);
+        sim.run_to_end();
+        let m = sim.metrics();
+        assert_eq!(m.queries_issued, 2);
+        assert_eq!(m.queries_satisfied, 1);
+        assert_eq!(m.duplicate_deliveries, 1);
+        // The expired query is "delivered" at both contacts, both late.
+        assert_eq!(m.late_deliveries, 2);
+        assert!((m.success_ratio() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub mod engine;
 pub mod message;
 pub mod metrics;
 pub mod oracle;
+pub mod probe;
 
 pub use buffer::Buffer;
 pub use engine::{
@@ -23,4 +24,8 @@ pub use engine::{
 };
 pub use message::{DataItem, Query};
 pub use metrics::Metrics;
-pub use oracle::PathOracle;
+pub use oracle::{OracleStats, PathOracle};
+pub use probe::{
+    DelayDecomposition, HopPhase, HopRecord, NoopProbe, Probe, ProbeEvent, ProbeSink, QueryTrace,
+    RecordingProbe,
+};

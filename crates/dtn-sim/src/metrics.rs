@@ -51,7 +51,19 @@ pub struct Metrics {
     /// Individual response delays (seconds) of satisfied queries, in
     /// satisfaction order — enables distribution analysis beyond the
     /// paper's mean.
+    ///
+    /// For large runs this vector is superseded by [`delay_hist`]
+    /// (alloc-free, fixed memory): cap its growth with
+    /// `SimConfig::max_delay_samples` and enable the histogram with
+    /// `SimConfig::delay_histogram` instead.
+    ///
+    /// [`delay_hist`]: Metrics::delay_hist
     pub delays_secs: Vec<u64>,
+    /// Fixed-bucket response-delay histogram, populated when
+    /// `SimConfig::delay_histogram` is set. Keeps the exact count and
+    /// sum, so [`avg_delay_secs_f64`](Metrics::avg_delay_secs_f64) stays
+    /// exact even when `delays_secs` is capped.
+    pub delay_hist: Option<dtn_core::hist::Histogram>,
 }
 
 impl Metrics {
@@ -64,7 +76,9 @@ impl Metrics {
         }
     }
 
-    /// Mean response delay over satisfied queries.
+    /// Mean response delay over satisfied queries, floored to whole
+    /// seconds by the `Duration` representation. Prefer
+    /// [`avg_delay_secs_f64`](Metrics::avg_delay_secs_f64) for plotting.
     pub fn avg_delay(&self) -> Duration {
         match self.total_delay_secs.checked_div(self.queries_satisfied) {
             None => Duration::ZERO,
@@ -72,13 +86,29 @@ impl Metrics {
         }
     }
 
-    /// Mean response delay in fractional hours (the unit of Fig. 10–13).
-    pub fn avg_delay_hours(&self) -> f64 {
+    /// Exact mean response delay in fractional seconds; 0 if no query
+    /// was satisfied.
+    ///
+    /// When the delay histogram is enabled the mean is derived from its
+    /// exact running sum/count (identical by construction); otherwise it
+    /// is `total_delay_secs / queries_satisfied` in floating point —
+    /// either way, no integer truncation.
+    pub fn avg_delay_secs_f64(&self) -> f64 {
+        if let Some(hist) = &self.delay_hist {
+            if hist.count() > 0 {
+                return hist.mean().unwrap_or(0.0);
+            }
+        }
         if self.queries_satisfied == 0 {
             0.0
         } else {
-            self.total_delay_secs as f64 / self.queries_satisfied as f64 / 3600.0
+            self.total_delay_secs as f64 / self.queries_satisfied as f64
         }
+    }
+
+    /// Mean response delay in fractional hours (the unit of Fig. 10–13).
+    pub fn avg_delay_hours(&self) -> f64 {
+        self.avg_delay_secs_f64() / 3600.0
     }
 
     /// Mean cached copies per distinct live item, averaged over samples
@@ -170,6 +200,42 @@ mod tests {
         assert_eq!(m.avg_delay(), Duration::hours(2));
         assert!((m.avg_delay_hours() - 2.0).abs() < 1e-12);
         assert!((m.avg_replacements_per_item() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn avg_delay_secs_f64_is_not_truncated() {
+        let m = Metrics {
+            queries_satisfied: 3,
+            total_delay_secs: 10, // 3.333… s — `avg_delay()` floors to 3 s
+            ..Metrics::default()
+        };
+        assert_eq!(m.avg_delay(), Duration(3));
+        assert!((m.avg_delay_secs_f64() - 10.0 / 3.0).abs() < 1e-12);
+        assert!((m.avg_delay_hours() - 10.0 / 3.0 / 3600.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn avg_delay_prefers_histogram_when_populated() {
+        let mut hist = dtn_core::hist::Histogram::new(1_000, 4);
+        hist.record(7);
+        hist.record(8);
+        let m = Metrics {
+            // Deliberately inconsistent counters: the histogram wins.
+            queries_satisfied: 1,
+            total_delay_secs: 100,
+            delay_hist: Some(hist),
+            ..Metrics::default()
+        };
+        assert_eq!(m.avg_delay_secs_f64(), 7.5);
+
+        // An enabled-but-empty histogram falls back to the counters.
+        let m = Metrics {
+            queries_satisfied: 2,
+            total_delay_secs: 9,
+            delay_hist: Some(dtn_core::hist::Histogram::new(1_000, 4)),
+            ..Metrics::default()
+        };
+        assert_eq!(m.avg_delay_secs_f64(), 4.5);
     }
 
     #[test]

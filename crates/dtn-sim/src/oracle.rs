@@ -46,6 +46,25 @@ struct Snapshot {
     graph: ContactGraph,
 }
 
+/// Cumulative oracle work counters, for probes and diagnostics.
+///
+/// `table_hits` counts [`PathOracle::table`] calls served from a cached
+/// per-source table; `table_recomputes` counts calls that had to run a
+/// fresh path search. `rebuilds` counts shared-snapshot constructions
+/// (equals [`PathOracle::snapshot_epoch`]); `invalidations` counts
+/// explicit [`PathOracle::invalidate`] calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Shared contact-graph snapshot (re)builds.
+    pub rebuilds: u64,
+    /// Explicit `invalidate()` calls.
+    pub invalidations: u64,
+    /// Per-source path-table recomputations.
+    pub table_recomputes: u64,
+    /// Per-source path-table cache hits.
+    pub table_hits: u64,
+}
+
 /// Memoised single-source opportunistic path tables over a shared,
 /// generation-versioned contact-graph snapshot.
 ///
@@ -76,6 +95,7 @@ pub struct PathOracle {
     /// epoch it was computed in.
     epoch: u64,
     tables: Vec<Option<(u64, PathTable)>>,
+    stats: OracleStats,
 }
 
 impl PathOracle {
@@ -97,6 +117,7 @@ impl PathOracle {
             snapshot: None,
             epoch: 0,
             tables: (0..nodes).map(|_| None).collect(),
+            stats: OracleStats::default(),
         }
     }
 
@@ -110,6 +131,12 @@ impl PathOracle {
     /// diagnostics and tests.
     pub fn snapshot_epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Cumulative work counters (rebuilds, invalidations, per-source
+    /// table recomputes vs cache hits). Cheap to read; never reset.
+    pub fn stats(&self) -> OracleStats {
+        self.stats
     }
 
     /// Rebuilds the shared snapshot if it is missing, wall-clock stale,
@@ -131,6 +158,7 @@ impl PathOracle {
                 graph: ContactGraph::from_rate_table(rates, now),
             });
             self.epoch += 1;
+            self.stats.rebuilds += 1;
         }
     }
 
@@ -141,7 +169,10 @@ impl PathOracle {
         let snapshot = self.snapshot.as_ref().expect("snapshot just refreshed");
         let slot = &mut self.tables[source.index()];
         let valid = matches!(slot, Some((epoch, _)) if *epoch == self.epoch);
-        if !valid {
+        if valid {
+            self.stats.table_hits += 1;
+        } else {
+            self.stats.table_recomputes += 1;
             *slot = Some((
                 self.epoch,
                 shortest_paths(&snapshot.graph, source, self.horizon),
@@ -166,6 +197,7 @@ impl PathOracle {
         for slot in &mut self.tables {
             *slot = None;
         }
+        self.stats.invalidations += 1;
     }
 }
 
@@ -307,6 +339,28 @@ mod tests {
         o.invalidate();
         let w1 = o.weight(&rates, Time(1000), NodeId(0), NodeId(1));
         assert!(w1 > w0);
+    }
+
+    #[test]
+    fn stats_count_rebuilds_hits_and_recomputes() {
+        let rates = rates_line();
+        let mut o = PathOracle::new(4, 3600.0, Duration::hours(1));
+        assert_eq!(o.stats(), OracleStats::default());
+        let _ = o.weight(&rates, Time(1000), NodeId(0), NodeId(3)); // recompute
+        let _ = o.weight(&rates, Time(1001), NodeId(0), NodeId(2)); // hit
+        let _ = o.weight(&rates, Time(1002), NodeId(1), NodeId(3)); // recompute
+        let _ = o.weight(&rates, Time(1003), NodeId(1), NodeId(1)); // self: no table
+        let s = o.stats();
+        assert_eq!(s.rebuilds, 1);
+        assert_eq!(s.table_recomputes, 2);
+        assert_eq!(s.table_hits, 1);
+        assert_eq!(s.invalidations, 0);
+        o.invalidate();
+        let _ = o.weight(&rates, Time(1004), NodeId(0), NodeId(3));
+        let s = o.stats();
+        assert_eq!(s.invalidations, 1);
+        assert_eq!(s.rebuilds, 2);
+        assert_eq!(s.table_recomputes, 3);
     }
 
     #[test]

@@ -1,0 +1,1066 @@
+//! Zero-cost observability probes.
+//!
+//! A [`Probe`] receives structured [`ProbeEvent`]s from every layer of
+//! the simulation — the engine (contacts, transmissions, workload
+//! injection, epochs, deliveries), the caching schemes (push relays and
+//! settles, query pulls, NCL broadcasts, probabilistic response
+//! decisions, replacement evictions) and the path oracle (snapshot
+//! rebuilds and invalidations) — through one shared event vocabulary.
+//!
+//! The engine stores a [`ProbeSink`]; every emission site goes through
+//! [`ProbeSink::emit`], which takes a *closure* producing the event, so
+//! with the default [`NoopProbe`] the only cost per site is a single
+//! predicted branch on the sink's enum tag — the event is never even
+//! constructed. The `sim_engine`/`path_engine` benches run with the
+//! noop sink and must stay within noise of the committed
+//! `BENCH_*.json` baselines.
+//!
+//! [`RecordingProbe`] is the batteries-included sink: it counts every
+//! event kind, assembles a per-query [`QueryTrace`] (issue →
+//! first-central-arrival → broadcast fan-out → response → delivery,
+//! with per-hop timestamps), buckets delays/hops/occupancy into
+//! alloc-free [`Histogram`]s, and can retain the raw event stream for
+//! JSONL export (`experiments -- observe`).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use dtn_core::hist::Histogram;
+use dtn_core::ids::{DataId, NodeId, QueryId};
+use dtn_core::time::Time;
+
+use crate::engine::DeliveryOutcome;
+
+/// One structured observation, emitted by the engine, a scheme or the
+/// path oracle. `at` is always the simulation time of the emission.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbeEvent {
+    // -------- engine --------
+    /// A contact opened; `budget` is its total transmission capacity.
+    ContactBegin {
+        at: Time,
+        a: NodeId,
+        b: NodeId,
+        budget: u64,
+    },
+    /// The contact's scheme hook returned; `bytes_used` of the budget
+    /// were consumed.
+    ContactEnd {
+        at: Time,
+        a: NodeId,
+        b: NodeId,
+        bytes_used: u64,
+    },
+    /// Fault injection dropped the contact before the nodes saw it.
+    ContactLost { at: Time, a: NodeId, b: NodeId },
+    /// A workload data item entered the network at its source.
+    DataInjected {
+        at: Time,
+        data: DataId,
+        source: NodeId,
+        size: u64,
+    },
+    /// A workload query was issued.
+    QueryInjected {
+        at: Time,
+        query: QueryId,
+        requester: NodeId,
+        data: DataId,
+        expires_at: Time,
+    },
+    /// The periodic maintenance epoch fired.
+    EpochFired { at: Time, index: u64 },
+    /// A transmission fit the remaining contact budget.
+    TransmitAccepted { at: Time, bytes: u64 },
+    /// A transmission exceeded the remaining contact budget.
+    TransmitRejected { at: Time, bytes: u64 },
+    /// A delivery was reported to the engine (any outcome).
+    Delivery {
+        at: Time,
+        query: QueryId,
+        outcome: DeliveryOutcome,
+    },
+    /// A periodic cache-occupancy sample was taken.
+    CacheSampled { at: Time, copies: u64, bytes: u64 },
+
+    // -------- schemes --------
+    /// §V-A: a push copy moved one hop toward its central node.
+    PushRelay {
+        at: Time,
+        data: DataId,
+        from: NodeId,
+        to: NodeId,
+        ncl: usize,
+    },
+    /// §V-A: a push copy settled (cached) at `node` for NCL `ncl`.
+    PushSettled {
+        at: Time,
+        data: DataId,
+        node: NodeId,
+        ncl: usize,
+    },
+    /// A query copy moved one hop (pull phase, or baseline forwarding).
+    QueryRelay {
+        at: Time,
+        query: QueryId,
+        from: NodeId,
+        to: NodeId,
+    },
+    /// §V-B: a query copy reached its central node.
+    QueryAtCentral {
+        at: Time,
+        query: QueryId,
+        ncl: usize,
+    },
+    /// §V-B: an NCL-internal broadcast reached one more member.
+    BroadcastSpread {
+        at: Time,
+        query: QueryId,
+        node: NodeId,
+    },
+    /// §V-C: a caching node drew its probabilistic response decision.
+    ResponseDecision {
+        at: Time,
+        query: QueryId,
+        node: NodeId,
+        probability: f64,
+        responded: bool,
+    },
+    /// A data response to `query` was created at `node`.
+    ResponseSpawned {
+        at: Time,
+        query: QueryId,
+        node: NodeId,
+    },
+    /// A response message moved one hop toward the requester.
+    ResponseRelay {
+        at: Time,
+        query: QueryId,
+        from: NodeId,
+        to: NodeId,
+    },
+    /// Cache replacement evicted `data` from `node`'s buffer.
+    ReplacementEvicted {
+        at: Time,
+        node: NodeId,
+        data: DataId,
+    },
+    /// Online re-election changed NCL slot `ncl` from `old` to `new`.
+    CentralReelected {
+        at: Time,
+        ncl: usize,
+        old: NodeId,
+        new: NodeId,
+    },
+
+    // -------- oracle --------
+    /// The path oracle rebuilt its contact-graph snapshot. The counters
+    /// are cumulative [`OracleStats`](crate::oracle::OracleStats)
+    /// values at the time of the rebuild.
+    OracleRebuilt {
+        at: Time,
+        epoch: u64,
+        table_recomputes: u64,
+        table_hits: u64,
+    },
+    /// The oracle's snapshot was explicitly invalidated (re-election).
+    OracleInvalidated { at: Time },
+}
+
+impl ProbeEvent {
+    /// Every event kind, in the order of the counter table.
+    pub const KINDS: [&'static str; 22] = [
+        "contact_begin",
+        "contact_end",
+        "contact_lost",
+        "data_injected",
+        "query_injected",
+        "epoch_fired",
+        "transmit_accepted",
+        "transmit_rejected",
+        "delivery",
+        "cache_sampled",
+        "push_relay",
+        "push_settled",
+        "query_relay",
+        "query_at_central",
+        "broadcast_spread",
+        "response_decision",
+        "response_spawned",
+        "response_relay",
+        "replacement_evicted",
+        "central_reelected",
+        "oracle_rebuilt",
+        "oracle_invalidated",
+    ];
+
+    /// Stable snake-case name of this event's kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ProbeEvent::ContactBegin { .. } => "contact_begin",
+            ProbeEvent::ContactEnd { .. } => "contact_end",
+            ProbeEvent::ContactLost { .. } => "contact_lost",
+            ProbeEvent::DataInjected { .. } => "data_injected",
+            ProbeEvent::QueryInjected { .. } => "query_injected",
+            ProbeEvent::EpochFired { .. } => "epoch_fired",
+            ProbeEvent::TransmitAccepted { .. } => "transmit_accepted",
+            ProbeEvent::TransmitRejected { .. } => "transmit_rejected",
+            ProbeEvent::Delivery { .. } => "delivery",
+            ProbeEvent::CacheSampled { .. } => "cache_sampled",
+            ProbeEvent::PushRelay { .. } => "push_relay",
+            ProbeEvent::PushSettled { .. } => "push_settled",
+            ProbeEvent::QueryRelay { .. } => "query_relay",
+            ProbeEvent::QueryAtCentral { .. } => "query_at_central",
+            ProbeEvent::BroadcastSpread { .. } => "broadcast_spread",
+            ProbeEvent::ResponseDecision { .. } => "response_decision",
+            ProbeEvent::ResponseSpawned { .. } => "response_spawned",
+            ProbeEvent::ResponseRelay { .. } => "response_relay",
+            ProbeEvent::ReplacementEvicted { .. } => "replacement_evicted",
+            ProbeEvent::CentralReelected { .. } => "central_reelected",
+            ProbeEvent::OracleRebuilt { .. } => "oracle_rebuilt",
+            ProbeEvent::OracleInvalidated { .. } => "oracle_invalidated",
+        }
+    }
+
+    /// The event's timestamp.
+    pub fn at(&self) -> Time {
+        match self {
+            ProbeEvent::ContactBegin { at, .. }
+            | ProbeEvent::ContactEnd { at, .. }
+            | ProbeEvent::ContactLost { at, .. }
+            | ProbeEvent::DataInjected { at, .. }
+            | ProbeEvent::QueryInjected { at, .. }
+            | ProbeEvent::EpochFired { at, .. }
+            | ProbeEvent::TransmitAccepted { at, .. }
+            | ProbeEvent::TransmitRejected { at, .. }
+            | ProbeEvent::Delivery { at, .. }
+            | ProbeEvent::CacheSampled { at, .. }
+            | ProbeEvent::PushRelay { at, .. }
+            | ProbeEvent::PushSettled { at, .. }
+            | ProbeEvent::QueryRelay { at, .. }
+            | ProbeEvent::QueryAtCentral { at, .. }
+            | ProbeEvent::BroadcastSpread { at, .. }
+            | ProbeEvent::ResponseDecision { at, .. }
+            | ProbeEvent::ResponseSpawned { at, .. }
+            | ProbeEvent::ResponseRelay { at, .. }
+            | ProbeEvent::ReplacementEvicted { at, .. }
+            | ProbeEvent::CentralReelected { at, .. }
+            | ProbeEvent::OracleRebuilt { at, .. }
+            | ProbeEvent::OracleInvalidated { at, .. } => *at,
+        }
+    }
+
+    /// Renders the event as one JSON object (no trailing newline). The
+    /// format is hand-rolled — the workspace carries no serde — and
+    /// kept flat: `{"type":"event","kind":...,"at":...,<fields>}`.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"type\":\"event\",\"kind\":\"{}\",\"at\":{}",
+            self.kind(),
+            self.at().0
+        );
+        use std::fmt::Write as _;
+        match self {
+            ProbeEvent::ContactBegin { a, b, budget, .. } => {
+                let _ = write!(s, ",\"a\":{},\"b\":{},\"budget\":{budget}", a.0, b.0);
+            }
+            ProbeEvent::ContactEnd {
+                a, b, bytes_used, ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"a\":{},\"b\":{},\"bytes_used\":{bytes_used}",
+                    a.0, b.0
+                );
+            }
+            ProbeEvent::ContactLost { a, b, .. } => {
+                let _ = write!(s, ",\"a\":{},\"b\":{}", a.0, b.0);
+            }
+            ProbeEvent::DataInjected {
+                data, source, size, ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"data\":{},\"source\":{},\"size\":{size}",
+                    data.0, source.0
+                );
+            }
+            ProbeEvent::QueryInjected {
+                query,
+                requester,
+                data,
+                expires_at,
+                ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"query\":{},\"requester\":{},\"data\":{},\"expires_at\":{}",
+                    query.0, requester.0, data.0, expires_at.0
+                );
+            }
+            ProbeEvent::EpochFired { index, .. } => {
+                let _ = write!(s, ",\"index\":{index}");
+            }
+            ProbeEvent::TransmitAccepted { bytes, .. }
+            | ProbeEvent::TransmitRejected { bytes, .. } => {
+                let _ = write!(s, ",\"bytes\":{bytes}");
+            }
+            ProbeEvent::Delivery { query, outcome, .. } => {
+                let _ = write!(s, ",\"query\":{}", query.0);
+                match outcome {
+                    DeliveryOutcome::Accepted { delay } => {
+                        let _ = write!(
+                            s,
+                            ",\"outcome\":\"accepted\",\"delay_secs\":{}",
+                            delay.as_secs()
+                        );
+                    }
+                    DeliveryOutcome::Duplicate => s.push_str(",\"outcome\":\"duplicate\""),
+                    DeliveryOutcome::Late => s.push_str(",\"outcome\":\"late\""),
+                    DeliveryOutcome::Unknown => s.push_str(",\"outcome\":\"unknown\""),
+                }
+            }
+            ProbeEvent::CacheSampled { copies, bytes, .. } => {
+                let _ = write!(s, ",\"copies\":{copies},\"bytes\":{bytes}");
+            }
+            ProbeEvent::PushRelay {
+                data,
+                from,
+                to,
+                ncl,
+                ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"data\":{},\"from\":{},\"to\":{},\"ncl\":{ncl}",
+                    data.0, from.0, to.0
+                );
+            }
+            ProbeEvent::PushSettled {
+                data, node, ncl, ..
+            } => {
+                let _ = write!(s, ",\"data\":{},\"node\":{},\"ncl\":{ncl}", data.0, node.0);
+            }
+            ProbeEvent::QueryRelay {
+                query, from, to, ..
+            }
+            | ProbeEvent::ResponseRelay {
+                query, from, to, ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"query\":{},\"from\":{},\"to\":{}",
+                    query.0, from.0, to.0
+                );
+            }
+            ProbeEvent::QueryAtCentral { query, ncl, .. } => {
+                let _ = write!(s, ",\"query\":{},\"ncl\":{ncl}", query.0);
+            }
+            ProbeEvent::BroadcastSpread { query, node, .. }
+            | ProbeEvent::ResponseSpawned { query, node, .. } => {
+                let _ = write!(s, ",\"query\":{},\"node\":{}", query.0, node.0);
+            }
+            ProbeEvent::ResponseDecision {
+                query,
+                node,
+                probability,
+                responded,
+                ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"query\":{},\"node\":{},\"probability\":{probability:.6},\"responded\":{responded}",
+                    query.0, node.0
+                );
+            }
+            ProbeEvent::ReplacementEvicted { node, data, .. } => {
+                let _ = write!(s, ",\"node\":{},\"data\":{}", node.0, data.0);
+            }
+            ProbeEvent::CentralReelected { ncl, old, new, .. } => {
+                let _ = write!(s, ",\"ncl\":{ncl},\"old\":{},\"new\":{}", old.0, new.0);
+            }
+            ProbeEvent::OracleRebuilt {
+                epoch,
+                table_recomputes,
+                table_hits,
+                ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"epoch\":{epoch},\"table_recomputes\":{table_recomputes},\"table_hits\":{table_hits}"
+                );
+            }
+            ProbeEvent::OracleInvalidated { .. } => {}
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// A recorder of [`ProbeEvent`]s.
+///
+/// Object-safe by design: the engine stores `Box<dyn Probe>` behind the
+/// [`ProbeSink`] enum, because schemes are themselves boxed trait
+/// objects and a generic probe parameter could not cross that boundary.
+pub trait Probe {
+    /// Receives one event. Called synchronously from the hot loop —
+    /// implementations should be cheap and must not panic.
+    fn record(&mut self, event: &ProbeEvent);
+}
+
+/// The default probe: discards everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopProbe;
+
+impl Probe for NoopProbe {
+    #[inline]
+    fn record(&mut self, _event: &ProbeEvent) {}
+}
+
+/// A shared handle: lets the caller keep reading a probe that the
+/// simulator owns (install `Box::new(rc.clone())`, inspect via `rc`).
+impl<P: Probe> Probe for Rc<RefCell<P>> {
+    fn record(&mut self, event: &ProbeEvent) {
+        self.borrow_mut().record(event);
+    }
+}
+
+/// The engine's probe slot: either disabled (the default — emission
+/// sites reduce to one predicted branch, the event is never built) or
+/// an installed recorder.
+#[derive(Default)]
+pub enum ProbeSink {
+    /// No probe installed; [`ProbeSink::emit`] does nothing.
+    #[default]
+    Noop,
+    /// An installed recorder receiving every event.
+    Enabled(Box<dyn Probe>),
+}
+
+impl ProbeSink {
+    /// Emits an event. `build` runs only when a probe is installed, so
+    /// disabled emission sites never construct the event.
+    #[inline]
+    pub fn emit(&mut self, build: impl FnOnce() -> ProbeEvent) {
+        if let ProbeSink::Enabled(probe) = self {
+            probe.record(&build());
+        }
+    }
+
+    /// Whether a probe is installed. Schemes use this to gate
+    /// instrumentation work that a lazy closure cannot express (e.g.
+    /// polling oracle counters).
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        matches!(self, ProbeSink::Enabled(_))
+    }
+}
+
+/// Which forwarding phase a recorded hop belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HopPhase {
+    /// Query pull toward a central node (or baseline query forwarding).
+    Pull,
+    /// Response forwarding back to the requester.
+    Response,
+}
+
+impl HopPhase {
+    fn name(self) -> &'static str {
+        match self {
+            HopPhase::Pull => "pull",
+            HopPhase::Response => "response",
+        }
+    }
+}
+
+/// One recorded message hop of a query's lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HopRecord {
+    /// When the hop happened.
+    pub at: Time,
+    /// Pull- or response-phase hop.
+    pub phase: HopPhase,
+    /// The relinquishing carrier.
+    pub from: NodeId,
+    /// The receiving carrier.
+    pub to: NodeId,
+}
+
+/// The assembled lifecycle of one query: issue → first central arrival
+/// → broadcast fan-out → response → delivery, with per-hop timestamps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryTrace {
+    /// The query.
+    pub query: QueryId,
+    /// Who asked.
+    pub requester: NodeId,
+    /// What was asked for.
+    pub data: DataId,
+    /// When the query was issued.
+    pub issued_at: Time,
+    /// When the query's time constraint runs out.
+    pub expires_at: Time,
+    /// First arrival at any central node, if one was reached.
+    pub first_central_at: Option<Time>,
+    /// The NCL slot of that first central arrival.
+    pub first_central_ncl: Option<usize>,
+    /// How many NCL members the internal broadcast reached.
+    pub broadcast_fanout: u64,
+    /// When the first data response was spawned, if any.
+    pub first_response_at: Option<Time>,
+    /// The node that spawned that first response.
+    pub responder: Option<NodeId>,
+    /// When the first in-time delivery happened (`None` = unsatisfied).
+    pub delivered_at: Option<Time>,
+    /// Every recorded pull/response hop, in order.
+    pub hops: Vec<HopRecord>,
+}
+
+/// A satisfied query's end-to-end delay split into the protocol's three
+/// phases. The phases always sum *exactly* to the query's metric delay
+/// (`delivered_at − issued_at`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DelayDecomposition {
+    /// Issue → first central arrival (the §V-B pull phase). Queries
+    /// answered without reaching a central (local hits, baselines)
+    /// attribute their whole delay here.
+    pub pull_secs: u64,
+    /// First central arrival → response spawn (NCL-internal broadcast
+    /// plus the §V-C decision).
+    pub ncl_secs: u64,
+    /// Response spawn → delivery (response forwarding, §V-B "any
+    /// forwarding protocol").
+    pub response_secs: u64,
+}
+
+impl DelayDecomposition {
+    /// The total delay (always equals `delivered_at − issued_at`).
+    pub fn total_secs(&self) -> u64 {
+        self.pull_secs + self.ncl_secs + self.response_secs
+    }
+}
+
+impl QueryTrace {
+    fn new(
+        query: QueryId,
+        requester: NodeId,
+        data: DataId,
+        issued_at: Time,
+        expires_at: Time,
+    ) -> Self {
+        QueryTrace {
+            query,
+            requester,
+            data,
+            issued_at,
+            expires_at,
+            first_central_at: None,
+            first_central_ncl: None,
+            broadcast_fanout: 0,
+            first_response_at: None,
+            responder: None,
+            delivered_at: None,
+            hops: Vec::new(),
+        }
+    }
+
+    /// Whether the query was satisfied in time.
+    pub fn delivered(&self) -> bool {
+        self.delivered_at.is_some()
+    }
+
+    /// The three-phase delay decomposition, `None` while undelivered.
+    ///
+    /// Milestone timestamps are clamped into `[issued_at,
+    /// delivered_at]` (a central arrival or broadcast answer can
+    /// legitimately postdate the delivery that satisfied the query —
+    /// duplicate in-flight copies keep moving), so the phases sum
+    /// exactly to the delay the metrics recorded.
+    pub fn decomposition(&self) -> Option<DelayDecomposition> {
+        let delivered = self.delivered_at?.0;
+        let issued = self.issued_at.0;
+        // Without a central milestone (local hit, baseline scheme) the
+        // whole pre-response time is pull-phase: fall back to the
+        // response spawn, then to the delivery itself.
+        let central = self
+            .first_central_at
+            .or(self.first_response_at)
+            .map_or(delivered, |t| t.0.clamp(issued, delivered));
+        let response = self
+            .first_response_at
+            .map_or(delivered, |t| t.0.clamp(central, delivered));
+        Some(DelayDecomposition {
+            pull_secs: central - issued,
+            ncl_secs: response - central,
+            response_secs: delivered - response,
+        })
+    }
+
+    /// Renders the trace as one JSON object
+    /// (`{"type":"trace","query":...}`).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!(
+            "{{\"type\":\"trace\",\"query\":{},\"requester\":{},\"data\":{},\"issued_at\":{},\"expires_at\":{}",
+            self.query.0, self.requester.0, self.data.0, self.issued_at.0, self.expires_at.0
+        );
+        if let Some(t) = self.first_central_at {
+            let _ = write!(
+                s,
+                ",\"first_central_at\":{},\"first_central_ncl\":{}",
+                t.0,
+                self.first_central_ncl.unwrap_or(0)
+            );
+        }
+        let _ = write!(s, ",\"broadcast_fanout\":{}", self.broadcast_fanout);
+        if let Some(t) = self.first_response_at {
+            let _ = write!(s, ",\"first_response_at\":{}", t.0);
+        }
+        if let Some(n) = self.responder {
+            let _ = write!(s, ",\"responder\":{}", n.0);
+        }
+        if let Some(t) = self.delivered_at {
+            let _ = write!(s, ",\"delivered_at\":{}", t.0);
+        }
+        if let Some(d) = self.decomposition() {
+            let _ = write!(
+                s,
+                ",\"pull_secs\":{},\"ncl_secs\":{},\"response_secs\":{}",
+                d.pull_secs, d.ncl_secs, d.response_secs
+            );
+        }
+        s.push_str(",\"hops\":[");
+        for (i, h) in self.hops.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"at\":{},\"phase\":\"{}\",\"from\":{},\"to\":{}}}",
+                h.at.0,
+                h.phase.name(),
+                h.from.0,
+                h.to.0
+            );
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// The batteries-included probe: per-kind counters, per-query lifecycle
+/// traces, and alloc-free delay/hop/occupancy histograms; optionally
+/// retains the raw event stream for JSONL export.
+#[derive(Debug)]
+pub struct RecordingProbe {
+    keep_events: bool,
+    events: Vec<ProbeEvent>,
+    counters: BTreeMap<&'static str, u64>,
+    traces: BTreeMap<u64, QueryTrace>,
+    delay_hist: Histogram,
+    hop_hist: Histogram,
+    occupancy_hist: Histogram,
+    oracle_rebuilds: u64,
+    oracle_table_hits: u64,
+    oracle_table_recomputes: u64,
+}
+
+impl Default for RecordingProbe {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RecordingProbe {
+    /// A recorder with default bucket layouts: delays in 30-minute
+    /// buckets over 2 days, hops 0–15, occupancy in 1-MiB buckets.
+    pub fn new() -> Self {
+        RecordingProbe {
+            keep_events: true,
+            events: Vec::new(),
+            counters: BTreeMap::new(),
+            traces: BTreeMap::new(),
+            delay_hist: Histogram::new(1800, 96),
+            hop_hist: Histogram::new(1, 16),
+            occupancy_hist: Histogram::new(1 << 20, 64),
+            oracle_rebuilds: 0,
+            oracle_table_hits: 0,
+            oracle_table_recomputes: 0,
+        }
+    }
+
+    /// Replaces the delay histogram layout (`width` seconds × `n`).
+    pub fn with_delay_buckets(mut self, width: u64, n: usize) -> Self {
+        self.delay_hist = Histogram::new(width, n);
+        self
+    }
+
+    /// Replaces the occupancy histogram layout (`width` bytes × `n`).
+    pub fn with_occupancy_buckets(mut self, width: u64, n: usize) -> Self {
+        self.occupancy_hist = Histogram::new(width, n);
+        self
+    }
+
+    /// Disables raw-event retention (traces/counters/histograms only) —
+    /// for long runs where the full stream would dominate memory.
+    pub fn without_event_stream(mut self) -> Self {
+        self.keep_events = false;
+        self
+    }
+
+    /// The retained raw event stream (empty with
+    /// [`Self::without_event_stream`]).
+    pub fn events(&self) -> &[ProbeEvent] {
+        &self.events
+    }
+
+    /// Per-kind event counts (only kinds seen at least once).
+    pub fn counters(&self) -> &BTreeMap<&'static str, u64> {
+        &self.counters
+    }
+
+    /// Count of one kind (0 when never seen).
+    pub fn count(&self, kind: &str) -> u64 {
+        self.counters.get(kind).copied().unwrap_or(0)
+    }
+
+    /// All assembled query traces, in query-id order.
+    pub fn traces(&self) -> impl Iterator<Item = &QueryTrace> {
+        self.traces.values()
+    }
+
+    /// The trace of one query, if it was observed.
+    pub fn trace(&self, query: QueryId) -> Option<&QueryTrace> {
+        self.traces.get(&query.0)
+    }
+
+    /// Delay histogram over satisfied queries (exact mean/sum).
+    pub fn delay_hist(&self) -> &Histogram {
+        &self.delay_hist
+    }
+
+    /// Hops-per-satisfied-query histogram.
+    pub fn hop_hist(&self) -> &Histogram {
+        &self.hop_hist
+    }
+
+    /// Cached-bytes occupancy histogram (one entry per engine sample).
+    pub fn occupancy_hist(&self) -> &Histogram {
+        &self.occupancy_hist
+    }
+
+    /// Latest cumulative oracle counters seen on `oracle_rebuilt`
+    /// events: `(rebuilds, table_recomputes, table_hits)`.
+    pub fn oracle_counters(&self) -> (u64, u64, u64) {
+        (
+            self.oracle_rebuilds,
+            self.oracle_table_recomputes,
+            self.oracle_table_hits,
+        )
+    }
+
+    /// Sums the delay decomposition over every delivered query. The
+    /// total always equals the metrics' `total_delay_secs`.
+    pub fn total_decomposition(&self) -> DelayDecomposition {
+        let mut sum = DelayDecomposition::default();
+        for t in self.traces.values() {
+            if let Some(d) = t.decomposition() {
+                sum.pull_secs += d.pull_secs;
+                sum.ncl_secs += d.ncl_secs;
+                sum.response_secs += d.response_secs;
+            }
+        }
+        sum
+    }
+}
+
+impl Probe for RecordingProbe {
+    fn record(&mut self, event: &ProbeEvent) {
+        *self.counters.entry(event.kind()).or_insert(0) += 1;
+        match *event {
+            ProbeEvent::QueryInjected {
+                at,
+                query,
+                requester,
+                data,
+                expires_at,
+            } => {
+                self.traces.insert(
+                    query.0,
+                    QueryTrace::new(query, requester, data, at, expires_at),
+                );
+            }
+            ProbeEvent::QueryAtCentral { at, query, ncl } => {
+                if let Some(t) = self.traces.get_mut(&query.0) {
+                    if t.first_central_at.is_none() {
+                        t.first_central_at = Some(at);
+                        t.first_central_ncl = Some(ncl);
+                    }
+                }
+            }
+            ProbeEvent::QueryRelay {
+                at,
+                query,
+                from,
+                to,
+            } => {
+                if let Some(t) = self.traces.get_mut(&query.0) {
+                    t.hops.push(HopRecord {
+                        at,
+                        phase: HopPhase::Pull,
+                        from,
+                        to,
+                    });
+                }
+            }
+            ProbeEvent::BroadcastSpread { query, .. } => {
+                if let Some(t) = self.traces.get_mut(&query.0) {
+                    t.broadcast_fanout += 1;
+                }
+            }
+            ProbeEvent::ResponseSpawned { at, query, node } => {
+                if let Some(t) = self.traces.get_mut(&query.0) {
+                    if t.first_response_at.is_none() {
+                        t.first_response_at = Some(at);
+                        t.responder = Some(node);
+                    }
+                }
+            }
+            ProbeEvent::ResponseRelay {
+                at,
+                query,
+                from,
+                to,
+            } => {
+                if let Some(t) = self.traces.get_mut(&query.0) {
+                    t.hops.push(HopRecord {
+                        at,
+                        phase: HopPhase::Response,
+                        from,
+                        to,
+                    });
+                }
+            }
+            ProbeEvent::Delivery {
+                at,
+                query,
+                outcome: DeliveryOutcome::Accepted { delay },
+            } => {
+                self.delay_hist.record(delay.as_secs());
+                if let Some(t) = self.traces.get_mut(&query.0) {
+                    if t.delivered_at.is_none() {
+                        t.delivered_at = Some(at);
+                        self.hop_hist.record(t.hops.len() as u64);
+                    }
+                }
+            }
+            ProbeEvent::CacheSampled { bytes, .. } => {
+                self.occupancy_hist.record(bytes);
+            }
+            ProbeEvent::OracleRebuilt {
+                epoch,
+                table_recomputes,
+                table_hits,
+                ..
+            } => {
+                self.oracle_rebuilds = self.oracle_rebuilds.max(epoch);
+                self.oracle_table_recomputes = table_recomputes;
+                self.oracle_table_hits = table_hits;
+            }
+            _ => {}
+        }
+        if self.keep_events {
+            self.events.push(event.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_core::time::Duration;
+
+    fn ev_query(q: u64, at: u64, expires: u64) -> ProbeEvent {
+        ProbeEvent::QueryInjected {
+            at: Time(at),
+            query: QueryId(q),
+            requester: NodeId(3),
+            data: DataId(7),
+            expires_at: Time(expires),
+        }
+    }
+
+    fn delivered(q: u64, at: u64, delay: u64) -> ProbeEvent {
+        ProbeEvent::Delivery {
+            at: Time(at),
+            query: QueryId(q),
+            outcome: DeliveryOutcome::Accepted {
+                delay: Duration(delay),
+            },
+        }
+    }
+
+    #[test]
+    fn trace_assembles_full_lifecycle() {
+        let mut p = RecordingProbe::new();
+        p.record(&ev_query(0, 100, 10_000));
+        p.record(&ProbeEvent::QueryRelay {
+            at: Time(200),
+            query: QueryId(0),
+            from: NodeId(3),
+            to: NodeId(1),
+        });
+        p.record(&ProbeEvent::QueryAtCentral {
+            at: Time(300),
+            query: QueryId(0),
+            ncl: 2,
+        });
+        p.record(&ProbeEvent::BroadcastSpread {
+            at: Time(350),
+            query: QueryId(0),
+            node: NodeId(4),
+        });
+        p.record(&ProbeEvent::ResponseSpawned {
+            at: Time(400),
+            query: QueryId(0),
+            node: NodeId(4),
+        });
+        p.record(&ProbeEvent::ResponseRelay {
+            at: Time(450),
+            query: QueryId(0),
+            from: NodeId(4),
+            to: NodeId(3),
+        });
+        p.record(&delivered(0, 600, 500));
+        let t = p.trace(QueryId(0)).expect("trace assembled");
+        assert_eq!(t.first_central_at, Some(Time(300)));
+        assert_eq!(t.first_central_ncl, Some(2));
+        assert_eq!(t.broadcast_fanout, 1);
+        assert_eq!(t.first_response_at, Some(Time(400)));
+        assert_eq!(t.responder, Some(NodeId(4)));
+        assert_eq!(t.delivered_at, Some(Time(600)));
+        assert_eq!(t.hops.len(), 2);
+        let d = t.decomposition().expect("delivered");
+        assert_eq!(d.pull_secs, 200); // 100 → 300
+        assert_eq!(d.ncl_secs, 100); // 300 → 400
+        assert_eq!(d.response_secs, 200); // 400 → 600
+        assert_eq!(d.total_secs(), 500);
+        assert_eq!(p.delay_hist().sum(), 500);
+        assert_eq!(p.hop_hist().count(), 1);
+        assert_eq!(p.count("query_injected"), 1);
+        assert_eq!(p.count("delivery"), 1);
+    }
+
+    #[test]
+    fn decomposition_clamps_late_milestones() {
+        // A duplicate copy reaches a central *after* the local-hit
+        // delivery: the pull phase must clamp to the delivery time so
+        // the phases still sum to the recorded delay.
+        let mut p = RecordingProbe::new();
+        p.record(&ev_query(1, 100, 10_000));
+        p.record(&delivered(1, 150, 50));
+        p.record(&ProbeEvent::QueryAtCentral {
+            at: Time(900),
+            query: QueryId(1),
+            ncl: 0,
+        });
+        let d = p.trace(QueryId(1)).unwrap().decomposition().unwrap();
+        assert_eq!(d.pull_secs, 50);
+        assert_eq!(d.ncl_secs, 0);
+        assert_eq!(d.response_secs, 0);
+        assert_eq!(d.total_secs(), 50);
+    }
+
+    #[test]
+    fn local_hit_attributes_whole_delay_to_pull() {
+        let mut p = RecordingProbe::new();
+        p.record(&ev_query(2, 0, 1000));
+        p.record(&delivered(2, 0, 0));
+        let d = p.trace(QueryId(2)).unwrap().decomposition().unwrap();
+        assert_eq!(d, DelayDecomposition::default());
+        // Baseline-style delivery with no central milestone at all:
+        p.record(&ev_query(3, 100, 9_000));
+        p.record(&delivered(3, 800, 700));
+        let d = p.trace(QueryId(3)).unwrap().decomposition().unwrap();
+        assert_eq!(d.pull_secs, 700);
+        assert_eq!(d.ncl_secs + d.response_secs, 0);
+    }
+
+    #[test]
+    fn duplicate_delivery_does_not_retrace() {
+        let mut p = RecordingProbe::new();
+        p.record(&ev_query(4, 0, 10_000));
+        p.record(&delivered(4, 500, 500));
+        p.record(&ProbeEvent::Delivery {
+            at: Time(900),
+            query: QueryId(4),
+            outcome: DeliveryOutcome::Duplicate,
+        });
+        assert_eq!(p.trace(QueryId(4)).unwrap().delivered_at, Some(Time(500)));
+        assert_eq!(p.delay_hist().count(), 1);
+        assert_eq!(p.count("delivery"), 2);
+    }
+
+    #[test]
+    fn total_decomposition_sums_delivered_traces() {
+        let mut p = RecordingProbe::new();
+        p.record(&ev_query(0, 0, 10_000));
+        p.record(&ev_query(1, 0, 10_000));
+        p.record(&ev_query(2, 0, 10_000)); // never delivered
+        p.record(&delivered(0, 300, 300));
+        p.record(&delivered(1, 700, 700));
+        let total = p.total_decomposition();
+        assert_eq!(total.total_secs(), 1000);
+        assert_eq!(total.pull_secs, 1000); // no central milestones
+    }
+
+    #[test]
+    fn noop_sink_never_builds_the_event() {
+        let mut sink = ProbeSink::Noop;
+        assert!(!sink.is_enabled());
+        sink.emit(|| unreachable!("noop sink must not construct events"));
+    }
+
+    #[test]
+    fn shared_handle_records_through_rc() {
+        let rec = Rc::new(RefCell::new(RecordingProbe::new()));
+        let mut sink = ProbeSink::Enabled(Box::new(Rc::clone(&rec)));
+        assert!(sink.is_enabled());
+        sink.emit(|| ev_query(9, 1, 2));
+        drop(sink);
+        let rec = Rc::try_unwrap(rec).expect("sole owner").into_inner();
+        assert_eq!(rec.count("query_injected"), 1);
+        assert!(rec.trace(QueryId(9)).is_some());
+    }
+
+    #[test]
+    fn json_lines_are_flat_objects() {
+        let ev = delivered(5, 600, 500);
+        let json = ev.to_json();
+        assert!(json.starts_with("{\"type\":\"event\",\"kind\":\"delivery\""));
+        assert!(json.contains("\"outcome\":\"accepted\""));
+        assert!(json.contains("\"delay_secs\":500"));
+        assert!(json.ends_with('}'));
+
+        let mut p = RecordingProbe::new();
+        p.record(&ev_query(5, 100, 10_000));
+        p.record(&ev);
+        let tj = p.trace(QueryId(5)).unwrap().to_json();
+        assert!(tj.starts_with("{\"type\":\"trace\",\"query\":5"));
+        assert!(tj.contains("\"delivered_at\":600"));
+        assert!(tj.contains("\"pull_secs\":500"));
+        assert!(tj.contains("\"hops\":[]"));
+    }
+
+    #[test]
+    fn every_kind_name_is_covered() {
+        // KINDS and kind() must stay in sync (the counter table and the
+        // JSONL schema both key on these names).
+        let sample = ev_query(0, 0, 1);
+        assert!(ProbeEvent::KINDS.contains(&sample.kind()));
+        let unique: std::collections::HashSet<_> = ProbeEvent::KINDS.iter().collect();
+        assert_eq!(unique.len(), ProbeEvent::KINDS.len());
+    }
+}

@@ -350,6 +350,71 @@ proptest! {
 }
 
 #[test]
+fn event_streams_are_equivalent() {
+    // Beyond bit-identical metrics, both implementations must narrate
+    // the run identically: the same ProtocolEvent milestones, in the
+    // same order, with the same timestamps and payloads.
+    use dtn_coop_cache::cache::intentional::ProtocolEvent;
+
+    fn run_logged<S: CachingScheme>(
+        trace: &ContactTrace,
+        scheme: S,
+        events: Vec<WorkloadEvent>,
+        sim_cfg: SimConfig,
+        extract: impl FnOnce(&S) -> Vec<ProtocolEvent>,
+    ) -> Vec<ProtocolEvent> {
+        let mut sim = Simulator::new(trace, scheme, sim_cfg);
+        let mid = trace.midpoint();
+        sim.run_until(mid);
+        let capacities: Vec<u64> = (0..trace.node_count() as u32)
+            .map(|n| sim.buffer_capacity(NodeId(n)))
+            .collect();
+        let rate_table = sim.rate_table().clone();
+        let setup = NetworkSetup {
+            rate_table: &rate_table,
+            now: mid,
+            capacities,
+            horizon: 7200.0,
+            path_refresh: None,
+        };
+        sim.scheme_mut().configure(&setup);
+        sim.add_workload(events);
+        sim.run_to_end();
+        extract(sim.scheme())
+    }
+
+    let trace = trace_with(14, 5_000, 29);
+    let cfg = IntentionalConfig {
+        ncl_count: 3,
+        ..IntentionalConfig::default()
+    };
+    let events = mixed_events(&trace, 14, 12, 30, 800);
+    let sim_cfg = SimConfig {
+        seed: 29,
+        ..SimConfig::default()
+    };
+    let fast = run_logged(
+        &trace,
+        IntentionalScheme::new(cfg.clone()).enable_event_log(),
+        events.clone(),
+        sim_cfg.clone(),
+        |s| s.events().to_vec(),
+    );
+    let reference = run_logged(
+        &trace,
+        ReferenceIntentionalScheme::new(cfg).enable_event_log(),
+        events,
+        sim_cfg,
+        |s| s.events().to_vec(),
+    );
+    assert!(
+        !fast.is_empty(),
+        "expected protocol milestones on a busy trace"
+    );
+    assert_eq!(fast, reference, "protocol event streams diverged");
+}
+
+#[test]
 fn long_run_with_expirations_is_equivalent() {
     // Short lifetimes force the expiry-heap GC paths (data, pending
     // messages, responded memos) to fire repeatedly mid-run.
