@@ -1,0 +1,89 @@
+//! Randomized invariant fuzzer over the simulation engine.
+//!
+//! ```text
+//! simcheck [--seeds N] [--seed BASE]
+//! ```
+//!
+//! Runs `N` seeds (default 32) starting at `BASE` (default 0). Each
+//! seed derives a full experiment case, runs it with every audit law
+//! enabled, and — for epoch-free cases — compares the optimized
+//! intentional scheme against the reference implementation bit for
+//! bit. Failures are shrunk to a minimal reproducer and the process
+//! exits non-zero.
+
+use std::env;
+use std::process::ExitCode;
+
+use bench::simcheck::{check_seed, CaseParams};
+
+struct Options {
+    seeds: u64,
+    base: u64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut seeds = 32;
+    let mut base = 0;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seeds" => {
+                let v = args.next().ok_or("--seeds needs a count")?;
+                seeds = v.parse().map_err(|_| format!("bad seed count {v:?}"))?;
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a base seed")?;
+                base = v.parse().map_err(|_| format!("bad base seed {v:?}"))?;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(Options { seeds, base })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("simcheck: {msg}");
+            eprintln!("usage: simcheck [--seeds N] [--seed BASE]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut failures = 0u64;
+    let mut sweeps = 0u64;
+    let mut differentials = 0u64;
+    for seed in opts.base..opts.base + opts.seeds {
+        match check_seed(seed) {
+            Ok(stats) => {
+                sweeps += stats.sweeps;
+                differentials += u64::from(stats.differential);
+                println!(
+                    "seed {seed:>4}: clean ({} sweeps{})",
+                    stats.sweeps,
+                    if stats.differential {
+                        ", differential"
+                    } else {
+                        ", audit-only"
+                    }
+                );
+            }
+            Err(failure) => {
+                failures += 1;
+                println!("seed {seed:>4}: FAILED");
+                println!("  {failure}");
+                println!("  original case: {}", CaseParams::from_seed(seed));
+            }
+        }
+    }
+    println!(
+        "simcheck: {} seeds, {failures} failures, {sweeps} audit sweeps, \
+         {differentials} differential cases",
+        opts.seeds
+    );
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -8,6 +8,7 @@
 pub mod figures;
 pub mod observe;
 pub mod runner;
+pub mod simcheck;
 
 pub use runner::{
     averaged_run, averaged_sweep, timed_averaged_sweep, AveragedReport, PointTiming, SweepPoint,

@@ -1,0 +1,449 @@
+//! Randomized invariant fuzzing: the `simcheck` harness.
+//!
+//! Each seed deterministically derives a full experiment case — trace
+//! shape, workload mix, and intentional-scheme configuration — and runs
+//! it with [`SimConfig::audit`] enabled and a [`RecordingProbe`]
+//! installed. A case fails if any [`AuditLaw`] is violated, if the
+//! probe's delay decomposition disagrees with the metrics, or (for
+//! cases without epoch re-election) if the optimized
+//! [`IntentionalScheme`] diverges from [`ReferenceIntentionalScheme`]
+//! in metrics or per-NCL query load.
+//!
+//! Epoch cases are audited but *not* compared differentially: the
+//! reference scheme deliberately keeps its NCLs frozen across epochs,
+//! so the two implementations legitimately diverge once a re-election
+//! fires.
+//!
+//! On failure, [`shrink`] greedily reduces the case — drop epochs,
+//! shrink the node count, halve contacts/queries/items — while the
+//! failure persists, and reports the minimal reproducer.
+//!
+//! [`SimConfig::audit`]: dtn_sim::engine::SimConfig::audit
+//! [`AuditLaw`]: dtn_sim::audit::AuditLaw
+//! [`RecordingProbe`]: dtn_sim::probe::RecordingProbe
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use dtn_cache::intentional::{IntentionalConfig, IntentionalScheme, ResponseStrategy};
+use dtn_cache::reference::ReferenceIntentionalScheme;
+use dtn_cache::replacement::ReplacementKind;
+use dtn_cache::routing::ForwardingStrategy;
+use dtn_cache::{CachingScheme, NetworkSetup};
+use dtn_core::ids::{DataId, NodeId};
+use dtn_core::time::Duration;
+use dtn_sim::audit::{check_delay_decomposition, AuditReport};
+use dtn_sim::engine::{SimConfig, Simulator, WorkloadEvent};
+use dtn_sim::message::DataItem;
+use dtn_sim::metrics::Metrics;
+use dtn_sim::probe::RecordingProbe;
+use dtn_trace::synthetic::SyntheticTraceBuilder;
+use dtn_trace::trace::ContactTrace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One fully-specified fuzz case, derived deterministically from a seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseParams {
+    /// Seed for the trace generator and the simulation RNG.
+    pub seed: u64,
+    /// Node count of the synthetic trace.
+    pub nodes: usize,
+    /// Target contact count of the synthetic trace.
+    pub contacts: u64,
+    /// Data items generated in the workload half.
+    pub items: u64,
+    /// Queries issued against those items.
+    pub queries: u64,
+    /// NCLs the intentional scheme selects.
+    pub ncl_count: usize,
+    /// Cache-replacement policy under test.
+    pub replacement: ReplacementKind,
+    /// Query-response strategy under test.
+    pub response: ResponseStrategy,
+    /// Response forwarding strategy under test.
+    pub routing: ForwardingStrategy,
+    /// Probabilistic (paper) vs. deterministic knapsack selection.
+    pub probabilistic: bool,
+    /// Small buffers that force replacement pressure.
+    pub tight_buffers: bool,
+    /// NCL re-election cadence in hours; `None` freezes the NCLs (and
+    /// enables the optimized-vs-reference differential comparison).
+    pub epoch_hours: Option<u64>,
+}
+
+impl CaseParams {
+    /// Derives a case from a seed. The same seed always yields the same
+    /// case, so a failure report is a complete reproducer.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x051A_CCDC_011E_C7ED);
+        let replacement = match rng.gen_range(0..4u8) {
+            0 => ReplacementKind::UtilityKnapsack,
+            1 => ReplacementKind::Fifo,
+            2 => ReplacementKind::Lru,
+            _ => ReplacementKind::GreedyDualSize,
+        };
+        let response = match rng.gen_range(0..3u8) {
+            0 => ResponseStrategy::default(),
+            1 => ResponseStrategy::PathAware,
+            _ => ResponseStrategy::Sigmoid {
+                p_min: 0.2,
+                p_max: 0.95,
+            },
+        };
+        let routing = match rng.gen_range(0..4u8) {
+            0 => ForwardingStrategy::Greedy,
+            1 => ForwardingStrategy::Direct,
+            2 => ForwardingStrategy::Epidemic,
+            _ => ForwardingStrategy::SprayAndWait { initial_copies: 3 },
+        };
+        CaseParams {
+            seed,
+            nodes: rng.gen_range(8..=16),
+            contacts: rng.gen_range(2_000..=5_000),
+            items: rng.gen_range(4..14),
+            queries: rng.gen_range(8..32),
+            ncl_count: rng.gen_range(1..=4),
+            replacement,
+            response,
+            routing,
+            probabilistic: rng.gen_bool(0.5),
+            tight_buffers: rng.gen_bool(0.5),
+            epoch_hours: if rng.gen_bool(0.4) {
+                Some(rng.gen_range(2..=8))
+            } else {
+                None
+            },
+        }
+    }
+}
+
+impl fmt::Display for CaseParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed {} nodes {} contacts {} items {} queries {} ncls {} \
+             {:?}/{:?}/{:?} probabilistic {} tight {} epoch {:?}",
+            self.seed,
+            self.nodes,
+            self.contacts,
+            self.items,
+            self.queries,
+            self.ncl_count,
+            self.replacement,
+            self.response,
+            self.routing,
+            self.probabilistic,
+            self.tight_buffers,
+            self.epoch_hours,
+        )
+    }
+}
+
+/// A case that violated an invariant, with the diagnostic detail.
+#[derive(Debug, Clone)]
+pub struct SimcheckFailure {
+    /// The failing case (after shrinking, a minimal reproducer).
+    pub params: CaseParams,
+    /// What went wrong: an audit summary or a divergence description.
+    pub detail: String,
+}
+
+impl fmt::Display for SimcheckFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}\n  case: {}", self.detail, self.params)
+    }
+}
+
+/// Statistics from one clean case.
+#[derive(Debug, Clone, Copy)]
+pub struct CaseStats {
+    /// Audit sweeps run across both schemes.
+    pub sweeps: u64,
+    /// Queries the workload issued.
+    pub queries_issued: u64,
+    /// Whether the optimized-vs-reference comparison ran (epoch-free
+    /// cases only).
+    pub differential: bool,
+}
+
+struct RunResult {
+    metrics: Metrics,
+    load: Vec<u64>,
+    sweeps: u64,
+    /// `Some(summary)` when the audit or probe cross-check failed.
+    failure: Option<String>,
+}
+
+fn workload(params: &CaseParams, trace: &ContactTrace) -> Vec<WorkloadEvent> {
+    let mid = trace.midpoint();
+    let life = Duration::hours(20);
+    let size = if params.tight_buffers { 500 } else { 1_000 };
+    let nodes = params.nodes as u64;
+    let mut events = Vec::new();
+    for i in 0..params.items {
+        events.push(WorkloadEvent::GenerateData {
+            item: DataItem::new(
+                DataId(i),
+                NodeId((i * 7 % nodes) as u32),
+                size,
+                mid + Duration::minutes(3 * i),
+                life,
+            ),
+        });
+    }
+    for q in 0..params.queries {
+        // Zipf-ish skew: low data ids are queried more often.
+        let data = DataId(q * q % params.items.max(1));
+        events.push(WorkloadEvent::IssueQuery {
+            at: mid + Duration::minutes(30 + 11 * q),
+            requester: NodeId(((q * 5 + 2) % nodes) as u32),
+            data,
+            constraint: Duration::hours(10),
+        });
+    }
+    events
+}
+
+fn sim_config(params: &CaseParams) -> SimConfig {
+    SimConfig {
+        buffer_range: if params.tight_buffers {
+            (1_100, 1_500)
+        } else {
+            (64_000, 96_000)
+        },
+        seed: params.seed,
+        audit: true,
+        epoch_interval: params.epoch_hours.map(Duration::hours),
+        ..SimConfig::default()
+    }
+}
+
+/// Runs one scheme through warm-up → configure → workload with audits
+/// on and a recording probe installed, then cross-checks the probe's
+/// delay decomposition against the metrics.
+fn run_instrumented<S: CachingScheme>(
+    trace: &ContactTrace,
+    scheme: S,
+    events: Vec<WorkloadEvent>,
+    sim_cfg: SimConfig,
+) -> RunResult {
+    let probe = Rc::new(RefCell::new(RecordingProbe::new()));
+    let mut sim = Simulator::new(trace, scheme, sim_cfg);
+    sim.set_probe(Box::new(Rc::clone(&probe)));
+    let mid = trace.midpoint();
+    sim.run_until(mid);
+    let capacities: Vec<u64> = (0..trace.node_count() as u32)
+        .map(|n| sim.buffer_capacity(NodeId(n)))
+        .collect();
+    let rate_table = sim.rate_table().clone();
+    let setup = NetworkSetup {
+        rate_table: &rate_table,
+        now: mid,
+        capacities,
+        horizon: 7200.0,
+        path_refresh: None,
+    };
+    sim.scheme_mut().configure(&setup);
+    sim.add_workload(events);
+    sim.run_to_end();
+
+    let report = sim.audit_report().expect("simcheck always enables audit");
+    let mut failure = (!report.is_clean()).then(|| report.summary());
+    let sweeps = report.sweeps();
+    if failure.is_none() {
+        let mut probe_report = AuditReport::default();
+        check_delay_decomposition(&probe.borrow(), sim.metrics(), sim.now(), &mut probe_report);
+        failure = (!probe_report.is_clean()).then(|| probe_report.summary());
+    }
+    RunResult {
+        metrics: sim.metrics().clone(),
+        load: sim.scheme().ncl_query_load().to_vec(),
+        sweeps,
+        failure,
+    }
+}
+
+/// Runs one case: optimized scheme under audit, plus the reference
+/// differential when the case has no epochs.
+///
+/// # Errors
+///
+/// Returns the audit summary or divergence description on failure.
+pub fn run_case(params: &CaseParams) -> Result<CaseStats, String> {
+    let trace = SyntheticTraceBuilder::new(params.nodes)
+        .duration(Duration::days(2))
+        .target_contacts(params.contacts)
+        .seed(params.seed)
+        .build();
+    let events = workload(params, &trace);
+    let cfg = IntentionalConfig {
+        ncl_count: params.ncl_count,
+        replacement: params.replacement,
+        response: params.response,
+        response_routing: params.routing,
+        probabilistic_selection: params.probabilistic,
+        ..IntentionalConfig::default()
+    };
+
+    let fast = run_instrumented(
+        &trace,
+        IntentionalScheme::new(cfg.clone()),
+        events.clone(),
+        sim_config(params),
+    );
+    if let Some(detail) = fast.failure {
+        return Err(format!("optimized scheme: {detail}"));
+    }
+    let mut stats = CaseStats {
+        sweeps: fast.sweeps,
+        queries_issued: fast.metrics.queries_issued,
+        differential: false,
+    };
+
+    // The reference scheme keeps its NCLs frozen across epochs by
+    // design, so the differential comparison only holds without
+    // re-elections.
+    if params.epoch_hours.is_none() {
+        let reference = run_instrumented(
+            &trace,
+            ReferenceIntentionalScheme::new(cfg),
+            events,
+            sim_config(params),
+        );
+        if let Some(detail) = reference.failure {
+            return Err(format!("reference scheme: {detail}"));
+        }
+        if fast.metrics != reference.metrics {
+            return Err(format!(
+                "metrics diverged: optimized {:?} vs reference {:?}",
+                fast.metrics, reference.metrics
+            ));
+        }
+        if fast.load != reference.load {
+            return Err(format!(
+                "NCL query load diverged: optimized {:?} vs reference {:?}",
+                fast.load, reference.load
+            ));
+        }
+        stats.sweeps += reference.sweeps;
+        stats.differential = true;
+    }
+    Ok(stats)
+}
+
+/// Checks one seed end to end; failures come back shrunk.
+///
+/// # Errors
+///
+/// Returns the (shrunk) failing case on any invariant breach.
+pub fn check_seed(seed: u64) -> Result<CaseStats, Box<SimcheckFailure>> {
+    let params = CaseParams::from_seed(seed);
+    match run_case(&params) {
+        Ok(stats) => Ok(stats),
+        Err(detail) => Err(Box::new(shrink(SimcheckFailure { params, detail }))),
+    }
+}
+
+/// Candidate one-step reductions of a case, most aggressive first.
+/// Public so the shrinking order itself is testable.
+pub fn shrink_steps(params: &CaseParams) -> Vec<CaseParams> {
+    let mut steps = Vec::new();
+    if params.epoch_hours.is_some() {
+        steps.push(CaseParams {
+            epoch_hours: None,
+            ..params.clone()
+        });
+    }
+    if params.nodes > 8 {
+        steps.push(CaseParams {
+            nodes: 8,
+            ..params.clone()
+        });
+    }
+    if params.contacts > 500 {
+        steps.push(CaseParams {
+            contacts: (params.contacts / 2).max(500),
+            ..params.clone()
+        });
+    }
+    if params.queries > 2 {
+        steps.push(CaseParams {
+            queries: (params.queries / 2).max(2),
+            ..params.clone()
+        });
+    }
+    if params.items > 2 {
+        steps.push(CaseParams {
+            items: (params.items / 2).max(2),
+            ..params.clone()
+        });
+    }
+    steps
+}
+
+/// Greedily shrinks a failing case: applies the first reduction that
+/// still fails, repeating until no reduction reproduces the failure.
+pub fn shrink(failure: SimcheckFailure) -> SimcheckFailure {
+    let mut best = failure;
+    loop {
+        let mut reduced = false;
+        for candidate in shrink_steps(&best.params) {
+            if let Err(detail) = run_case(&candidate) {
+                best = SimcheckFailure {
+                    params: candidate,
+                    detail,
+                };
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_derivation_is_deterministic() {
+        assert_eq!(CaseParams::from_seed(7), CaseParams::from_seed(7));
+        // Nearby seeds should not collapse onto one case.
+        assert_ne!(CaseParams::from_seed(7), CaseParams::from_seed(8));
+    }
+
+    #[test]
+    fn first_seeds_run_clean() {
+        for seed in 0..2u64 {
+            let stats = check_seed(seed).unwrap_or_else(|f| panic!("seed {seed} failed: {f}"));
+            assert!(stats.sweeps > 0, "seed {seed} never audited");
+            assert!(stats.queries_issued > 0, "seed {seed} issued no queries");
+        }
+    }
+
+    #[test]
+    fn shrink_steps_only_reduce() {
+        let params = CaseParams::from_seed(3);
+        for step in shrink_steps(&params) {
+            let smaller = step.epoch_hours.is_none() && params.epoch_hours.is_some()
+                || step.nodes < params.nodes
+                || step.contacts < params.contacts
+                || step.queries < params.queries
+                || step.items < params.items;
+            assert!(smaller, "step {step} does not reduce {params}");
+        }
+        let minimal = CaseParams {
+            nodes: 8,
+            contacts: 500,
+            items: 2,
+            queries: 2,
+            epoch_hours: None,
+            ..params
+        };
+        assert!(shrink_steps(&minimal).is_empty());
+    }
+}

@@ -149,12 +149,22 @@ impl<P: IncidentalPolicy> IncidentalScheme<P> {
     }
 
     fn policy_ctx(&self, node: NodeId, now: Time) -> PolicyCtx<'_> {
-        let elapsed = now.saturating_since(self.started_at).as_secs_f64().max(1.0);
+        // No observation window yet → no rate estimate, matching
+        // `RateEstimator::rate` (which returns `None` until time has
+        // elapsed). The old `.max(1.0)` clamp instead reported the raw
+        // contact count as a per-second rate at `now == started_at`,
+        // inflating every node's contact pattern during warm-up.
+        let elapsed = now.saturating_since(self.started_at).as_secs_f64();
+        let contact_rate = if elapsed > 0.0 {
+            self.node_contacts[node.index()] as f64 / elapsed
+        } else {
+            0.0
+        };
         PolicyCtx {
             node,
             now,
             local_seen: &self.local_seen,
-            contact_rate: self.node_contacts[node.index()] as f64 / elapsed,
+            contact_rate,
         }
     }
 
@@ -470,6 +480,12 @@ impl<P: IncidentalPolicy> Scheme for IncidentalScheme<P> {
             bytes,
         }
     }
+
+    fn audit(&self, now: Time, report: &mut dtn_sim::audit::AuditReport) {
+        // Incidental caching keeps no redundant copy indexes; buffer
+        // byte-accounting is the only law with scheme-side state.
+        dtn_sim::audit::check_buffers(&self.buffers, now, report);
+    }
 }
 
 impl<P: IncidentalPolicy> CachingScheme for IncidentalScheme<P> {
@@ -659,6 +675,27 @@ mod tests {
             epidemic.bytes_transmitted > greedy.bytes_transmitted,
             "epidemic must burn more bandwidth"
         );
+    }
+
+    #[test]
+    fn contact_rate_has_no_warmup_bias() {
+        let mut scheme = IncidentalScheme::new(BundleCachePolicy::default());
+        let rt = dtn_core::rate::RateTable::new(2, Time(1_000));
+        scheme.configure(&NetworkSetup {
+            rate_table: &rt,
+            now: Time(1_000),
+            capacities: vec![1_000; 2],
+            horizon: 3600.0,
+            path_refresh: None,
+        });
+        scheme.node_contacts[0] = 5;
+        // At the configure instant no time has been observed yet: no
+        // rate estimate — not the raw contact count the old `.max(1.0)`
+        // clamp reported (5.0 contacts/s here).
+        assert_eq!(scheme.policy_ctx(NodeId(0), Time(1_000)).contact_rate, 0.0);
+        // Once time elapses the estimate aligns with `RateEstimator`:
+        // contacts / observed seconds.
+        assert_eq!(scheme.policy_ctx(NodeId(0), Time(1_010)).contact_rate, 0.5);
     }
 
     #[test]

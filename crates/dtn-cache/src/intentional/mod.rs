@@ -456,6 +456,10 @@ impl Scheme for IntentionalScheme {
             bytes,
         }
     }
+
+    fn audit(&self, now: Time, report: &mut dtn_sim::audit::AuditReport) {
+        self.audit_into(now, report);
+    }
 }
 
 impl CachingScheme for IntentionalScheme {
@@ -1019,5 +1023,79 @@ mod tests {
             assert_eq!(stats.migrated_copies, 0);
             assert_eq!(stats.migrated_bytes, 0);
         }
+    }
+
+    #[test]
+    fn audit_catches_seeded_corruption() {
+        // The audit must not just pass on healthy runs — it must *fail*
+        // when the canonical state is perturbed, else it proves nothing.
+        use dtn_sim::audit::{AuditLaw, AuditReport};
+        let trace = busy_trace(31);
+        let sim_cfg = SimConfig {
+            seed: 31,
+            audit: true,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(
+            &trace,
+            IntentionalScheme::new(IntentionalConfig {
+                ncl_count: 2,
+                ..IntentionalConfig::default()
+            }),
+            sim_cfg,
+        );
+        let mid = trace.midpoint();
+        sim.run_until(mid);
+        let capacities: Vec<u64> = (0..16u32).map(|n| sim.buffer_capacity(NodeId(n))).collect();
+        let rt = sim.rate_table().clone();
+        sim.scheme_mut().configure(&NetworkSetup {
+            rate_table: &rt,
+            now: mid,
+            capacities,
+            horizon: 3600.0,
+            path_refresh: None,
+        });
+        sim.add_workload(mixed_workload(&trace, 8, 900));
+        sim.run_to_end();
+        let engine_report = sim.audit_report().expect("audit was enabled");
+        assert!(engine_report.is_clean(), "{}", engine_report.summary());
+        assert!(engine_report.sweeps() > 0);
+        let now = sim.now();
+        let scheme = sim.scheme_mut();
+
+        let mut clean = AuditReport::default();
+        scheme.audit_into(now, &mut clean);
+        assert!(clean.is_clean(), "{}", clean.summary());
+
+        // Seed a membership-counter drift: copy conservation must trip.
+        scheme.member_count[0][0] += 1;
+        let mut report = AuditReport::default();
+        scheme.audit_into(now, &mut report);
+        assert!(
+            report
+                .violations()
+                .iter()
+                .any(|v| v.law == AuditLaw::CopyConservation),
+            "seeded member_count drift went undetected: {}",
+            report.summary()
+        );
+        scheme.member_count[0][0] -= 1;
+
+        let mut healed = AuditReport::default();
+        scheme.audit_into(now, &mut healed);
+        assert!(healed.is_clean(), "{}", healed.summary());
+
+        // Seed a dangling pending-pull locator: index consistency trips.
+        scheme.pull_at[0].push(9_999);
+        let mut report = AuditReport::default();
+        scheme.audit_into(now, &mut report);
+        assert!(
+            report
+                .violations()
+                .iter()
+                .any(|v| v.law == AuditLaw::IndexConsistency),
+            "seeded dangling pull locator went undetected: {}",
+            report.summary()
+        );
     }
 }

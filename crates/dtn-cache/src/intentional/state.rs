@@ -11,6 +11,7 @@ use dtn_core::graph::ContactGraph;
 use dtn_core::ids::{DataId, NodeId, QueryId};
 use dtn_core::knapsack::{CacheItem, KnapsackSolver};
 use dtn_core::time::Time;
+use dtn_sim::audit::{check_buffers, AuditLaw, AuditReport, AuditViolation};
 use dtn_sim::buffer::Buffer;
 use dtn_sim::engine::SimCtx;
 use dtn_sim::message::DataItem;
@@ -264,6 +265,8 @@ impl IntentionalScheme {
 
     /// Checks the scheme's internal invariants; used by stress tests.
     ///
+    /// Thin wrapper over [`audit_into`](Self::audit_into).
+    ///
     /// # Errors
     ///
     /// Returns a description of the first violated invariant: buffer
@@ -272,19 +275,23 @@ impl IntentionalScheme {
     /// index (copy lists, membership counters, pending-message lists)
     /// out of sync with the canonical state.
     pub fn validate(&self) -> Result<(), String> {
-        for (i, buf) in self.buffers.iter().enumerate() {
-            let actual: u64 = buf.iter().map(|d| d.size).sum();
-            if buf.used() != actual {
-                return Err(format!("node {i}: used {} != sum {actual}", buf.used()));
-            }
-            if buf.used() > buf.capacity() {
-                return Err(format!(
-                    "node {i}: over-committed {}/{}",
-                    buf.used(),
-                    buf.capacity()
-                ));
-            }
+        let mut report = AuditReport::default();
+        self.audit_into(Time::ZERO, &mut report);
+        match report.violations().first() {
+            Some(v) => Err(v.to_string()),
+            None => Ok(()),
         }
+    }
+
+    /// Re-derives the canonical copy/index state and reports every
+    /// broken conservation law into `report` (the laws of
+    /// [`dtn_sim::audit`]): buffer byte-accounting, copy conservation
+    /// (every live copy's holder physically stores the bytes, the
+    /// per-node copy lists and membership counters match the copy
+    /// table), and index consistency for the pull/broadcast/response
+    /// locators. Drives [`Scheme::audit`](dtn_sim::engine::Scheme::audit).
+    pub fn audit_into(&self, at: Time, report: &mut AuditReport) {
+        check_buffers(&self.buffers, at, report);
         let n = self.buffers.len();
         let mut expect_member = vec![vec![0u32; self.centrals.len()]; n];
         let mut carried_seen = 0usize;
@@ -293,9 +300,14 @@ impl IntentionalScheme {
             for (k, s) in states.iter().enumerate() {
                 let Some(holder) = s.holder() else { continue };
                 if !self.buffers[holder.index()].contains(*data) {
-                    return Err(format!(
-                        "copy ({data}, ncl {k}) points at {holder} which lacks the bytes"
-                    ));
+                    report.violate(AuditViolation {
+                        law: AuditLaw::CopyConservation,
+                        at,
+                        node: Some(holder),
+                        item: Some(*data),
+                        detail: format!("NCL {k} copy points at a node lacking the bytes"),
+                    });
+                    continue;
                 }
                 expect_member[holder.index()][k] += 1;
                 let list = match s {
@@ -310,57 +322,127 @@ impl IntentionalScheme {
                     CopyState::Dropped => unreachable!("holder implies not dropped"),
                 };
                 if !list.contains(&(*data, k as u32)) {
-                    return Err(format!(
-                        "copy ({data}, ncl {k}) missing from {holder}'s index list"
-                    ));
+                    report.violate(AuditViolation {
+                        law: AuditLaw::CopyConservation,
+                        at,
+                        node: Some(holder),
+                        item: Some(*data),
+                        detail: format!("NCL {k} copy missing from the holder's index list"),
+                    });
                 }
             }
         }
         if expect_member != self.member_count {
-            return Err("member_count out of sync with copy states".into());
+            let culprit = (0..n)
+                .find(|&i| expect_member[i] != self.member_count[i])
+                .map(|i| NodeId(i as u32));
+            report.violate(AuditViolation {
+                law: AuditLaw::CopyConservation,
+                at,
+                node: culprit,
+                item: None,
+                detail: "member_count out of sync with copy states".into(),
+            });
         }
         let carried_total: usize = self.carried_at.iter().map(Vec::len).sum();
         let settled_total: usize = self.settled_at.iter().map(Vec::len).sum();
         if carried_total != carried_seen || settled_total != settled_seen {
-            return Err(format!(
-                "copy index lists hold {carried_total}+{settled_total} entries, \
-                 copy states say {carried_seen}+{settled_seen}"
-            ));
+            report.violate(AuditViolation {
+                law: AuditLaw::CopyConservation,
+                at,
+                node: None,
+                item: None,
+                detail: format!(
+                    "copy index lists hold {carried_total}+{settled_total} entries, \
+                     copy states say {carried_seen}+{settled_seen}"
+                ),
+            });
         }
         for (node, list) in self.pull_at.iter().enumerate() {
             for &id in list {
                 let Some(pull) = self.pulls.get(id) else {
-                    return Err(format!("pull_at[{node}] references freed slot {id}"));
+                    report.violate(AuditViolation {
+                        law: AuditLaw::IndexConsistency,
+                        at,
+                        node: Some(NodeId(node as u32)),
+                        item: None,
+                        detail: format!("pull_at references freed slot {id}"),
+                    });
+                    continue;
                 };
                 if pull.carrier.index() != node {
-                    return Err(format!("pull {id} indexed at {node}, carried elsewhere"));
+                    report.violate(AuditViolation {
+                        law: AuditLaw::IndexConsistency,
+                        at,
+                        node: Some(NodeId(node as u32)),
+                        item: None,
+                        detail: format!("pull {id} indexed here, carried elsewhere"),
+                    });
                 }
             }
         }
         if self.pull_at.iter().map(Vec::len).sum::<usize>() != self.pulls.len() {
-            return Err("pull index entry count != pull slab len".into());
+            report.violate(AuditViolation {
+                law: AuditLaw::IndexConsistency,
+                at,
+                node: None,
+                item: None,
+                detail: "pull index entry count != pull slab len".into(),
+            });
         }
         for (node, list) in self.bcast_at.iter().enumerate() {
             for &id in list {
                 let Some(bc) = self.broadcasts.get(id) else {
-                    return Err(format!("bcast_at[{node}] references freed slot {id}"));
+                    report.violate(AuditViolation {
+                        law: AuditLaw::IndexConsistency,
+                        at,
+                        node: Some(NodeId(node as u32)),
+                        item: None,
+                        detail: format!("bcast_at references freed slot {id}"),
+                    });
+                    continue;
                 };
                 if !bc.holders.contains(&NodeId(node as u32)) {
-                    return Err(format!("broadcast {id} indexed at non-holder {node}"));
+                    report.violate(AuditViolation {
+                        law: AuditLaw::IndexConsistency,
+                        at,
+                        node: Some(NodeId(node as u32)),
+                        item: None,
+                        detail: format!("broadcast {id} indexed at a non-holder"),
+                    });
                 }
             }
         }
         let holder_total: usize = self.broadcasts.iter().map(|(_, bc)| bc.holders.len()).sum();
         if self.bcast_at.iter().map(Vec::len).sum::<usize>() != holder_total {
-            return Err("broadcast index entry count != holder count".into());
+            report.violate(AuditViolation {
+                law: AuditLaw::IndexConsistency,
+                at,
+                node: None,
+                item: None,
+                detail: "broadcast index entry count != holder count".into(),
+            });
         }
         for (node, list) in self.resp_at.iter().enumerate() {
             for &id in list {
                 let Some(resp) = self.responses.get(id) else {
-                    return Err(format!("resp_at[{node}] references freed slot {id}"));
+                    report.violate(AuditViolation {
+                        law: AuditLaw::IndexConsistency,
+                        at,
+                        node: Some(NodeId(node as u32)),
+                        item: None,
+                        detail: format!("resp_at references freed slot {id}"),
+                    });
+                    continue;
                 };
                 if !resp.msg.carries(NodeId(node as u32)) {
-                    return Err(format!("response {id} indexed at non-carrier {node}"));
+                    report.violate(AuditViolation {
+                        law: AuditLaw::IndexConsistency,
+                        at,
+                        node: Some(NodeId(node as u32)),
+                        item: None,
+                        detail: format!("response {id} indexed at a non-carrier"),
+                    });
                 }
             }
         }
@@ -370,9 +452,14 @@ impl IntentionalScheme {
             .map(|(_, r)| r.msg.carriers().count())
             .sum();
         if self.resp_at.iter().map(Vec::len).sum::<usize>() != carrier_total {
-            return Err("response index entry count != carrier count".into());
+            report.violate(AuditViolation {
+                law: AuditLaw::IndexConsistency,
+                at,
+                node: None,
+                item: None,
+                detail: "response index entry count != carrier count".into(),
+            });
         }
-        Ok(())
     }
 
     pub(super) fn configured(&self) -> bool {

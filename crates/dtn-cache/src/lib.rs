@@ -178,6 +178,9 @@ impl Scheme for Box<dyn CachingScheme> {
     fn cache_stats(&self, now: Time) -> dtn_sim::engine::CacheStats {
         (**self).cache_stats(now)
     }
+    fn audit(&self, now: Time, report: &mut dtn_sim::audit::AuditReport) {
+        (**self).audit(now, report);
+    }
 }
 
 #[cfg(test)]

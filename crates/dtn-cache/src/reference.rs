@@ -784,6 +784,33 @@ impl Scheme for ReferenceIntentionalScheme {
             bytes,
         }
     }
+
+    fn audit(&self, now: Time, report: &mut dtn_sim::audit::AuditReport) {
+        use dtn_sim::audit::{check_buffers, AuditLaw, AuditViolation};
+        check_buffers(&self.buffers, now, report);
+        // Copy conservation: every live copy's holder physically stores
+        // the bytes. `prune` flips copies whose holder lost the item to
+        // Dropped at the start of each contact, so the law holds at
+        // audit time (after the contact) for every alive item; expired
+        // items are reconciled lazily and are exempt.
+        for (&data, states) in &self.copies {
+            if !self.registry.get(data).is_some_and(|d| d.is_alive(now)) {
+                continue;
+            }
+            for (k, s) in states.iter().enumerate() {
+                let Some(holder) = s.holder() else { continue };
+                if !self.buffers[holder.index()].contains(data) {
+                    report.violate(AuditViolation {
+                        law: AuditLaw::CopyConservation,
+                        at: now,
+                        node: Some(holder),
+                        item: Some(data),
+                        detail: format!("NCL {k} copy points at a node lacking the bytes"),
+                    });
+                }
+            }
+        }
+    }
 }
 
 impl CachingScheme for ReferenceIntentionalScheme {

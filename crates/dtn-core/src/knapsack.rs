@@ -234,6 +234,19 @@ impl KnapsackSolver {
         self.out.indices.reverse();
         self.out.total_utility = self.out.indices.iter().map(|&i| items[i].utility).sum();
         self.out.total_size = self.out.indices.iter().map(|&i| items[i].size).sum();
+        debug_assert!(
+            self.out.indices.windows(2).all(|w| w[0] < w[1]),
+            "DP reconstruction must yield strictly ascending indices"
+        );
+        debug_assert!(
+            self.out
+                .indices
+                .iter()
+                .map(|&i| self.weights[i])
+                .sum::<usize>()
+                <= cap_units,
+            "DP selection exceeds the quantised capacity"
+        );
     }
 
     /// Greedy density-order approximation: picks items by descending
@@ -383,6 +396,10 @@ impl KnapsackSolver {
             stalled = if progressed { 0 } else { stalled + 1 };
         }
 
+        debug_assert!(
+            selected.iter().map(|&i| items[i].size).sum::<u64>() <= capacity,
+            "probabilistic selection exceeds the byte capacity"
+        );
         self.sel_pool = pool;
         self.sel_pool_items = pool_items;
         self.sel_candidates = candidates;

@@ -123,6 +123,28 @@ impl Duration {
     }
 }
 
+/// Bytes transferable in `seconds` at `bytes_per_sec`, rounded to the
+/// nearest byte.
+///
+/// Computed in f64 so fractional contact durations keep their
+/// sub-second share of the budget instead of truncating to whole
+/// seconds (a truncating integer product gives a 0.9 s contact a zero
+/// budget and under-counts every contact by up to `bytes_per_sec - 1`
+/// bytes). Products below 2^53 — far beyond any trace contact at
+/// Bluetooth-class bandwidths — are exact, so whole-second durations
+/// yield bit-identical budgets to the integer formula.
+///
+/// # Panics
+///
+/// Panics if `seconds` is negative or not finite.
+pub fn link_budget_bytes(seconds: f64, bytes_per_sec: u64) -> u64 {
+    assert!(
+        seconds.is_finite() && seconds >= 0.0,
+        "link budget duration must be finite and non-negative, got {seconds}"
+    );
+    (seconds * bytes_per_sec as f64).round() as u64
+}
+
 impl Add<Duration> for Time {
     type Output = Time;
     fn add(self, rhs: Duration) -> Time {
@@ -246,6 +268,28 @@ mod tests {
         assert_eq!(Duration::minutes(2).to_string(), "2m");
         assert_eq!(Duration(61).to_string(), "61s");
         assert_eq!(Time(5).to_string(), "t+5s");
+    }
+
+    #[test]
+    fn link_budget_keeps_fractional_seconds() {
+        // The old truncating formula starved sub-second contacts:
+        // `(0.9 as u64).saturating_mul(262_500)` is 0 bytes.
+        assert_eq!((0.9f64 as u64).saturating_mul(262_500), 0);
+        assert_eq!(link_budget_bytes(0.9, 262_500), 236_250);
+        assert_eq!(link_budget_bytes(2.5, 1_000), 2_500);
+        assert_eq!(link_budget_bytes(0.0, 262_500), 0);
+    }
+
+    #[test]
+    fn link_budget_is_exact_for_whole_seconds() {
+        assert_eq!(link_budget_bytes(100.0, 262_500), 100 * 262_500);
+        assert_eq!(link_budget_bytes(86_400.0, 262_500), 86_400 * 262_500);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_link_budget_panics() {
+        let _ = link_budget_bytes(-1.0, 262_500);
     }
 
     #[test]

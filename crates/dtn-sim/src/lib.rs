@@ -11,6 +11,7 @@
 //!
 //! See [`engine::Simulator`] for a runnable end-to-end example.
 
+pub mod audit;
 pub mod buffer;
 pub mod engine;
 pub mod message;
@@ -18,6 +19,7 @@ pub mod metrics;
 pub mod oracle;
 pub mod probe;
 
+pub use audit::{AuditLaw, AuditReport, AuditState, AuditViolation};
 pub use buffer::Buffer;
 pub use engine::{
     megabits, CacheStats, DeliveryOutcome, Scheme, SimConfig, SimCtx, Simulator, WorkloadEvent,

@@ -71,6 +71,7 @@ fn run(epoch_interval: Option<Duration>) -> RunOutcome {
             seed: SEED,
             buffer_range: (256_000, 512_000),
             epoch_interval,
+            audit: true,
             ..SimConfig::default()
         },
     );
@@ -90,6 +91,9 @@ fn run(epoch_interval: Option<Duration>) -> RunOutcome {
     let initial_centrals = sim.scheme().central_nodes().to_vec();
     sim.add_workload(workload(&trace));
     sim.run_to_end();
+    let report = sim.audit_report().expect("audit enabled");
+    assert!(report.is_clean(), "{}", report.summary());
+    assert!(report.sweeps() > 0, "audit never swept");
     RunOutcome {
         metrics: sim.metrics().clone(),
         initial_centrals,

@@ -36,13 +36,18 @@ fn trace_with(nodes: usize, contacts: u64, seed: u64) -> ContactTrace {
 }
 
 /// Runs one scheme through the standard warm-up → configure → workload
-/// protocol and returns its metrics plus per-NCL query load.
+/// protocol and returns its metrics plus per-NCL query load. Every run
+/// executes with the invariant audit enabled and must come back clean.
 fn run_one<S: CachingScheme>(
     trace: &ContactTrace,
     scheme: S,
     events: Vec<WorkloadEvent>,
     sim_cfg: SimConfig,
 ) -> (Metrics, Vec<u64>) {
+    let sim_cfg = SimConfig {
+        audit: true,
+        ..sim_cfg
+    };
     let mut sim = Simulator::new(trace, scheme, sim_cfg);
     let mid = trace.midpoint();
     sim.run_until(mid);
@@ -60,6 +65,8 @@ fn run_one<S: CachingScheme>(
     sim.scheme_mut().configure(&setup);
     sim.add_workload(events);
     sim.run_to_end();
+    let report = sim.audit_report().expect("audit enabled");
+    assert!(report.is_clean(), "{}", report.summary());
     let load = sim.scheme().ncl_query_load().to_vec();
     (sim.metrics().clone(), load)
 }
@@ -363,6 +370,10 @@ fn event_streams_are_equivalent() {
         sim_cfg: SimConfig,
         extract: impl FnOnce(&S) -> Vec<ProtocolEvent>,
     ) -> Vec<ProtocolEvent> {
+        let sim_cfg = SimConfig {
+            audit: true,
+            ..sim_cfg
+        };
         let mut sim = Simulator::new(trace, scheme, sim_cfg);
         let mid = trace.midpoint();
         sim.run_until(mid);
@@ -380,6 +391,8 @@ fn event_streams_are_equivalent() {
         sim.scheme_mut().configure(&setup);
         sim.add_workload(events);
         sim.run_to_end();
+        let report = sim.audit_report().expect("audit enabled");
+        assert!(report.is_clean(), "{}", report.summary());
         extract(sim.scheme())
     }
 
