@@ -1,7 +1,7 @@
 //! Randomized invariant fuzzer over the simulation engine.
 //!
 //! ```text
-//! simcheck [--seeds N] [--seed BASE]
+//! simcheck [--seeds N] [--seed BASE] [--streaming M]
 //! ```
 //!
 //! Runs `N` seeds (default 32) starting at `BASE` (default 0). Each
@@ -10,20 +10,28 @@
 //! intentional scheme against the reference implementation bit for
 //! bit. Failures are shrunk to a minimal reproducer and the process
 //! exits non-zero.
+//!
+//! `--streaming M` additionally runs `M` mid-size streaming/CSR cases
+//! (see `bench::simcheck::run_streaming_case`): streamed contacts must
+//! reproduce the materialized run bit for bit, and the city-scale mode
+//! (community-scoped NCL selection + bounded-reach oracle) must hold
+//! every audit law.
 
 use std::env;
 use std::process::ExitCode;
 
-use bench::simcheck::{check_seed, CaseParams};
+use bench::simcheck::{check_seed, check_streaming_seed, CaseParams};
 
 struct Options {
     seeds: u64,
     base: u64,
+    streaming: u64,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut seeds = 32;
     let mut base = 0;
+    let mut streaming = 0;
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -35,10 +43,20 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.next().ok_or("--seed needs a base seed")?;
                 base = v.parse().map_err(|_| format!("bad base seed {v:?}"))?;
             }
+            "--streaming" => {
+                let v = args.next().ok_or("--streaming needs a count")?;
+                streaming = v
+                    .parse()
+                    .map_err(|_| format!("bad streaming count {v:?}"))?;
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    Ok(Options { seeds, base })
+    Ok(Options {
+        seeds,
+        base,
+        streaming,
+    })
 }
 
 fn main() -> ExitCode {
@@ -46,7 +64,7 @@ fn main() -> ExitCode {
         Ok(opts) => opts,
         Err(msg) => {
             eprintln!("simcheck: {msg}");
-            eprintln!("usage: simcheck [--seeds N] [--seed BASE]");
+            eprintln!("usage: simcheck [--seeds N] [--seed BASE] [--streaming M]");
             return ExitCode::FAILURE;
         }
     };
@@ -76,10 +94,27 @@ fn main() -> ExitCode {
             }
         }
     }
+    for seed in opts.base..opts.base + opts.streaming {
+        match check_streaming_seed(seed) {
+            Ok(stats) => {
+                sweeps += stats.sweeps;
+                differentials += 1;
+                println!(
+                    "streaming seed {seed:>4}: clean ({} sweeps, stream == trace)",
+                    stats.sweeps
+                );
+            }
+            Err(failure) => {
+                failures += 1;
+                println!("streaming seed {seed:>4}: FAILED");
+                println!("  {failure}");
+            }
+        }
+    }
     println!(
-        "simcheck: {} seeds, {failures} failures, {sweeps} audit sweeps, \
+        "simcheck: {} seeds + {} streaming, {failures} failures, {sweeps} audit sweeps, \
          {differentials} differential cases",
-        opts.seeds
+        opts.seeds, opts.streaming
     );
     if failures > 0 {
         ExitCode::FAILURE

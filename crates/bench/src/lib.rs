@@ -8,6 +8,7 @@
 pub mod figures;
 pub mod observe;
 pub mod runner;
+pub mod scale;
 pub mod simcheck;
 
 pub use runner::{

@@ -1,0 +1,402 @@
+//! City-scale streaming benchmark: one end-to-end cooperative-caching
+//! run at 10⁴–10⁶ nodes without ever materialising the contact trace.
+//!
+//! The harness mirrors `run_experiment`'s §VI-A protocol (warm-up →
+//! NCL selection → workload → metrics) but swaps every dense component
+//! for its streaming / sparse counterpart:
+//!
+//! - contacts come from [`SyntheticTraceBuilder::stream`] through a
+//!   [`StreamSource`] — peak memory holds per-pair generator state, not
+//!   the contact vector;
+//! - NCL selection runs community-scoped
+//!   ([`SelectionStrategy::CommunityPathMetric`]) over the CSR graph;
+//! - the path oracle runs in bounded-reach mode
+//!   (`IntentionalConfig::bounded_reach`), so no `O(N)` distance table
+//!   is ever built;
+//! - the workload is constructed directly as [`WorkloadEvent`]s —
+//!   `Workload::generate`'s per-epoch × per-node Bernoulli sweep is
+//!   `O(epochs · N)` and would dominate a 100k-node run.
+//!
+//! Reported numbers (contacts/sec, peak RSS) feed `BENCH_scale.json`;
+//! the `experiments scale` subcommand drives it from the command line.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dtn_cache::intentional::{IntentionalConfig, IntentionalScheme};
+use dtn_cache::{CachingScheme, NetworkSetup};
+use dtn_core::ids::{DataId, NodeId};
+use dtn_core::ncl::SelectionStrategy;
+use dtn_core::time::{Duration, Time};
+use dtn_sim::engine::{SimConfig, Simulator, StreamSource, WorkloadEvent};
+use dtn_sim::message::DataItem;
+use dtn_trace::synthetic::SyntheticTraceBuilder;
+
+use crate::runner::peak_rss_bytes;
+
+/// All knobs of one city-scale run.
+#[derive(Debug, Clone)]
+pub struct ScaleConfig {
+    /// Population size.
+    pub nodes: usize,
+    /// Trace duration; the first half is warm-up.
+    pub duration: Duration,
+    /// Calibration target for the total contact count.
+    pub target_contacts: u64,
+    /// Community count of the synthetic population.
+    pub communities: usize,
+    /// Intra-community contact boost.
+    pub community_boost: f64,
+    /// Mean contact-graph degree; sets the builder's `edge_density` to
+    /// `degree / (nodes - 1)` so the kept-pair count stays `O(N)`
+    /// instead of `O(N²)`.
+    pub mean_degree: f64,
+    /// Number of NCLs `K`.
+    pub ncl_count: usize,
+    /// Data items generated in the measurement phase.
+    pub data_items: usize,
+    /// Queries issued in the measurement phase.
+    pub queries: usize,
+    /// Data size in bytes (fixed — this benchmark stresses the event
+    /// loop, not the buffer economy).
+    pub data_size: u64,
+    /// Data lifetime; the query constraint is half of it.
+    pub data_lifetime: Duration,
+    /// Per-node buffer capacity range in bytes.
+    pub buffer_range: (u64, u64),
+    /// Hop bound for NCL selection sweeps and the bounded-reach oracle.
+    pub max_hops: usize,
+    /// Slots of the oracle's direct-mapped sparse-reach cache.
+    pub reach_cache_slots: usize,
+    /// Seed for trace, buffers, workload, and protocol randomness.
+    pub seed: u64,
+    /// Run the full invariant audit after every contact (the audited
+    /// mid-size configuration; far too slow for 100k nodes).
+    pub audit: bool,
+}
+
+impl ScaleConfig {
+    /// A city-scale population: clustered communities, sparse contact
+    /// graph (mean degree 12), ~25 contacts per node over two days, and
+    /// a workload sized so protocol work scales with the population
+    /// without drowning the contact loop.
+    pub fn city(nodes: usize) -> Self {
+        ScaleConfig {
+            nodes,
+            duration: Duration::days(2),
+            target_contacts: 25 * nodes as u64,
+            communities: (nodes / 500).clamp(4, 4096),
+            community_boost: 6.0,
+            mean_degree: 12.0,
+            ncl_count: 8,
+            data_items: (nodes / 100).clamp(64, 1024),
+            queries: (nodes / 50).clamp(128, 2048),
+            data_size: 1 << 20,
+            data_lifetime: Duration::hours(12),
+            buffer_range: (8 << 20, 16 << 20),
+            max_hops: 3,
+            // One slot per node: the direct-mapped cache (`source % slots`)
+            // becomes collision-free, so each source's bounded reach is
+            // computed once per snapshot epoch instead of once per
+            // forwarding decision. Memory stays O(active sources · reach).
+            reach_cache_slots: nodes,
+            seed: 42,
+            audit: false,
+        }
+    }
+
+    /// Thins a configuration to completion-smoke density (~5 contacts
+    /// per node, capped workload) — the 1M-node recipe.
+    pub fn smoke(mut self) -> Self {
+        self.target_contacts = 5 * self.nodes as u64;
+        self.mean_degree = 8.0;
+        self.data_items = self.data_items.min(128);
+        self.queries = self.queries.min(256);
+        self
+    }
+
+    fn builder(&self) -> SyntheticTraceBuilder {
+        SyntheticTraceBuilder::new(self.nodes)
+            .duration(self.duration)
+            .target_contacts(self.target_contacts)
+            .communities(self.communities)
+            .community_boost(self.community_boost)
+            .edge_density((self.mean_degree / (self.nodes - 1) as f64).min(1.0))
+            .seed(self.seed)
+    }
+}
+
+/// Outcome of one city-scale run.
+#[derive(Debug, Clone)]
+pub struct ScaleReport {
+    /// Population size.
+    pub nodes: usize,
+    /// Contacts actually streamed through the engine.
+    pub contacts: u64,
+    /// Wall-clock seconds of the warm-up half (streaming generation +
+    /// rate accumulation + scheme contact hooks).
+    pub warmup_secs: f64,
+    /// Wall-clock seconds of NCL selection + scheme configuration.
+    pub configure_secs: f64,
+    /// Wall-clock seconds of the measured half (workload + contacts).
+    pub measured_secs: f64,
+    /// Contacts per second over the whole event loop (excluding
+    /// configuration).
+    pub contacts_per_sec: f64,
+    /// Process peak RSS after the run, bytes (0 off Linux).
+    pub peak_rss_bytes: u64,
+    /// Queries issued.
+    pub queries_issued: u64,
+    /// Fraction of queries satisfied in time.
+    pub success_ratio: f64,
+    /// NCLs selected at configuration.
+    pub central_nodes: usize,
+    /// `(sweeps, violations)` when the invariant audit ran.
+    pub audit: Option<(u64, u64)>,
+}
+
+impl ScaleReport {
+    /// Renders the report as one pretty-printed JSON object (the
+    /// repository carries no serde; the format is a hand-rolled
+    /// stable mapping used by `BENCH_scale.json`).
+    pub fn to_json(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let audit = match self.audit {
+            Some((sweeps, violations)) => {
+                format!("{{ \"sweeps\": {sweeps}, \"violations\": {violations} }}")
+            }
+            None => "null".to_string(),
+        };
+        format!(
+            "{pad}{{\n\
+             {pad}  \"nodes\": {},\n\
+             {pad}  \"contacts\": {},\n\
+             {pad}  \"warmup_secs\": {:.3},\n\
+             {pad}  \"configure_secs\": {:.3},\n\
+             {pad}  \"measured_secs\": {:.3},\n\
+             {pad}  \"contacts_per_sec\": {:.0},\n\
+             {pad}  \"peak_rss_bytes\": {},\n\
+             {pad}  \"queries_issued\": {},\n\
+             {pad}  \"success_ratio\": {:.4},\n\
+             {pad}  \"central_nodes\": {},\n\
+             {pad}  \"audit\": {audit}\n\
+             {pad}}}",
+            self.nodes,
+            self.contacts,
+            self.warmup_secs,
+            self.configure_secs,
+            self.measured_secs,
+            self.contacts_per_sec,
+            self.peak_rss_bytes,
+            self.queries_issued,
+            self.success_ratio,
+            self.central_nodes,
+        )
+    }
+}
+
+/// Builds the measurement-phase workload directly as events: item
+/// generations uniform over the first half of the window, queries with
+/// a squared-uniform skew toward low item ids (a cheap Zipf stand-in)
+/// at times after their item exists.
+fn scale_workload(cfg: &ScaleConfig, start: Time, end: Time) -> Vec<WorkloadEvent> {
+    assert!(end.0 > start.0 + 1, "workload window too small");
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0005_CA1E_D017);
+    let span = end.0 - start.0;
+    let nodes = cfg.nodes as u32;
+    let mut item_times = Vec::with_capacity(cfg.data_items);
+    let mut events = Vec::with_capacity(cfg.data_items + cfg.queries);
+    for i in 0..cfg.data_items {
+        let at = Time(start.0 + rng.gen_range(0..span / 2));
+        let item = DataItem::new(
+            DataId(i as u64),
+            NodeId(rng.gen_range(0..nodes)),
+            cfg.data_size.max(1),
+            at,
+            cfg.data_lifetime,
+        );
+        item_times.push(at);
+        events.push(WorkloadEvent::GenerateData { item });
+    }
+    for _ in 0..cfg.queries {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let j = (((u * u) * cfg.data_items as f64) as usize).min(cfg.data_items - 1);
+        let created = item_times[j];
+        if created.0 + 1 >= end.0 {
+            continue;
+        }
+        events.push(WorkloadEvent::IssueQuery {
+            at: Time(rng.gen_range(created.0 + 1..end.0)),
+            requester: NodeId(rng.gen_range(0..nodes)),
+            data: DataId(j as u64),
+            constraint: Duration((cfg.data_lifetime.as_secs() / 2).max(1)),
+        });
+    }
+    // Same ordering contract as `Workload::generate`: by time, items
+    // before queries at equal instants.
+    events.sort_by_key(|e| (e.at(), matches!(e, WorkloadEvent::IssueQuery { .. })));
+    events
+}
+
+/// Runs one city-scale experiment end to end and reports throughput
+/// and memory. Panics on configuration errors (fewer than two nodes,
+/// zero NCLs) — this is a benchmark harness, not a library API.
+pub fn run_scale(cfg: &ScaleConfig) -> ScaleReport {
+    let contacts_seen = Rc::new(Cell::new(0u64));
+    let counter = Rc::clone(&contacts_seen);
+    let stream = cfg.builder().stream();
+    let (nodes, duration) = (stream.node_count(), stream.duration());
+    let source = StreamSource::new(
+        stream.inspect(move |_| counter.set(counter.get() + 1)),
+        nodes,
+        duration,
+    );
+    let scheme: Box<dyn CachingScheme> = Box::new(IntentionalScheme::new(IntentionalConfig {
+        ncl_count: cfg.ncl_count,
+        ncl_selection: SelectionStrategy::CommunityPathMetric {
+            max_hops: Some(cfg.max_hops),
+        },
+        bounded_reach: Some((cfg.max_hops, cfg.reach_cache_slots)),
+        ..IntentionalConfig::default()
+    }));
+    let mut sim = Simulator::from_source(
+        source,
+        scheme,
+        SimConfig {
+            buffer_range: cfg.buffer_range,
+            audit: cfg.audit,
+            seed: cfg.seed,
+            ..SimConfig::default()
+        },
+    );
+
+    // Phase 1: warm-up over the first half of the stream.
+    let started = Instant::now();
+    let mid = Time(cfg.duration.as_secs() / 2);
+    sim.run_until(mid);
+    let warmup_secs = started.elapsed().as_secs_f64();
+
+    // Phase 2: community-scoped NCL selection from accumulated rates.
+    let configure_started = Instant::now();
+    let capacities: Vec<u64> = (0..cfg.nodes as u32)
+        .map(|n| sim.buffer_capacity(NodeId(n)))
+        .collect();
+    let rate_table = sim.rate_table().clone();
+    let setup = NetworkSetup {
+        rate_table: &rate_table,
+        now: mid,
+        capacities,
+        horizon: cfg.data_lifetime.as_secs_f64().max(3600.0),
+        // Every snapshot rebuild invalidates all ~N cached reaches, and
+        // recomputing them (not the contact loop itself) dominates the
+        // measured phase. Pin the wall-clock refresh to the whole trace:
+        // the oracle's generation-doubling rule still rebuilds when the
+        // observed contact count doubles, which bounds staleness the way
+        // §III-B's "rates remain relatively constant" assumes.
+        path_refresh: Some(cfg.duration),
+    };
+    sim.scheme_mut().configure(&setup);
+    drop(rate_table);
+    let central_nodes = sim.scheme().central_nodes().len();
+    let configure_secs = configure_started.elapsed().as_secs_f64();
+
+    // Phase 3: direct workload over the second half.
+    let measured_started = Instant::now();
+    sim.add_workload(scale_workload(cfg, mid, Time(cfg.duration.as_secs())));
+    sim.run_to_end();
+    let measured_secs = measured_started.elapsed().as_secs_f64();
+
+    let metrics = sim.metrics();
+    let contacts = contacts_seen.get();
+    let loop_secs = warmup_secs + measured_secs;
+    ScaleReport {
+        nodes: cfg.nodes,
+        contacts,
+        warmup_secs,
+        configure_secs,
+        measured_secs,
+        contacts_per_sec: if loop_secs > 0.0 {
+            contacts as f64 / loop_secs
+        } else {
+            0.0
+        },
+        peak_rss_bytes: peak_rss_bytes(),
+        queries_issued: metrics.queries_issued,
+        success_ratio: metrics.success_ratio(),
+        central_nodes,
+        audit: sim
+            .audit_report()
+            .map(|r| (r.sweeps(), r.violations_total())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ScaleConfig {
+        ScaleConfig {
+            data_items: 48,
+            queries: 96,
+            ..ScaleConfig::city(400)
+        }
+    }
+
+    #[test]
+    fn tiny_city_runs_end_to_end() {
+        let report = run_scale(&tiny());
+        assert_eq!(report.nodes, 400);
+        assert!(report.contacts > 1_000, "too few contacts streamed");
+        assert!(report.queries_issued > 0);
+        assert!((0.0..=1.0).contains(&report.success_ratio));
+        assert_eq!(report.central_nodes, 8);
+        assert!(report.contacts_per_sec > 0.0);
+        assert!(report.audit.is_none());
+    }
+
+    #[test]
+    fn audited_run_is_clean() {
+        let cfg = ScaleConfig {
+            audit: true,
+            ..tiny()
+        };
+        let report = run_scale(&cfg);
+        let (sweeps, violations) = report.audit.expect("audit was enabled");
+        assert!(sweeps > 0, "audit never swept");
+        assert_eq!(violations, 0, "invariant violations at scale");
+    }
+
+    #[test]
+    fn report_renders_as_json() {
+        let report = run_scale(&tiny());
+        let json = report.to_json(2);
+        assert!(json.contains("\"contacts_per_sec\""));
+        assert!(json.contains("\"peak_rss_bytes\""));
+        assert!(json.trim_start().starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn smoke_preset_thins_the_run() {
+        let city = ScaleConfig::city(10_000);
+        let smoke = ScaleConfig::city(10_000).smoke();
+        assert!(smoke.target_contacts < city.target_contacts);
+        assert!(smoke.queries <= city.queries);
+    }
+
+    #[test]
+    fn workload_is_time_ordered_and_in_window() {
+        let cfg = tiny();
+        let events = scale_workload(&cfg, Time(1_000), Time(50_000));
+        assert!(!events.is_empty());
+        let mut last = Time(0);
+        for e in &events {
+            assert!(e.at() >= last, "workload out of order");
+            assert!((1_000..50_000).contains(&e.at().0));
+            last = e.at();
+        }
+    }
+}

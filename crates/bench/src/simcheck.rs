@@ -32,9 +32,12 @@ use dtn_cache::replacement::ReplacementKind;
 use dtn_cache::routing::ForwardingStrategy;
 use dtn_cache::{CachingScheme, NetworkSetup};
 use dtn_core::ids::{DataId, NodeId};
-use dtn_core::time::Duration;
+use dtn_core::ncl::SelectionStrategy;
+use dtn_core::time::{Duration, Time};
 use dtn_sim::audit::{check_delay_decomposition, AuditReport};
-use dtn_sim::engine::{SimConfig, Simulator, WorkloadEvent};
+use dtn_sim::engine::{
+    ContactSource, SimConfig, Simulator, StreamSource, TraceSource, WorkloadEvent,
+};
 use dtn_sim::message::DataItem;
 use dtn_sim::metrics::Metrics;
 use dtn_sim::probe::RecordingProbe;
@@ -229,12 +232,27 @@ fn run_instrumented<S: CachingScheme>(
     events: Vec<WorkloadEvent>,
     sim_cfg: SimConfig,
 ) -> RunResult {
-    let probe = Rc::new(RefCell::new(RecordingProbe::new()));
-    let mut sim = Simulator::new(trace, scheme, sim_cfg);
-    sim.set_probe(Box::new(Rc::clone(&probe)));
     let mid = trace.midpoint();
+    let nodes = trace.node_count();
+    run_instrumented_from(TraceSource::new(trace), scheme, events, sim_cfg, mid, nodes)
+}
+
+/// [`run_instrumented`] over any contact source — the streaming batch
+/// feeds a [`StreamSource`] through the identical warm-up → configure →
+/// workload protocol.
+fn run_instrumented_from<S: CachingScheme, C: ContactSource>(
+    source: C,
+    scheme: S,
+    events: Vec<WorkloadEvent>,
+    sim_cfg: SimConfig,
+    mid: Time,
+    nodes: usize,
+) -> RunResult {
+    let probe = Rc::new(RefCell::new(RecordingProbe::new()));
+    let mut sim = Simulator::from_source(source, scheme, sim_cfg);
+    sim.set_probe(Box::new(Rc::clone(&probe)));
     sim.run_until(mid);
-    let capacities: Vec<u64> = (0..trace.node_count() as u32)
+    let capacities: Vec<u64> = (0..nodes as u32)
         .map(|n| sim.buffer_capacity(NodeId(n)))
         .collect();
     let rate_table = sim.rate_table().clone();
@@ -333,6 +351,114 @@ pub fn run_case(params: &CaseParams) -> Result<CaseStats, String> {
     Ok(stats)
 }
 
+/// Runs one streaming/CSR case: the seed's protocol configuration is
+/// re-scaled to a clustered mid-size population (60–180 nodes, four
+/// communities) and run three ways under the full audit:
+///
+/// 1. from the materialized trace (the baseline);
+/// 2. from the streaming generator, which must reproduce the
+///    materialized run's metrics and NCL query load bit for bit;
+/// 3. in city-scale mode — streamed contacts, community-scoped CSR NCL
+///    selection, bounded-reach path oracle — which is audited but not
+///    compared: the hop bound legitimately changes path weights.
+///
+/// # Errors
+///
+/// Returns the audit summary or divergence description on failure.
+pub fn run_streaming_case(params: &CaseParams) -> Result<CaseStats, String> {
+    let nodes = 60 + (params.seed % 5) as usize * 30;
+    let params = CaseParams {
+        nodes,
+        contacts: nodes as u64 * 40,
+        ..params.clone()
+    };
+    let builder = SyntheticTraceBuilder::new(nodes)
+        .duration(Duration::days(2))
+        .target_contacts(params.contacts)
+        .communities(4)
+        .community_boost(5.0)
+        .seed(params.seed);
+    let trace = builder.build();
+    let events = workload(&params, &trace);
+    let mid = trace.midpoint();
+    let cfg = IntentionalConfig {
+        ncl_count: params.ncl_count,
+        replacement: params.replacement,
+        response: params.response,
+        response_routing: params.routing,
+        probabilistic_selection: params.probabilistic,
+        ..IntentionalConfig::default()
+    };
+
+    let by_trace = run_instrumented(
+        &trace,
+        IntentionalScheme::new(cfg.clone()),
+        events.clone(),
+        sim_config(&params),
+    );
+    if let Some(detail) = by_trace.failure {
+        return Err(format!("materialized run: {detail}"));
+    }
+    let by_stream = run_instrumented_from(
+        StreamSource::from_synthetic(builder.stream()),
+        IntentionalScheme::new(cfg.clone()),
+        events.clone(),
+        sim_config(&params),
+        mid,
+        nodes,
+    );
+    if let Some(detail) = by_stream.failure {
+        return Err(format!("streamed run: {detail}"));
+    }
+    if by_trace.metrics != by_stream.metrics {
+        return Err(format!(
+            "streamed metrics diverged from materialized: {:?} vs {:?}",
+            by_stream.metrics, by_trace.metrics
+        ));
+    }
+    if by_trace.load != by_stream.load {
+        return Err(format!(
+            "streamed NCL query load diverged: {:?} vs {:?}",
+            by_stream.load, by_trace.load
+        ));
+    }
+
+    let scaled = run_instrumented_from(
+        StreamSource::from_synthetic(builder.stream()),
+        IntentionalScheme::new(IntentionalConfig {
+            ncl_selection: SelectionStrategy::CommunityPathMetric { max_hops: Some(3) },
+            bounded_reach: Some((3, 64)),
+            ..cfg
+        }),
+        events,
+        sim_config(&params),
+        mid,
+        nodes,
+    );
+    if let Some(detail) = scaled.failure {
+        return Err(format!("city-scale run: {detail}"));
+    }
+
+    Ok(CaseStats {
+        sweeps: by_trace.sweeps + by_stream.sweeps + scaled.sweeps,
+        queries_issued: by_trace.metrics.queries_issued,
+        differential: true,
+    })
+}
+
+/// Checks one seed's streaming/CSR case. Streaming failures are not
+/// shrunk: the interesting dimension (population size) is pinned by the
+/// case derivation, and `shrink` reduces toward the dense regime the
+/// batch exists to avoid.
+///
+/// # Errors
+///
+/// Returns the failing case on any invariant breach or divergence.
+pub fn check_streaming_seed(seed: u64) -> Result<CaseStats, Box<SimcheckFailure>> {
+    let params = CaseParams::from_seed(seed);
+    run_streaming_case(&params).map_err(|detail| Box::new(SimcheckFailure { params, detail }))
+}
+
 /// Checks one seed end to end; failures come back shrunk.
 ///
 /// # Errors
@@ -423,6 +549,13 @@ mod tests {
             assert!(stats.sweeps > 0, "seed {seed} never audited");
             assert!(stats.queries_issued > 0, "seed {seed} issued no queries");
         }
+    }
+
+    #[test]
+    fn streaming_case_first_seed_clean() {
+        let stats = check_streaming_seed(0).unwrap_or_else(|f| panic!("streaming seed 0: {f}"));
+        assert!(stats.sweeps > 0, "streaming case never audited");
+        assert!(stats.differential, "streaming case skipped the diff");
     }
 
     #[test]

@@ -160,6 +160,13 @@ pub struct IntentionalConfig {
     /// Knapsack size quantum in bytes (see
     /// [`dtn_core::knapsack::KnapsackSolver`]).
     pub knapsack_quantum: u64,
+    /// Scale mode: `(max_hops, cache_slots)` switches the path oracle
+    /// into hop-bounded sparse searches with a direct-mapped reach cache
+    /// (see [`PathOracle::with_bounded_reach`]), and NCL selection runs
+    /// on CSR graph storage. `None` (the default) keeps the exact dense
+    /// oracle — required for bit-for-bit equivalence with the reference
+    /// scheme, so only city-scale harnesses set this.
+    pub bounded_reach: Option<(usize, usize)>,
 }
 
 impl Default for IntentionalConfig {
@@ -173,6 +180,7 @@ impl Default for IntentionalConfig {
             ncl_selection: dtn_core::ncl::SelectionStrategy::PathMetric,
             path_refresh: Duration::hours(12),
             knapsack_quantum: 1 << 20,
+            bounded_reach: None,
         }
     }
 }
@@ -356,7 +364,7 @@ impl Scheme for IntentionalScheme {
             let src = item.source.index();
             for k in 0..k_count {
                 self.carried_at[src].push((item.id, k as u32));
-                self.member_count[src][k] += 1;
+                self.member_count[src * k_count + k] += 1;
             }
             self.cache_gen[src] += 1;
         } else {
@@ -464,21 +472,38 @@ impl Scheme for IntentionalScheme {
 
 impl CachingScheme for IntentionalScheme {
     fn configure(&mut self, setup: &NetworkSetup<'_>) {
-        let graph = dtn_core::graph::ContactGraph::from_rate_table(setup.rate_table, setup.now);
-        let scores = dtn_core::ncl::select_by_strategy(
-            &graph,
-            self.cfg.ncl_count,
-            setup.horizon,
-            self.cfg.ncl_selection,
-        );
+        // Scale mode swaps the adjacency-list graph for CSR storage (one
+        // allocation, tighter cache lines); the selection arithmetic is
+        // identical either way.
+        let scores = if self.cfg.bounded_reach.is_some() {
+            let graph = dtn_core::graph::CsrGraph::from_rate_table(setup.rate_table, setup.now);
+            dtn_core::ncl::select_by_strategy(
+                &graph,
+                self.cfg.ncl_count,
+                setup.horizon,
+                self.cfg.ncl_selection,
+            )
+        } else {
+            let graph = dtn_core::graph::ContactGraph::from_rate_table(setup.rate_table, setup.now);
+            dtn_core::ncl::select_by_strategy(
+                &graph,
+                self.cfg.ncl_count,
+                setup.horizon,
+                self.cfg.ncl_selection,
+            )
+        };
         self.centrals = scores.iter().map(|s| s.node).collect();
         self.ncl_query_load = vec![0; self.centrals.len()];
         self.ncl_response_load = vec![0; self.centrals.len()];
-        self.oracle = Some(PathOracle::new(
+        let oracle = PathOracle::new(
             setup.capacities.len(),
             setup.horizon,
             setup.path_refresh.unwrap_or(self.cfg.path_refresh),
-        ));
+        );
+        self.oracle = Some(match self.cfg.bounded_reach {
+            Some((hops, slots)) => oracle.with_bounded_reach(hops, slots),
+            None => oracle,
+        });
         self.buffers = setup.capacities.iter().map(|&c| Buffer::new(c)).collect();
         self.meta = setup
             .capacities
@@ -495,7 +520,7 @@ impl CachingScheme for IntentionalScheme {
         self.resp_at = vec![Vec::new(); n];
         self.carried_at = vec![Vec::new(); n];
         self.settled_at = vec![Vec::new(); n];
-        self.member_count = vec![vec![0; self.centrals.len()]; n];
+        self.member_count = vec![0; n * self.centrals.len()];
         self.cache_gen = vec![0; n];
         self.pair_clean.clear();
         self.pending_gc.clear();
@@ -857,7 +882,7 @@ mod tests {
 
     #[test]
     fn ncl_query_load_accumulates_per_central() {
-        let trace = busy_trace(9);
+        let trace = busy_trace(13);
         let mid = trace.midpoint();
         let life = Duration::days(1);
         let mut events = vec![gen_event(0, 3, 1000, mid + Duration::minutes(1), life)];
@@ -1068,7 +1093,7 @@ mod tests {
         assert!(clean.is_clean(), "{}", clean.summary());
 
         // Seed a membership-counter drift: copy conservation must trip.
-        scheme.member_count[0][0] += 1;
+        scheme.member_count[0] += 1;
         let mut report = AuditReport::default();
         scheme.audit_into(now, &mut report);
         assert!(
@@ -1079,7 +1104,7 @@ mod tests {
             "seeded member_count drift went undetected: {}",
             report.summary()
         );
-        scheme.member_count[0][0] -= 1;
+        scheme.member_count[0] -= 1;
 
         let mut healed = AuditReport::default();
         scheme.audit_into(now, &mut healed);

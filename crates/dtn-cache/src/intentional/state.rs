@@ -105,9 +105,11 @@ pub struct IntentionalScheme {
     pub(super) carried_at: Vec<Vec<(DataId, u32)>>,
     /// settled_at[n] — `(data, k)` copies in `Settled(n)` state.
     pub(super) settled_at: Vec<Vec<(DataId, u32)>>,
-    /// member_count[n][k] — copies (carried or settled) node `n` holds
-    /// for NCL `k`; `is_member` in O(1).
-    pub(super) member_count: Vec<Vec<u32>>,
+    /// member_count[n·K + k] — copies (carried or settled) node `n`
+    /// holds for NCL `k`, row-major over the `K = centrals.len()` NCLs;
+    /// `is_member` in O(1). Flat storage: one allocation instead of one
+    /// per node, which matters at city-scale populations.
+    pub(super) member_count: Vec<u32>,
     /// Dirty generation per node, bumped on every copy-state change
     /// touching the node; drives the §V-D exchange skip.
     pub(super) cache_gen: Vec<u64>,
@@ -293,7 +295,8 @@ impl IntentionalScheme {
     pub fn audit_into(&self, at: Time, report: &mut AuditReport) {
         check_buffers(&self.buffers, at, report);
         let n = self.buffers.len();
-        let mut expect_member = vec![vec![0u32; self.centrals.len()]; n];
+        let k_count = self.centrals.len();
+        let mut expect_member = vec![0u32; n * k_count];
         let mut carried_seen = 0usize;
         let mut settled_seen = 0usize;
         for (data, states) in &self.copies {
@@ -309,7 +312,7 @@ impl IntentionalScheme {
                     });
                     continue;
                 }
-                expect_member[holder.index()][k] += 1;
+                expect_member[holder.index() * k_count + k] += 1;
                 let list = match s {
                     CopyState::Carried(_) => {
                         carried_seen += 1;
@@ -334,7 +337,10 @@ impl IntentionalScheme {
         }
         if expect_member != self.member_count {
             let culprit = (0..n)
-                .find(|&i| expect_member[i] != self.member_count[i])
+                .find(|&i| {
+                    expect_member[i * k_count..(i + 1) * k_count]
+                        != self.member_count[i * k_count..(i + 1) * k_count]
+                })
                 .map(|i| NodeId(i as u32));
             report.violate(AuditViolation {
                 law: AuditLaw::CopyConservation,
@@ -469,7 +475,7 @@ impl IntentionalScheme {
     /// Whether `node` currently holds a copy (carried or settled) on
     /// behalf of NCL `ncl`.
     pub(super) fn is_member(&self, node: NodeId, ncl: usize) -> bool {
-        self.member_count[node.index()][ncl] > 0
+        self.member_count[node.index() * self.centrals.len() + ncl] > 0
     }
 
     /// Removes a pending pull and its index entry.
@@ -524,7 +530,8 @@ impl IntentionalScheme {
                     }
                     CopyState::Dropped => unreachable!("holder implies not dropped"),
                 }
-                self.member_count[h.index()][k] -= 1;
+                let slot = h.index() * self.centrals.len() + k;
+                self.member_count[slot] -= 1;
                 self.cache_gen[h.index()] += 1;
                 if self.buffers[h.index()].remove(data).is_some() {
                     self.meta[h.index()].on_remove(data);
@@ -638,12 +645,12 @@ impl IntentionalScheme {
         match old {
             CopyState::Carried(h) => {
                 remove_copy_entry(&mut self.carried_at[h.index()], data, k32);
-                self.member_count[h.index()][k] -= 1;
+                self.member_count[h.index() * self.centrals.len() + k] -= 1;
                 self.cache_gen[h.index()] += 1;
             }
             CopyState::Settled(h) => {
                 remove_copy_entry(&mut self.settled_at[h.index()], data, k32);
-                self.member_count[h.index()][k] -= 1;
+                self.member_count[h.index() * self.centrals.len() + k] -= 1;
                 self.cache_gen[h.index()] += 1;
             }
             CopyState::Dropped => {}
@@ -651,12 +658,12 @@ impl IntentionalScheme {
         match state {
             CopyState::Carried(h) => {
                 self.carried_at[h.index()].push((data, k32));
-                self.member_count[h.index()][k] += 1;
+                self.member_count[h.index() * self.centrals.len() + k] += 1;
                 self.cache_gen[h.index()] += 1;
             }
             CopyState::Settled(h) => {
                 self.settled_at[h.index()].push((data, k32));
-                self.member_count[h.index()][k] += 1;
+                self.member_count[h.index() * self.centrals.len() + k] += 1;
                 self.cache_gen[h.index()] += 1;
             }
             CopyState::Dropped => {}

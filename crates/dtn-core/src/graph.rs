@@ -250,6 +250,166 @@ impl ContactGraph {
     }
 }
 
+/// Read-only view of a contact graph, abstracting over its storage.
+///
+/// Path search ([`crate::path`]) and NCL selection ([`crate::ncl`]) are
+/// generic over this trait, so they run unchanged on the pointer-rich
+/// [`ContactGraph`] (small networks, incremental edits) and on the
+/// compact [`CsrGraph`] (city-scale networks, build-once sweeps).
+pub trait Topology {
+    /// Number of nodes (including isolated ones).
+    fn node_count(&self) -> usize;
+
+    /// Neighbors of `node` with their contact rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    fn neighbors(&self, node: NodeId) -> &[(NodeId, f64)];
+
+    /// Number of distinct nodes `node` ever meets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    fn degree(&self, node: NodeId) -> usize {
+        self.neighbors(node).len()
+    }
+}
+
+impl Topology for ContactGraph {
+    fn node_count(&self) -> usize {
+        ContactGraph::node_count(self)
+    }
+
+    fn neighbors(&self, node: NodeId) -> &[(NodeId, f64)] {
+        ContactGraph::neighbors(self, node)
+    }
+}
+
+/// Compressed-sparse-row contact graph for city-scale networks.
+///
+/// Stores the same undirected weighted graph as [`ContactGraph`] in two
+/// flat arrays: `offsets[i]..offsets[i + 1]` indexes the entry slice of
+/// node `i`. Per-node overhead is one `u32`; each directed half-edge is
+/// one `(NodeId, f64)` entry. Neighbors are sorted by ascending id,
+/// which [`CsrGraph::rate`] exploits with a binary search.
+///
+/// The graph is build-once: there is no `set_rate`. Rebuild from edges
+/// (or a [`RateTable`]) when rates change.
+///
+/// # Example
+///
+/// ```
+/// use dtn_core::graph::{CsrGraph, Topology};
+/// use dtn_core::ids::NodeId;
+///
+/// let g = CsrGraph::from_edges(3, [(NodeId(0), NodeId(1), 0.5)]);
+/// assert_eq!(g.rate(NodeId(1), NodeId(0)), Some(0.5));
+/// assert_eq!(g.degree(NodeId(0)), 1);
+/// assert_eq!(g.degree(NodeId(2)), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CsrGraph {
+    /// `offsets[i]..offsets[i + 1]` bounds node `i`'s entries; length
+    /// `node_count + 1`. u32 suffices for < 4 B directed half-edges.
+    offsets: Vec<u32>,
+    /// Directed half-edges `(neighbor, rate)`, sorted by ascending
+    /// neighbor id within each node's slice.
+    entries: Vec<(NodeId, f64)>,
+}
+
+impl CsrGraph {
+    /// Builds the graph from undirected edges `(a, b, rate)`.
+    ///
+    /// Duplicate pairs keep the last rate given, matching
+    /// [`ContactGraph::set_rate`] replace semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge has `a == b`, a node out of range, or a rate
+    /// that is not finite and positive.
+    pub fn from_edges(
+        nodes: usize,
+        edges: impl IntoIterator<Item = (NodeId, NodeId, f64)>,
+    ) -> Self {
+        let mut directed: Vec<(NodeId, NodeId, f64)> = Vec::new();
+        for (a, b, rate) in edges {
+            assert_ne!(a, b, "a node does not contact itself");
+            assert!(
+                rate.is_finite() && rate > 0.0,
+                "contact rate must be finite and positive, got {rate}"
+            );
+            assert!(
+                a.index() < nodes && b.index() < nodes,
+                "node out of range for graph of {nodes} nodes"
+            );
+            directed.push((a, b, rate));
+            directed.push((b, a, rate));
+        }
+        // Stable by (source, neighbor): later duplicates stay adjacent
+        // and later-given rates win below.
+        directed.sort_by_key(|&(src, dst, _)| (src, dst));
+        let mut offsets = vec![0u32; nodes + 1];
+        let mut entries: Vec<(NodeId, f64)> = Vec::with_capacity(directed.len());
+        for &(src, dst, rate) in &directed {
+            if let Some(&mut (last, ref mut r)) = entries.last_mut() {
+                // `offsets[i + 1]` is node i's entry count during this
+                // pass, so a non-zero count means the trailing entry is
+                // `src`'s and a matching neighbor is a duplicate pair.
+                if offsets[src.index() + 1] > 0 && last == dst {
+                    *r = rate; // duplicate pair: replace, don't append
+                    continue;
+                }
+            }
+            entries.push((dst, rate));
+            offsets[src.index() + 1] += 1;
+        }
+        for i in 0..nodes {
+            offsets[i + 1] += offsets[i];
+        }
+        CsrGraph { offsets, entries }
+    }
+
+    /// Builds the graph from every pair in a [`RateTable`] that has met
+    /// at least once, using the rates estimated at time `now`. The CSR
+    /// counterpart of [`ContactGraph::from_rate_table`]; same edge set,
+    /// but neighbors come out sorted by id rather than in insertion
+    /// order.
+    pub fn from_rate_table(table: &RateTable, now: Time) -> Self {
+        CsrGraph::from_edges(table.node_count(), table.iter_rates(now))
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.entries.len() / 2
+    }
+
+    /// The contact rate of the pair, or `None` if they never meet.
+    pub fn rate(&self, a: NodeId, b: NodeId) -> Option<f64> {
+        let list = Topology::neighbors(self, a);
+        let i = list.binary_search_by_key(&b, |&(p, _)| p).ok()?;
+        Some(list[i].1)
+    }
+
+    /// Iterates over all node ids of the graph.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count() as u32).map(NodeId)
+    }
+}
+
+impl Topology for CsrGraph {
+    fn node_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    fn neighbors(&self, node: NodeId) -> &[(NodeId, f64)] {
+        let lo = self.offsets[node.index()] as usize;
+        let hi = self.offsets[node.index() + 1] as usize;
+        &self.entries[lo..hi]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,6 +509,74 @@ mod tests {
         assert!(!g.is_connected_subset(&[NodeId(0), NodeId(2)]));
         assert!(g.is_connected_subset(&[NodeId(4)]));
         assert!(g.is_connected_subset(&[]));
+    }
+
+    #[test]
+    fn csr_matches_contact_graph_from_rate_table() {
+        let mut t = RateTable::new(5, Time::ZERO);
+        t.record(NodeId(0), NodeId(1), Time(10));
+        t.record(NodeId(0), NodeId(1), Time(30));
+        t.record(NodeId(3), NodeId(1), Time(40));
+        t.record(NodeId(2), NodeId(4), Time(50));
+        let dense = ContactGraph::from_rate_table(&t, Time(100));
+        let csr = CsrGraph::from_rate_table(&t, Time(100));
+        assert_eq!(Topology::node_count(&csr), dense.node_count());
+        assert_eq!(csr.edge_count(), dense.edge_count());
+        for a in dense.nodes() {
+            assert_eq!(Topology::degree(&csr, a), dense.degree(a));
+            for b in dense.nodes() {
+                if a != b {
+                    assert_eq!(csr.rate(a, b), dense.rate(a, b), "pair {a:?}-{b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn csr_neighbors_are_sorted_and_symmetric() {
+        let g = CsrGraph::from_edges(
+            4,
+            [
+                (NodeId(2), NodeId(0), 0.3),
+                (NodeId(0), NodeId(1), 0.1),
+                (NodeId(3), NodeId(0), 0.2),
+            ],
+        );
+        let peers: Vec<u32> = Topology::neighbors(&g, NodeId(0))
+            .iter()
+            .map(|&(p, _)| p.0)
+            .collect();
+        assert_eq!(peers, vec![1, 2, 3]);
+        assert_eq!(g.rate(NodeId(3), NodeId(0)), Some(0.2));
+        assert_eq!(g.rate(NodeId(1), NodeId(2)), None);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn csr_duplicate_pairs_keep_last_rate() {
+        let g = CsrGraph::from_edges(
+            3,
+            [(NodeId(0), NodeId(1), 0.1), (NodeId(1), NodeId(0), 0.9)],
+        );
+        assert_eq!(g.rate(NodeId(0), NodeId(1)), Some(0.9));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(Topology::degree(&g, NodeId(0)), 1);
+    }
+
+    #[test]
+    fn csr_empty_and_isolated_nodes() {
+        let g = CsrGraph::from_edges(3, []);
+        assert_eq!(Topology::node_count(&g), 3);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(Topology::degree(&g, NodeId(2)), 0);
+        let empty = CsrGraph::default();
+        assert_eq!(Topology::node_count(&empty), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn csr_rejects_out_of_range() {
+        let _ = CsrGraph::from_edges(2, [(NodeId(0), NodeId(5), 0.1)]);
     }
 
     #[test]

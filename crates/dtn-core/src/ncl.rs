@@ -12,10 +12,10 @@
 //! picks the top `K` nodes by this metric as central nodes before any
 //! data access happens (§IV-A).
 
-use crate::graph::ContactGraph;
+use crate::graph::Topology;
 use crate::ids::NodeId;
 use crate::par::map_slice;
-use crate::path::shortest_paths;
+use crate::path::{bounded_shortest_paths, shortest_paths, ReachScratch};
 
 /// A node together with its NCL selection metric `C_i`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,14 +47,14 @@ pub struct CentralityScore {
 /// assert!(selection_metric(&g, NodeId(0), 600.0)
 ///     > selection_metric(&g, NodeId(1), 600.0));
 /// ```
-pub fn selection_metric(graph: &ContactGraph, node: NodeId, horizon: f64) -> f64 {
+pub fn selection_metric<G: Topology>(graph: &G, node: NodeId, horizon: f64) -> f64 {
     let n = graph.node_count();
     assert!(n >= 2, "the metric needs at least two nodes, got {n}");
     // Contacts are symmetric, so p_ij = p_ji and one single-source search
     // from `node` covers all terms of Eq. (3).
     let table = shortest_paths(graph, node, horizon);
-    let sum: f64 = graph
-        .nodes()
+    let sum: f64 = (0..n as u32)
+        .map(NodeId)
         .filter(|&j| j != node)
         .map(|j| table.weight_to(j))
         .sum();
@@ -72,8 +72,8 @@ pub fn selection_metric(graph: &ContactGraph, node: NodeId, horizon: f64) -> f64
 /// # Panics
 ///
 /// Panics if the graph has fewer than two nodes or `horizon` is invalid.
-pub fn all_metrics(graph: &ContactGraph, horizon: f64) -> Vec<CentralityScore> {
-    let nodes: Vec<NodeId> = graph.nodes().collect();
+pub fn all_metrics<G: Topology + Sync>(graph: &G, horizon: f64) -> Vec<CentralityScore> {
+    let nodes: Vec<NodeId> = (0..graph.node_count() as u32).map(NodeId).collect();
     map_slice(&nodes, |&node| CentralityScore {
         node,
         metric: selection_metric(graph, node, horizon),
@@ -104,7 +104,11 @@ pub fn all_metrics(graph: &ContactGraph, horizon: f64) -> Vec<CentralityScore> {
 /// let top = select_central_nodes(&g, 1, 600.0);
 /// assert_eq!(top[0].node, NodeId(2));
 /// ```
-pub fn select_central_nodes(graph: &ContactGraph, k: usize, horizon: f64) -> Vec<CentralityScore> {
+pub fn select_central_nodes<G: Topology + Sync>(
+    graph: &G,
+    k: usize,
+    horizon: f64,
+) -> Vec<CentralityScore> {
     assert!(k > 0, "must select at least one central node");
     let mut scores = all_metrics(graph, horizon);
     scores.sort_by(|a, b| {
@@ -136,6 +140,16 @@ pub enum SelectionStrategy {
         /// Seed of the deterministic shuffle.
         seed: u64,
     },
+    /// The paper's Eq. 3, evaluated per community and merged: the graph
+    /// is partitioned by weighted label propagation and the metric sweep
+    /// runs inside each community only ([`select_central_nodes_scoped`]).
+    /// Near-linear at city scale; identical to
+    /// [`SelectionStrategy::PathMetric`] when the graph is one
+    /// community.
+    CommunityPathMetric {
+        /// Hop bound of the per-community searches; `None` = unbounded.
+        max_hops: Option<usize>,
+    },
 }
 
 /// Selects the top `k` central nodes under the given strategy.
@@ -165,8 +179,8 @@ pub enum SelectionStrategy {
 /// let top = select_by_strategy(&g, 1, 600.0, SelectionStrategy::DegreeCentrality);
 /// assert_eq!(top[0].node, NodeId(2));
 /// ```
-pub fn select_by_strategy(
-    graph: &ContactGraph,
+pub fn select_by_strategy<G: Topology + Sync>(
+    graph: &G,
     k: usize,
     horizon: f64,
     strategy: SelectionStrategy,
@@ -174,9 +188,13 @@ pub fn select_by_strategy(
     assert!(k > 0, "must select at least one central node");
     let n = graph.node_count();
     assert!(n >= 2, "selection needs at least two nodes, got {n}");
-    let nodes: Vec<NodeId> = graph.nodes().collect();
+    let nodes: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
     let mut scores: Vec<CentralityScore> = match strategy {
         SelectionStrategy::PathMetric => return select_central_nodes(graph, k, horizon),
+        SelectionStrategy::CommunityPathMetric { max_hops } => {
+            let partition = label_propagation_communities(graph, LABEL_PROPAGATION_ROUNDS);
+            return select_central_nodes_scoped(graph, &partition, k, horizon, max_hops);
+        }
         SelectionStrategy::DegreeCentrality => map_slice(&nodes, |&node| CentralityScore {
             node,
             metric: graph.degree(node) as f64 / (n - 1) as f64,
@@ -201,6 +219,333 @@ pub fn select_by_strategy(
             })
         }
     };
+    scores.sort_by(|a, b| {
+        b.metric
+            .total_cmp(&a.metric)
+            .then_with(|| a.node.cmp(&b.node))
+    });
+    scores.truncate(k);
+    scores
+}
+
+/// Rounds of weighted label propagation run by
+/// [`SelectionStrategy::CommunityPathMetric`]. Label propagation almost
+/// always converges in a handful of sweeps; the cap only guards against
+/// oscillation on adversarial graphs.
+pub const LABEL_PROPAGATION_ROUNDS: usize = 16;
+
+/// A partition of the node set into communities `0..count`.
+///
+/// Produced by [`label_propagation_communities`], by
+/// [`CommunityPartition::single`] (everything in one community), or by
+/// [`CommunityPartition::round_robin`] (the layout
+/// `SyntheticTraceBuilder::communities` assigns, node `i` in community
+/// `i % m`). Community ids are compact and ordered by first appearance
+/// in node-id order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommunityPartition {
+    /// `assignment[i]` = community of node `i`.
+    assignment: Vec<u32>,
+    /// Number of communities; every id in `0..count` is inhabited.
+    count: usize,
+}
+
+impl CommunityPartition {
+    /// Builds a partition from raw labels, compacting them to
+    /// `0..count` in order of first appearance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels` is empty.
+    pub fn from_labels(labels: &[u32]) -> Self {
+        assert!(!labels.is_empty(), "a partition needs at least one node");
+        let max_label = *labels.iter().max().expect("non-empty") as usize;
+        let mut compact: Vec<u32> = vec![u32::MAX; max_label + 1];
+        let mut assignment = Vec::with_capacity(labels.len());
+        let mut count = 0u32;
+        for &label in labels {
+            let slot = &mut compact[label as usize];
+            if *slot == u32::MAX {
+                *slot = count;
+                count += 1;
+            }
+            assignment.push(*slot);
+        }
+        CommunityPartition {
+            assignment,
+            count: count as usize,
+        }
+    }
+
+    /// All `nodes` in one community — the partition under which scoped
+    /// selection is exactly global selection.
+    pub fn single(nodes: usize) -> Self {
+        assert!(nodes > 0, "a partition needs at least one node");
+        CommunityPartition {
+            assignment: vec![0; nodes],
+            count: 1,
+        }
+    }
+
+    /// Node `i` in community `i % communities` — the ground-truth layout
+    /// of `SyntheticTraceBuilder::communities`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0` or `communities == 0`.
+    pub fn round_robin(nodes: usize, communities: usize) -> Self {
+        assert!(nodes > 0, "a partition needs at least one node");
+        assert!(communities > 0, "need at least one community");
+        let m = communities.min(nodes) as u32;
+        CommunityPartition {
+            assignment: (0..nodes as u32).map(|i| i % m).collect(),
+            count: m as usize,
+        }
+    }
+
+    /// The community of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn community_of(&self, node: NodeId) -> u32 {
+        self.assignment[node.index()]
+    }
+
+    /// Number of communities.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Number of nodes partitioned.
+    pub fn node_count(&self) -> usize {
+        self.assignment.len()
+    }
+}
+
+/// Detects communities by weighted label propagation on the contact
+/// graph.
+///
+/// Every node starts in its own community; sweeps in node-id order then
+/// let each node adopt the label carrying the largest summed incident
+/// contact rate among its neighbors (ties to the smallest label, updates
+/// visible within the sweep). Terminates after `max_rounds` sweeps or as
+/// soon as a sweep changes nothing. `O(rounds · E)` — this is what makes
+/// community-scoped NCL selection near-linear where the global sweep is
+/// `O(N · Dijkstra)`.
+///
+/// Deterministic: fixed sweep order and tie-breaks, no randomness.
+///
+/// # Panics
+///
+/// Panics if the graph has no nodes or `max_rounds == 0`.
+pub fn label_propagation_communities<G: Topology>(
+    graph: &G,
+    max_rounds: usize,
+) -> CommunityPartition {
+    let n = graph.node_count();
+    assert!(n > 0, "a partition needs at least one node");
+    assert!(max_rounds > 0, "need at least one propagation round");
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    // Scratch: summed rate per candidate label, reset via touched list.
+    let mut weight_of: Vec<f64> = vec![0.0; n];
+    let mut touched: Vec<u32> = Vec::new();
+    for _ in 0..max_rounds {
+        let mut changed = false;
+        for i in 0..n {
+            let neighbors = graph.neighbors(NodeId(i as u32));
+            if neighbors.is_empty() {
+                continue;
+            }
+            for &(peer, rate) in neighbors {
+                let label = labels[peer.index()];
+                if weight_of[label as usize] == 0.0 {
+                    touched.push(label);
+                }
+                weight_of[label as usize] += rate;
+            }
+            let mut best_label = labels[i];
+            let mut best_weight = 0.0;
+            for &label in &touched {
+                let w = weight_of[label as usize];
+                if w > best_weight || (w == best_weight && label < best_label) {
+                    best_weight = w;
+                    best_label = label;
+                }
+            }
+            for &label in &touched {
+                weight_of[label as usize] = 0.0;
+            }
+            touched.clear();
+            if best_label != labels[i] {
+                labels[i] = best_label;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    CommunityPartition::from_labels(&labels)
+}
+
+/// One community's induced subgraph in a flat, search-ready layout.
+///
+/// Local ids are positions in the ascending member list, and each local
+/// adjacency list preserves the *original* neighbor order of the parent
+/// graph (merely dropping non-members). With a single community this
+/// makes the induced graph structurally identical to the parent — same
+/// ids, same iteration order, same tie-breaks — which is what lets
+/// [`select_central_nodes_scoped`] match [`select_central_nodes`]
+/// bit-for-bit there.
+struct InducedCommunity {
+    /// Ascending global ids of the members; index = local id.
+    members: Vec<NodeId>,
+    /// CSR offsets into `entries`, length `members.len() + 1`.
+    offsets: Vec<u32>,
+    /// `(local neighbor id, rate)` in the parent graph's neighbor order.
+    entries: Vec<(NodeId, f64)>,
+}
+
+impl Topology for InducedCommunity {
+    fn node_count(&self) -> usize {
+        self.members.len()
+    }
+
+    fn neighbors(&self, node: NodeId) -> &[(NodeId, f64)] {
+        let lo = self.offsets[node.index()] as usize;
+        let hi = self.offsets[node.index() + 1] as usize;
+        &self.entries[lo..hi]
+    }
+}
+
+/// Computes the community-scoped NCL metric for every node, in node-id
+/// order.
+///
+/// Node `i`'s score is `Σ_{j ∈ community(i), j≠i} p_ij(T) / (N−1)`:
+/// the §IV metric with path search confined to `i`'s community, still
+/// normalized by the global population so scores remain comparable
+/// across communities when rankings are merged. With `max_hops` set,
+/// each per-community search is additionally hop-bounded
+/// ([`crate::path::bounded_shortest_paths`]).
+///
+/// # Panics
+///
+/// Panics if the graph has fewer than two nodes, the partition does not
+/// cover exactly this graph's nodes, `horizon` is invalid, or
+/// `max_hops == Some(0)`.
+pub fn scoped_metrics<G: Topology + Sync>(
+    graph: &G,
+    partition: &CommunityPartition,
+    horizon: f64,
+    max_hops: Option<usize>,
+) -> Vec<CentralityScore> {
+    let n = graph.node_count();
+    assert!(n >= 2, "the metric needs at least two nodes, got {n}");
+    assert_eq!(
+        partition.node_count(),
+        n,
+        "partition must cover exactly the graph's nodes"
+    );
+
+    let mut scores: Vec<CentralityScore> = (0..n as u32)
+        .map(|i| CentralityScore {
+            node: NodeId(i),
+            metric: 0.0,
+        })
+        .collect();
+    // Global-to-local id map, reused (and locally cleared) per community.
+    let mut local_of: Vec<u32> = vec![u32::MAX; n];
+    let norm = (n - 1) as f64;
+
+    for community in 0..partition.count() as u32 {
+        let members: Vec<NodeId> = (0..n as u32)
+            .map(NodeId)
+            .filter(|&i| partition.community_of(i) == community)
+            .collect();
+        for (local, &member) in members.iter().enumerate() {
+            local_of[member.index()] = local as u32;
+        }
+        let mut offsets: Vec<u32> = Vec::with_capacity(members.len() + 1);
+        offsets.push(0);
+        let mut entries: Vec<(NodeId, f64)> = Vec::new();
+        for &member in &members {
+            for &(peer, rate) in graph.neighbors(member) {
+                let local = local_of[peer.index()];
+                if local != u32::MAX {
+                    entries.push((NodeId(local), rate));
+                }
+            }
+            offsets.push(entries.len() as u32);
+        }
+        let induced = InducedCommunity {
+            members,
+            offsets,
+            entries,
+        };
+
+        let locals: Vec<NodeId> = (0..induced.members.len() as u32).map(NodeId).collect();
+        let metrics: Vec<f64> = match max_hops {
+            None if induced.members.len() >= 2 => map_slice(&locals, |&local| {
+                let table = shortest_paths(&induced, local, horizon);
+                locals
+                    .iter()
+                    .filter(|&&j| j != local)
+                    .map(|&j| table.weight_to(j))
+                    .sum::<f64>()
+                    / norm
+            }),
+            Some(bound) if induced.members.len() >= 2 => {
+                let mut scratch = ReachScratch::new();
+                locals
+                    .iter()
+                    .map(|&local| {
+                        let reach =
+                            bounded_shortest_paths(&induced, local, horizon, bound, &mut scratch);
+                        reach
+                            .entries()
+                            .iter()
+                            .filter(|&&(j, _)| j != local)
+                            .map(|&(_, w)| w)
+                            .sum::<f64>()
+                            / norm
+                    })
+                    .collect()
+            }
+            // A one-node community reaches nobody: metric 0, and the
+            // underlying searches would reject a one-node graph anyway.
+            _ => vec![0.0; induced.members.len()],
+        };
+        for (local, &member) in induced.members.iter().enumerate() {
+            scores[member.index()].metric = metrics[local];
+            local_of[member.index()] = u32::MAX;
+        }
+    }
+    scores
+}
+
+/// Selects the top `k` central nodes from community-scoped metrics,
+/// merging the per-community rankings into one list with the same
+/// ordering rule as [`select_central_nodes`] (metric descending, node id
+/// ascending).
+///
+/// With `partition` = [`CommunityPartition::single`] and no hop bound,
+/// the result is bit-for-bit identical to [`select_central_nodes`]: the
+/// induced "community" *is* the graph, so every search, sum, and
+/// tie-break runs in the same order on the same floats.
+///
+/// # Panics
+///
+/// As [`scoped_metrics`], plus `k == 0`.
+pub fn select_central_nodes_scoped<G: Topology + Sync>(
+    graph: &G,
+    partition: &CommunityPartition,
+    k: usize,
+    horizon: f64,
+    max_hops: Option<usize>,
+) -> Vec<CentralityScore> {
+    assert!(k > 0, "must select at least one central node");
+    let mut scores = scoped_metrics(graph, partition, horizon, max_hops);
     scores.sort_by(|a, b| {
         b.metric
             .total_cmp(&a.metric)
@@ -309,6 +654,7 @@ pub fn metric_skew(scores: &[CentralityScore]) -> MetricSkew {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::ContactGraph;
 
     /// Star: node 0 in the middle.
     fn star(n: usize, rate: f64) -> ContactGraph {
@@ -514,5 +860,156 @@ mod tests {
     fn single_node_graph_panics() {
         let g = ContactGraph::new(1);
         let _ = selection_metric(&g, NodeId(0), 600.0);
+    }
+
+    /// Two star communities bridged by one weak edge.
+    fn two_stars() -> ContactGraph {
+        let mut g = ContactGraph::new(10);
+        for i in 1..5u32 {
+            g.set_rate(NodeId(0), NodeId(i), 1e-2);
+        }
+        for i in 6..10u32 {
+            g.set_rate(NodeId(5), NodeId(i), 1e-2);
+        }
+        g.set_rate(NodeId(4), NodeId(9), 1e-6);
+        g
+    }
+
+    #[test]
+    fn label_propagation_finds_the_two_stars() {
+        let g = two_stars();
+        let p = label_propagation_communities(&g, LABEL_PROPAGATION_ROUNDS);
+        assert_eq!(p.node_count(), 10);
+        assert_eq!(p.count(), 2, "expected the two stars, got {p:?}");
+        for i in 1..5u32 {
+            assert_eq!(p.community_of(NodeId(i)), p.community_of(NodeId(0)));
+        }
+        for i in 6..10u32 {
+            assert_eq!(p.community_of(NodeId(i)), p.community_of(NodeId(5)));
+        }
+        assert_ne!(p.community_of(NodeId(0)), p.community_of(NodeId(5)));
+        // Deterministic.
+        assert_eq!(
+            p,
+            label_propagation_communities(&g, LABEL_PROPAGATION_ROUNDS)
+        );
+    }
+
+    #[test]
+    fn label_propagation_keeps_isolated_nodes_apart() {
+        let mut g = ContactGraph::new(4);
+        g.set_rate(NodeId(0), NodeId(1), 1e-2);
+        let p = label_propagation_communities(&g, 8);
+        assert_eq!(p.community_of(NodeId(0)), p.community_of(NodeId(1)));
+        assert_ne!(p.community_of(NodeId(2)), p.community_of(NodeId(0)));
+        assert_ne!(p.community_of(NodeId(2)), p.community_of(NodeId(3)));
+        assert_eq!(p.count(), 3);
+    }
+
+    #[test]
+    fn scoped_selection_matches_global_on_single_community() {
+        let g = two_stars();
+        let single = CommunityPartition::single(g.node_count());
+        for k in [1, 3, 10] {
+            let global = select_central_nodes(&g, k, 3600.0);
+            let scoped = select_central_nodes_scoped(&g, &single, k, 3600.0, None);
+            assert_eq!(global, scoped, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn scoped_selection_elects_a_hub_per_community() {
+        let g = two_stars();
+        let p = label_propagation_communities(&g, LABEL_PROPAGATION_ROUNDS);
+        let top = select_central_nodes_scoped(&g, &p, 2, 3600.0, None);
+        let mut nodes: Vec<u32> = top.iter().map(|s| s.node.0).collect();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![0, 5], "one hub per star");
+    }
+
+    #[test]
+    fn scoped_metric_ignores_cross_community_paths() {
+        let g = two_stars();
+        let p = label_propagation_communities(&g, LABEL_PROPAGATION_ROUNDS);
+        let scoped = scoped_metrics(&g, &p, 3600.0, None);
+        let global = all_metrics(&g, 3600.0);
+        // Scoped scores drop the (weak) cross-community contribution, so
+        // they can only be lower, and hubs stay clearly ahead of leaves.
+        for (s, g_) in scoped.iter().zip(&global) {
+            assert_eq!(s.node, g_.node);
+            assert!(s.metric <= g_.metric + 1e-12);
+        }
+        assert!(scoped[0].metric > scoped[1].metric);
+    }
+
+    #[test]
+    fn scoped_hop_bound_matches_unbounded_within_star_diameter() {
+        let g = two_stars();
+        let p = label_propagation_communities(&g, LABEL_PROPAGATION_ROUNDS);
+        let unbounded = scoped_metrics(&g, &p, 3600.0, None);
+        let bounded = scoped_metrics(&g, &p, 3600.0, Some(8));
+        for (u, b) in unbounded.iter().zip(&bounded) {
+            assert_eq!(u.node, b.node);
+            assert!((u.metric - b.metric).abs() < 1e-15, "{u:?} vs {b:?}");
+        }
+        let one_hop = scoped_metrics(&g, &p, 3600.0, Some(1));
+        // Leaves only reach the hub directly; their 1-hop score shrinks.
+        assert!(one_hop[1].metric < unbounded[1].metric);
+    }
+
+    #[test]
+    fn community_strategy_delegates_to_scoped_selection() {
+        let g = two_stars();
+        let via = select_by_strategy(
+            &g,
+            2,
+            3600.0,
+            SelectionStrategy::CommunityPathMetric { max_hops: None },
+        );
+        let p = label_propagation_communities(&g, LABEL_PROPAGATION_ROUNDS);
+        let direct = select_central_nodes_scoped(&g, &p, 2, 3600.0, None);
+        assert_eq!(via, direct);
+    }
+
+    #[test]
+    fn round_robin_partition_matches_builder_layout() {
+        let p = CommunityPartition::round_robin(7, 3);
+        assert_eq!(p.count(), 3);
+        for i in 0..7u32 {
+            assert_eq!(p.community_of(NodeId(i)), i % 3);
+        }
+        // More communities than nodes degrades gracefully.
+        let tiny = CommunityPartition::round_robin(2, 5);
+        assert_eq!(tiny.count(), 2);
+    }
+
+    #[test]
+    fn from_labels_compacts_by_first_appearance() {
+        let p = CommunityPartition::from_labels(&[7, 7, 2, 7, 2, 0]);
+        assert_eq!(p.count(), 3);
+        assert_eq!(
+            (0..6)
+                .map(|i| p.community_of(NodeId(i)))
+                .collect::<Vec<_>>(),
+            vec![0, 0, 1, 0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn singleton_communities_score_zero() {
+        let mut g = ContactGraph::new(3);
+        g.set_rate(NodeId(0), NodeId(1), 1e-2);
+        // Put every node in its own community: nobody reaches anybody.
+        let p = CommunityPartition::from_labels(&[0, 1, 2]);
+        let scores = scoped_metrics(&g, &p, 3600.0, None);
+        assert!(scores.iter().all(|s| s.metric == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "partition must cover")]
+    fn partition_size_mismatch_panics() {
+        let g = star(4, 1e-3);
+        let p = CommunityPartition::single(3);
+        let _ = scoped_metrics(&g, &p, 600.0, None);
     }
 }

@@ -30,7 +30,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use crate::graph::ContactGraph;
+use crate::graph::{ContactGraph, Topology};
 use crate::hypoexp;
 use crate::ids::NodeId;
 
@@ -202,6 +202,7 @@ impl PathTable {
 
 /// Heap entry: the tentative best weight of a node. Routes live in the
 /// predecessor arrays, so labels are two words and never allocate.
+#[derive(Debug)]
 struct Label {
     weight: f64,
     node: NodeId,
@@ -259,7 +260,7 @@ impl Ord for Label {
 /// assert!(table.weight_to(NodeId(1)) > table.weight_to(NodeId(2)));
 /// assert_eq!(table.path_to(NodeId(2)).unwrap().hops(), 2);
 /// ```
-pub fn shortest_paths(graph: &ContactGraph, source: NodeId, horizon: f64) -> PathTable {
+pub fn shortest_paths<G: Topology>(graph: &G, source: NodeId, horizon: f64) -> PathTable {
     assert!(
         horizon.is_finite() && horizon > 0.0,
         "horizon must be finite and positive, got {horizon}"
@@ -333,6 +334,214 @@ pub fn shortest_paths(graph: &ContactGraph, source: NodeId, horizon: f64) -> Pat
         rate_into,
         weight,
         reached,
+    }
+}
+
+/// Best-path weights from one source, stored sparsely — only the nodes
+/// the bounded search actually settled, sorted by id.
+///
+/// Produced by [`bounded_shortest_paths`]. Unlike [`PathTable`], whose
+/// arrays are `O(N)` per source, a `SparseReach` is `O(touched)` — the
+/// representation city-scale oracles cache per source without `N²`
+/// blow-up.
+#[derive(Debug, Clone)]
+pub struct SparseReach {
+    source: NodeId,
+    horizon: f64,
+    /// `(destination, weight)` sorted by ascending destination id; the
+    /// source itself appears with weight 1.
+    entries: Vec<(NodeId, f64)>,
+}
+
+impl SparseReach {
+    /// The source node the reach was computed for.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// The time horizon `T` used for path weights.
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// The weight of the best bounded path to `dest`; 0 if the search
+    /// never settled `dest`. `O(log touched)` binary search.
+    pub fn weight_to(&self, dest: NodeId) -> f64 {
+        match self.entries.binary_search_by_key(&dest, |&(d, _)| d) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// All `(destination, weight)` entries, sorted by destination id.
+    pub fn entries(&self) -> &[(NodeId, f64)] {
+        &self.entries
+    }
+}
+
+/// Reusable workspace for [`bounded_shortest_paths`].
+///
+/// All per-node arrays are epoch-stamped: a search only initializes the
+/// slots it actually touches, and the next search invalidates them by
+/// bumping the epoch instead of clearing `O(N)` memory. Keep one scratch
+/// per thread and pass it to every call; repeated searches on a large
+/// graph then cost `O(touched)` time and zero allocations (beyond heap
+/// growth on the first calls).
+#[derive(Debug, Default)]
+pub struct ReachScratch {
+    epoch: u64,
+    stamp: Vec<u64>,
+    settled: Vec<bool>,
+    best: Vec<f64>,
+    weight: Vec<f64>,
+    hops: Vec<u32>,
+    /// Predecessor in the route tree; `u32::MAX` = none (source).
+    prev: Vec<u32>,
+    rate_into: Vec<f64>,
+    accs: Vec<Option<hypoexp::HorizonAccumulator>>,
+    touched: Vec<u32>,
+    heap: BinaryHeap<Label>,
+}
+
+impl ReachScratch {
+    /// Creates an empty scratch; arrays grow to the graph size on first
+    /// use.
+    pub fn new() -> Self {
+        ReachScratch::default()
+    }
+
+    /// Starts a fresh search epoch over `n` nodes.
+    fn prepare(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.settled.resize(n, false);
+            self.best.resize(n, f64::NEG_INFINITY);
+            self.weight.resize(n, 0.0);
+            self.hops.resize(n, 0);
+            self.prev.resize(n, u32::MAX);
+            self.rate_into.resize(n, 0.0);
+            self.accs.resize(n, None);
+        }
+        // Drop the previous search's accumulators so resident memory
+        // stays proportional to one touched set, not the whole graph.
+        for &i in &self.touched {
+            self.accs[i as usize] = None;
+        }
+        self.touched.clear();
+        self.heap.clear();
+        self.epoch += 1;
+    }
+
+    /// First-touch initialization of node `i` in the current epoch.
+    fn touch(&mut self, i: usize) {
+        if self.stamp[i] != self.epoch {
+            self.stamp[i] = self.epoch;
+            self.settled[i] = false;
+            self.best[i] = f64::NEG_INFINITY;
+            self.weight[i] = 0.0;
+            self.hops[i] = 0;
+            self.prev[i] = u32::MAX;
+            self.rate_into[i] = 0.0;
+            self.touched.push(i as u32);
+        }
+    }
+}
+
+/// [`shortest_paths`] with a hop bound and sparse output: the search
+/// settles nodes exactly like the unbounded algorithm but stops relaxing
+/// from nodes whose settled best path already has `max_hops` hops.
+///
+/// With `max_hops` at least the graph diameter the result is identical
+/// to [`shortest_paths`] (same arithmetic, same tie-breaks). With a
+/// smaller bound, weights are exact over the ≤`max_hops`-hop path space
+/// and *lower bounds* on the unbounded weights — the standard truncation
+/// the paper's multi-hop analysis itself applies ("opportunistic paths
+/// with at most r hops", §III-B). Work and memory are `O(touched)`
+/// rather than `O(N)`, which is what makes per-source caching viable at
+/// city scale.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range, `horizon` is not finite and
+/// positive, or `max_hops == 0`.
+pub fn bounded_shortest_paths<G: Topology>(
+    graph: &G,
+    source: NodeId,
+    horizon: f64,
+    max_hops: usize,
+    scratch: &mut ReachScratch,
+) -> SparseReach {
+    assert!(
+        horizon.is_finite() && horizon > 0.0,
+        "horizon must be finite and positive, got {horizon}"
+    );
+    let n = graph.node_count();
+    assert!(
+        source.index() < n,
+        "source n{source} out of range for graph of {n} nodes"
+    );
+    assert!(max_hops > 0, "a zero-hop search reaches nothing");
+
+    scratch.prepare(n);
+    scratch.touch(source.index());
+    scratch.best[source.index()] = 1.0;
+    scratch.heap.push(Label {
+        weight: 1.0,
+        node: source,
+    });
+
+    while let Some(Label { weight: w, node }) = scratch.heap.pop() {
+        let ni = node.index();
+        if scratch.settled[ni] {
+            continue;
+        }
+        scratch.settled[ni] = true;
+        scratch.weight[ni] = w;
+        let (hops, acc) = if scratch.prev[ni] == u32::MAX {
+            (0u32, hypoexp::HorizonAccumulator::new(horizon))
+        } else {
+            let parent = scratch.prev[ni] as usize;
+            let mut acc = scratch.accs[parent]
+                .as_ref()
+                .expect("parent settles before child")
+                .clone();
+            acc.push(scratch.rate_into[ni]);
+            (scratch.hops[parent] + 1, acc)
+        };
+        scratch.hops[ni] = hops;
+        if (hops as usize) < max_hops {
+            for &(peer, rate) in graph.neighbors(node) {
+                let pi = peer.index();
+                scratch.touch(pi);
+                if scratch.settled[pi] {
+                    continue;
+                }
+                let cand = acc.extended_cdf(rate);
+                if cand > scratch.best[pi] {
+                    scratch.best[pi] = cand;
+                    scratch.prev[pi] = ni as u32;
+                    scratch.rate_into[pi] = rate;
+                    scratch.heap.push(Label {
+                        weight: cand,
+                        node: peer,
+                    });
+                }
+            }
+        }
+        scratch.accs[ni] = Some(acc);
+    }
+
+    let mut entries: Vec<(NodeId, f64)> = scratch
+        .touched
+        .iter()
+        .filter(|&&i| scratch.settled[i as usize])
+        .map(|&i| (NodeId(i), scratch.weight[i as usize]))
+        .collect();
+    entries.sort_unstable_by_key(|&(id, _)| id);
+    SparseReach {
+        source,
+        horizon,
+        entries,
     }
 }
 
@@ -599,6 +808,95 @@ mod tests {
                 "dest {dest}: label-setting {got} vs brute force {best}"
             );
         }
+    }
+
+    #[test]
+    fn bounded_search_matches_unbounded_with_slack_hops() {
+        let mut g = ContactGraph::new(7);
+        let edges = [
+            (0, 1, 2e-3),
+            (1, 2, 5e-3),
+            (0, 2, 1e-3),
+            (2, 3, 4e-3),
+            (1, 3, 1e-4),
+            (3, 4, 8e-3),
+            (0, 4, 5e-5),
+            (4, 5, 3e-3),
+        ];
+        for &(a, b, r) in &edges {
+            g.set_rate(NodeId(a), NodeId(b), r);
+        }
+        let horizon = 2500.0;
+        let mut scratch = ReachScratch::new();
+        for src in g.nodes() {
+            let full = shortest_paths(&g, src, horizon);
+            let reach = bounded_shortest_paths(&g, src, horizon, 64, &mut scratch);
+            let reachable: Vec<_> = full.iter_weights().collect();
+            assert_eq!(reach.entries(), &reachable[..], "source {src:?}");
+            for dest in g.nodes() {
+                assert_eq!(
+                    reach.weight_to(dest),
+                    full.weight_to(dest),
+                    "source {src:?} dest {dest:?}"
+                );
+            }
+        }
+        // Node 6 is isolated: never settled from 0, weight 0.
+        let reach = bounded_shortest_paths(&g, NodeId(0), horizon, 64, &mut scratch);
+        assert_eq!(reach.weight_to(NodeId(6)), 0.0);
+        assert_eq!(reach.source(), NodeId(0));
+        assert_eq!(reach.horizon(), horizon);
+    }
+
+    #[test]
+    fn bounded_search_runs_on_csr_storage() {
+        use crate::graph::CsrGraph;
+        let mut g = ContactGraph::new(5);
+        let edges = [(0, 1, 2e-3), (1, 2, 5e-3), (2, 3, 4e-3), (0, 3, 1e-4)];
+        for &(a, b, r) in &edges {
+            g.set_rate(NodeId(a), NodeId(b), r);
+        }
+        let csr = CsrGraph::from_edges(5, edges.iter().map(|&(a, b, r)| (NodeId(a), NodeId(b), r)));
+        let mut scratch = ReachScratch::new();
+        let dense = bounded_shortest_paths(&g, NodeId(0), 1800.0, 64, &mut scratch);
+        let sparse = bounded_shortest_paths(&csr, NodeId(0), 1800.0, 64, &mut scratch);
+        // Same weights; routes may differ only where neighbor-iteration
+        // order breaks exact ties, which these rates do not produce.
+        assert_eq!(dense.entries(), sparse.entries());
+    }
+
+    #[test]
+    fn hop_bound_truncates_reach() {
+        let g = line_graph(&[0.1, 0.1, 0.1]);
+        let mut scratch = ReachScratch::new();
+        let one = bounded_shortest_paths(&g, NodeId(0), 100.0, 1, &mut scratch);
+        assert!(one.weight_to(NodeId(1)) > 0.0);
+        assert_eq!(one.weight_to(NodeId(2)), 0.0);
+        let two = bounded_shortest_paths(&g, NodeId(0), 100.0, 2, &mut scratch);
+        assert!(two.weight_to(NodeId(2)) > 0.0);
+        assert_eq!(two.weight_to(NodeId(3)), 0.0);
+        // Weights inside the bound match the unbounded search exactly.
+        let full = shortest_paths(&g, NodeId(0), 100.0);
+        assert_eq!(two.weight_to(NodeId(1)), full.weight_to(NodeId(1)));
+        assert_eq!(two.weight_to(NodeId(2)), full.weight_to(NodeId(2)));
+    }
+
+    #[test]
+    fn scratch_reuse_is_stateless_across_searches() {
+        let g = line_graph(&[0.2, 0.05, 0.01]);
+        let mut scratch = ReachScratch::new();
+        let first = bounded_shortest_paths(&g, NodeId(0), 200.0, 8, &mut scratch);
+        // A different source in between must not contaminate the repeat.
+        let _ = bounded_shortest_paths(&g, NodeId(3), 200.0, 8, &mut scratch);
+        let again = bounded_shortest_paths(&g, NodeId(0), 200.0, 8, &mut scratch);
+        assert_eq!(first.entries(), again.entries());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-hop")]
+    fn bounded_rejects_zero_hops() {
+        let g = line_graph(&[0.1]);
+        let _ = bounded_shortest_paths(&g, NodeId(0), 100.0, 0, &mut ReachScratch::new());
     }
 
     #[test]

@@ -144,24 +144,67 @@ impl RateEstimator {
 #[derive(Debug, Clone)]
 pub struct RateTable {
     nodes: usize,
-    cells: Vec<RateEstimator>,
+    cells: Cells,
     /// Bumped on every [`RateTable::record`]; lets consumers detect how
     /// much the table has changed without comparing cells.
     generation: u64,
 }
 
+/// Largest population stored as a dense packed triangle. Above this the
+/// table switches to sparse adjacency storage: real contact traces are
+/// sparse (each node meets a bounded peer set), so `O(N²)` cells —
+/// 240 GB at 100 000 nodes — would be almost entirely never-met pairs.
+pub const DENSE_NODE_LIMIT: usize = 2048;
+
+/// Storage behind a [`RateTable`]. A pair absent from the sparse map is
+/// semantically a fresh [`RateEstimator`] (no contacts yet), so the two
+/// layouts are observationally identical.
+#[derive(Debug, Clone)]
+enum Cells {
+    /// Packed upper triangle, one cell per unordered pair.
+    Dense(Vec<RateEstimator>),
+    /// Per-low-endpoint adjacency rows sorted by high endpoint, with
+    /// estimators in a shared arena. Memory is `O(pairs that met)`.
+    Sparse {
+        /// `adj[lo]` = `(hi, arena index)` sorted by `hi`.
+        adj: Vec<Vec<(u32, u32)>>,
+        arena: Vec<RateEstimator>,
+        /// Observation start for estimators created on first contact.
+        since: Time,
+    },
+}
+
 impl RateTable {
     /// Creates a table for `nodes` nodes, all pairs observed from `since`.
+    ///
+    /// Populations up to [`DENSE_NODE_LIMIT`] use a dense packed
+    /// triangle; larger ones use sparse adjacency storage with identical
+    /// observable behavior.
     ///
     /// # Panics
     ///
     /// Panics if `nodes == 0`.
     pub fn new(nodes: usize, since: Time) -> Self {
+        Self::new_with_limit(nodes, since, DENSE_NODE_LIMIT)
+    }
+
+    /// [`RateTable::new`] with an explicit dense/sparse cutover, so tests
+    /// can exercise the sparse layout at differential-testable sizes.
+    fn new_with_limit(nodes: usize, since: Time, dense_limit: usize) -> Self {
         assert!(nodes > 0, "rate table needs at least one node");
-        let pairs = nodes * (nodes.saturating_sub(1)) / 2;
+        let cells = if nodes <= dense_limit {
+            let pairs = nodes * (nodes.saturating_sub(1)) / 2;
+            Cells::Dense(vec![RateEstimator::new(since); pairs])
+        } else {
+            Cells::Sparse {
+                adj: vec![Vec::new(); nodes],
+                arena: Vec::new(),
+                since,
+            }
+        };
         RateTable {
             nodes,
-            cells: vec![RateEstimator::new(since); pairs],
+            cells,
             generation: 0,
         }
     }
@@ -176,9 +219,26 @@ impl RateTable {
     /// # Panics
     ///
     /// Panics if `a == b` or either node is out of range.
+    #[inline]
     pub fn record(&mut self, a: NodeId, b: NodeId, at: Time) {
-        let idx = self.index(a, b);
-        self.cells[idx].record_contact(at);
+        let (lo, hi) = self.pair(a, b);
+        match &mut self.cells {
+            Cells::Dense(cells) => {
+                cells[Self::dense_index(self.nodes, lo, hi)].record_contact(at);
+            }
+            Cells::Sparse { adj, arena, since } => {
+                let row = &mut adj[lo];
+                match row.binary_search_by_key(&(hi as u32), |&(h, _)| h) {
+                    Ok(i) => arena[row[i].1 as usize].record_contact(at),
+                    Err(i) => {
+                        let mut est = RateEstimator::new(*since);
+                        est.record_contact(at);
+                        row.insert(i, (hi as u32, arena.len() as u32));
+                        arena.push(est);
+                    }
+                }
+            }
+        }
         self.generation += 1;
     }
 
@@ -187,6 +247,7 @@ impl RateTable {
     /// from the table (e.g. the path oracle's contact-graph snapshot) can
     /// compare generations to decide when their copy has drifted too far,
     /// independent of simulated wall-clock time.
+    #[inline]
     pub fn generation(&self) -> u64 {
         self.generation
     }
@@ -196,8 +257,9 @@ impl RateTable {
     /// # Panics
     ///
     /// Panics if `a == b` or either node is out of range.
+    #[inline]
     pub fn rate(&self, a: NodeId, b: NodeId, now: Time) -> Option<f64> {
-        self.cells[self.index(a, b)].rate(now)
+        self.estimator(a, b).and_then(|e| e.rate(now))
     }
 
     /// Cumulative number of contacts recorded for the pair.
@@ -205,8 +267,9 @@ impl RateTable {
     /// # Panics
     ///
     /// Panics if `a == b` or either node is out of range.
+    #[inline]
     pub fn contact_count(&self, a: NodeId, b: NodeId) -> u64 {
-        self.cells[self.index(a, b)].contact_count()
+        self.estimator(a, b).map_or(0, RateEstimator::contact_count)
     }
 
     /// The pair's recency-weighted rate (see
@@ -215,25 +278,25 @@ impl RateTable {
     /// # Panics
     ///
     /// Panics if `a == b` or either node is out of range.
+    #[inline]
     pub fn recent_rate(&self, a: NodeId, b: NodeId) -> Option<f64> {
-        self.cells[self.index(a, b)].recent_rate()
+        self.estimator(a, b).and_then(RateEstimator::recent_rate)
     }
 
     /// Total contacts recorded across all pairs.
     pub fn total_contacts(&self) -> u64 {
-        self.cells.iter().map(RateEstimator::contact_count).sum()
+        let cells: &[RateEstimator] = match &self.cells {
+            Cells::Dense(cells) => cells,
+            Cells::Sparse { arena, .. } => arena,
+        };
+        cells.iter().map(RateEstimator::contact_count).sum()
     }
 
     /// Iterates over all pairs that have met at least once, yielding
     /// `(a, b, rate)` with `a < b`.
     pub fn iter_rates(&self, now: Time) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
-        let n = self.nodes as u32;
-        (0..n).flat_map(move |a| {
-            (a + 1..n).filter_map(move |b| {
-                self.rate(NodeId(a), NodeId(b), now)
-                    .map(|r| (NodeId(a), NodeId(b), r))
-            })
-        })
+        self.iter_estimators()
+            .filter_map(move |(a, b, e)| e.rate(now).map(|r| (a, b, r)))
     }
 
     /// Like [`RateTable::iter_rates`], but yielding the regime-tracking
@@ -242,18 +305,59 @@ impl RateTable {
         &self,
         now: Time,
     ) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
-        let n = self.nodes as u32;
-        (0..n).flat_map(move |a| {
-            (a + 1..n).filter_map(move |b| {
-                self.cells[self.index(NodeId(a), NodeId(b))]
-                    .current_rate(now)
-                    .map(|r| (NodeId(a), NodeId(b), r))
-            })
-        })
+        self.iter_estimators()
+            .filter_map(move |(a, b, e)| e.current_rate(now).map(|r| (a, b, r)))
     }
 
-    /// Row-major upper-triangle index of the unordered pair.
-    fn index(&self, a: NodeId, b: NodeId) -> usize {
+    /// All touchable cells in `(lo asc, hi asc)` order. Dense yields
+    /// every pair (including never-met ones); sparse yields only pairs
+    /// that have met — the difference is unobservable through the
+    /// `filter_map`-based public iterators because a never-met
+    /// estimator's rates are all `None`.
+    fn iter_estimators(&self) -> Box<dyn Iterator<Item = (NodeId, NodeId, &RateEstimator)> + '_> {
+        match &self.cells {
+            Cells::Dense(cells) => {
+                let n = self.nodes as u32;
+                Box::new((0..n).flat_map(move |a| {
+                    (a + 1..n).map(move |b| {
+                        let idx = Self::dense_index(self.nodes, a as usize, b as usize);
+                        (NodeId(a), NodeId(b), &cells[idx])
+                    })
+                }))
+            }
+            Cells::Sparse { adj, arena, .. } => {
+                Box::new(adj.iter().enumerate().flat_map(move |(lo, row)| {
+                    row.iter().map(move |&(hi, idx)| {
+                        (NodeId(lo as u32), NodeId(hi), &arena[idx as usize])
+                    })
+                }))
+            }
+        }
+    }
+
+    /// The pair's estimator; `None` when a sparse table has never seen
+    /// the pair (semantically a fresh estimator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either node is out of range.
+    #[inline]
+    fn estimator(&self, a: NodeId, b: NodeId) -> Option<&RateEstimator> {
+        let (lo, hi) = self.pair(a, b);
+        match &self.cells {
+            Cells::Dense(cells) => Some(&cells[Self::dense_index(self.nodes, lo, hi)]),
+            Cells::Sparse { adj, arena, .. } => {
+                let row = &adj[lo];
+                row.binary_search_by_key(&(hi as u32), |&(h, _)| h)
+                    .ok()
+                    .map(|i| &arena[row[i].1 as usize])
+            }
+        }
+    }
+
+    /// Validates a pair and returns its `(lo, hi)` indices.
+    #[inline]
+    fn pair(&self, a: NodeId, b: NodeId) -> (usize, usize) {
         assert_ne!(a, b, "a node does not contact itself");
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
         let (lo, hi) = (lo.index(), hi.index());
@@ -262,8 +366,14 @@ impl RateTable {
             "node n{hi} out of range for table of {} nodes",
             self.nodes
         );
+        (lo, hi)
+    }
+
+    /// Row-major upper-triangle index of a validated `(lo, hi)` pair.
+    #[inline]
+    fn dense_index(nodes: usize, lo: usize, hi: usize) -> usize {
         // Offset of row `lo` in the packed upper triangle.
-        lo * (2 * self.nodes - lo - 1) / 2 + (hi - lo - 1)
+        lo * (2 * nodes - lo - 1) / 2 + (hi - lo - 1)
     }
 }
 
@@ -446,6 +556,78 @@ mod tests {
         assert_eq!(rates.len(), 1);
         assert_eq!(rates[0].0, NodeId(0));
         assert_eq!(rates[0].1, NodeId(1));
+    }
+
+    #[test]
+    fn sparse_storage_matches_dense_exactly() {
+        // Force the sparse layout at a size where a dense twin is cheap
+        // and drive both through an identical contact schedule.
+        let n = 12;
+        let mut dense = RateTable::new_with_limit(n, Time(5), n);
+        let mut sparse = RateTable::new_with_limit(n, Time(5), 1);
+        assert!(matches!(dense.cells, Cells::Dense(_)));
+        assert!(matches!(sparse.cells, Cells::Sparse { .. }));
+        // Deterministic pseudo-random schedule touching some pairs many
+        // times, most never.
+        let mut x = 0x9e37_79b9_u64;
+        for step in 0..400u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = (x >> 33) % n as u64;
+            let b = (x >> 13) % n as u64;
+            if a == b {
+                continue;
+            }
+            let at = Time(10 + step * 37 % 5000);
+            dense.record(NodeId(a as u32), NodeId(b as u32), at);
+            sparse.record(NodeId(a as u32), NodeId(b as u32), at);
+        }
+        assert_eq!(dense.generation(), sparse.generation());
+        assert_eq!(dense.total_contacts(), sparse.total_contacts());
+        let now = Time(6000);
+        for a in 0..n as u32 {
+            for b in (a + 1)..n as u32 {
+                let (a, b) = (NodeId(a), NodeId(b));
+                assert_eq!(dense.rate(a, b, now), sparse.rate(a, b, now));
+                assert_eq!(dense.contact_count(a, b), sparse.contact_count(a, b));
+                assert_eq!(dense.recent_rate(a, b), sparse.recent_rate(a, b));
+            }
+        }
+        let dr: Vec<_> = dense.iter_rates(now).collect();
+        let sr: Vec<_> = sparse.iter_rates(now).collect();
+        assert_eq!(dr, sr, "iter_rates order and content must match");
+        let dc: Vec<_> = dense.iter_current_rates(now).collect();
+        let sc: Vec<_> = sparse.iter_current_rates(now).collect();
+        assert_eq!(dc, sc);
+    }
+
+    #[test]
+    fn large_population_goes_sparse_and_stays_cheap() {
+        let n = DENSE_NODE_LIMIT + 1;
+        let mut t = RateTable::new(n, Time::ZERO);
+        assert!(matches!(t.cells, Cells::Sparse { .. }));
+        t.record(NodeId(0), NodeId(n as u32 - 1), Time(10));
+        t.record(NodeId(n as u32 - 1), NodeId(0), Time(20));
+        assert_eq!(t.contact_count(NodeId(0), NodeId(n as u32 - 1)), 2);
+        assert_eq!(t.rate(NodeId(5), NodeId(6), Time(100)), None);
+        assert_eq!(t.contact_count(NodeId(5), NodeId(6)), 0);
+        assert_eq!(t.iter_rates(Time(100)).count(), 1);
+        assert_eq!(t.total_contacts(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sparse_out_of_range_panics() {
+        let t = RateTable::new_with_limit(3, Time::ZERO, 1);
+        let _ = t.rate(NodeId(0), NodeId(5), Time(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not contact itself")]
+    fn sparse_self_contact_panics() {
+        let mut t = RateTable::new_with_limit(3, Time::ZERO, 1);
+        t.record(NodeId(1), NodeId(1), Time(10));
     }
 
     #[test]

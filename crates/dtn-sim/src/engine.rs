@@ -71,10 +71,13 @@ pub struct SimConfig {
     /// scheme configuration (e.g. `NetworkSetup::path_refresh` in
     /// `dtn-cache`). Default `None` (use the scheme's own setting).
     pub path_refresh: Option<Duration>,
-    /// Caps [`Metrics::delays_secs`] at this many samples (`None`, the
-    /// default, keeps every delay). Large runs should cap the vector
-    /// and read the delay *histogram* instead (see `delay_histogram`);
-    /// `total_delay_secs` and the exact mean are unaffected by the cap.
+    /// Caps [`Metrics::delays_secs`] at this many samples. Default:
+    /// `Some(65_536)` — enough for exact percentiles on every paper
+    /// workload while keeping city-scale runs from growing an unbounded
+    /// vector; set `None` to keep every delay. Runs needing full delay
+    /// distributions past the cap should read the delay *histogram*
+    /// instead (see `delay_histogram`); `total_delay_secs` and the
+    /// exact mean are unaffected by the cap.
     pub max_delay_samples: Option<usize>,
     /// When set, [`Metrics::delay_hist`] collects satisfied-query
     /// delays into `(bucket_width_secs, bucket_count)` fixed buckets —
@@ -101,7 +104,7 @@ impl Default for SimConfig {
             contact_loss_probability: 0.0,
             epoch_interval: None,
             path_refresh: None,
-            max_delay_samples: None,
+            max_delay_samples: Some(65_536),
             delay_histogram: None,
             audit: false,
             seed: 0,
@@ -460,7 +463,148 @@ impl Link for LinkAccess<'_> {
     }
 }
 
+/// Where the simulator's contacts come from: a cursor over a
+/// time-ordered contact sequence.
+///
+/// Implemented by [`TraceSource`] (a materialized [`ContactTrace`] —
+/// the classic path) and [`StreamSource`] (any time-ordered contact
+/// iterator, e.g. `SyntheticTraceBuilder::stream`, which is what lets
+/// city-scale populations run without the trace ever existing in RAM).
+pub trait ContactSource {
+    /// Number of nodes in the population.
+    fn node_count(&self) -> usize;
+
+    /// The observation end: the simulation's natural stopping time.
+    /// Every contact starts before or at it.
+    fn end_time(&self) -> Time;
+
+    /// The next contact, without consuming it. Repeated calls return
+    /// the same contact until [`ContactSource::advance`].
+    fn peek(&mut self) -> Option<Contact>;
+
+    /// Consumes the contact last returned by [`ContactSource::peek`].
+    fn advance(&mut self);
+}
+
+/// A [`ContactSource`] replaying a borrowed, materialized
+/// [`ContactTrace`].
+#[derive(Debug)]
+pub struct TraceSource<'t> {
+    trace: &'t ContactTrace,
+    next: usize,
+}
+
+impl<'t> TraceSource<'t> {
+    /// Wraps a trace as a contact source (cursor at the beginning).
+    pub fn new(trace: &'t ContactTrace) -> Self {
+        TraceSource { trace, next: 0 }
+    }
+}
+
+impl ContactSource for TraceSource<'_> {
+    fn node_count(&self) -> usize {
+        self.trace.node_count()
+    }
+
+    fn end_time(&self) -> Time {
+        Time(self.trace.duration().as_secs())
+    }
+
+    fn peek(&mut self) -> Option<Contact> {
+        self.trace.contacts().get(self.next).copied()
+    }
+
+    fn advance(&mut self) {
+        self.next += 1;
+    }
+}
+
+/// A [`ContactSource`] pulling from a time-ordered contact iterator —
+/// memory stays whatever the iterator itself holds, regardless of how
+/// many contacts flow through.
+///
+/// # Panics
+///
+/// Iteration panics if the iterator yields contacts with decreasing
+/// start times: event-order violations would silently corrupt every
+/// downstream metric, so they fail fast.
+#[derive(Debug)]
+pub struct StreamSource<I> {
+    iter: I,
+    nodes: usize,
+    end: Time,
+    pending: Option<Contact>,
+    exhausted: bool,
+    last_start: Time,
+}
+
+impl<I: Iterator<Item = Contact>> StreamSource<I> {
+    /// Wraps a time-ordered contact iterator over `nodes` nodes
+    /// observed for `duration`.
+    pub fn new(iter: I, nodes: usize, duration: Duration) -> Self {
+        StreamSource {
+            iter,
+            nodes,
+            end: Time(duration.as_secs()),
+            pending: None,
+            exhausted: false,
+            last_start: Time::ZERO,
+        }
+    }
+}
+
+impl StreamSource<dtn_trace::synthetic::ContactStream> {
+    /// Wraps a synthetic [`ContactStream`], taking the population size
+    /// and observation length from the stream itself.
+    ///
+    /// [`ContactStream`]: dtn_trace::synthetic::ContactStream
+    pub fn from_synthetic(stream: dtn_trace::synthetic::ContactStream) -> Self {
+        let nodes = stream.node_count();
+        let duration = stream.duration();
+        StreamSource::new(stream, nodes, duration)
+    }
+}
+
+impl<I: Iterator<Item = Contact>> ContactSource for StreamSource<I> {
+    fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    fn end_time(&self) -> Time {
+        self.end
+    }
+
+    fn peek(&mut self) -> Option<Contact> {
+        if self.pending.is_none() && !self.exhausted {
+            self.pending = self.iter.next();
+            match self.pending {
+                Some(c) => {
+                    assert!(
+                        c.start >= self.last_start,
+                        "contact stream must be time-ordered: {:?} after {:?}",
+                        c.start,
+                        self.last_start
+                    );
+                    self.last_start = c.start;
+                }
+                None => self.exhausted = true,
+            }
+        }
+        self.pending
+    }
+
+    fn advance(&mut self) {
+        self.pending = None;
+    }
+}
+
 /// The discrete-event simulator.
+///
+/// Generic over its [`ContactSource`]: [`Simulator::new`] replays a
+/// borrowed [`ContactTrace`], [`Simulator::from_source`] accepts any
+/// source — notably a [`StreamSource`] feeding contacts straight from
+/// a generator, which is how 100k–1M-node populations run in `O(pairs)`
+/// memory.
 ///
 /// # Example
 ///
@@ -486,11 +630,10 @@ impl Link for LinkAccess<'_> {
 /// sim.run_to_end();
 /// assert_eq!(sim.metrics().queries_issued, 0);
 /// ```
-pub struct Simulator<'t, S> {
-    trace: &'t ContactTrace,
+pub struct Simulator<S, C> {
+    source: C,
     scheme: S,
     shared: Shared,
-    next_contact: usize,
     workload: Vec<WorkloadEvent>,
     next_workload: usize,
     next_sample: Time,
@@ -502,9 +645,16 @@ pub struct Simulator<'t, S> {
     contact_loss: f64,
 }
 
-impl<'t, S: Scheme> Simulator<'t, S> {
+impl<'t, S: Scheme> Simulator<S, TraceSource<'t>> {
     /// Creates a simulator over `trace` driving `scheme`.
     pub fn new(trace: &'t ContactTrace, scheme: S, config: SimConfig) -> Self {
+        Simulator::from_source(TraceSource::new(trace), scheme, config)
+    }
+}
+
+impl<S: Scheme, C: ContactSource> Simulator<S, C> {
+    /// Creates a simulator over any [`ContactSource`] driving `scheme`.
+    pub fn from_source(source: C, scheme: S, config: SimConfig) -> Self {
         assert!(
             config.bandwidth_bytes_per_sec > 0,
             "bandwidth must be positive"
@@ -518,19 +668,20 @@ impl<'t, S: Scheme> Simulator<'t, S> {
             "contact loss must be a probability"
         );
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let buffer_capacities = (0..trace.node_count())
+        let buffer_capacities = (0..source.node_count())
             .map(|_| rng.gen_range(config.buffer_range.0..=config.buffer_range.1))
             .collect();
         let mut metrics = Metrics::default();
         if let Some((width, buckets)) = config.delay_histogram {
             metrics.delay_hist = Some(dtn_core::hist::Histogram::new(width, buckets));
         }
+        let nodes = source.node_count();
         Simulator {
-            trace,
+            source,
             scheme,
             shared: Shared {
                 now: Time::ZERO,
-                rate_table: RateTable::new(trace.node_count(), Time::ZERO),
+                rate_table: RateTable::new(nodes, Time::ZERO),
                 metrics,
                 rng,
                 buffer_capacities,
@@ -541,7 +692,6 @@ impl<'t, S: Scheme> Simulator<'t, S> {
                 probe: ProbeSink::Noop,
                 audit: config.audit.then(|| Box::new(AuditState::default())),
             },
-            next_contact: 0,
             workload: Vec::new(),
             next_workload: 0,
             next_sample: Time::ZERO + config.sample_interval,
@@ -661,12 +811,8 @@ impl<'t, S: Scheme> Simulator<'t, S> {
     /// Processes every event strictly before `until`, then advances the
     /// clock to `until`.
     pub fn run_until(&mut self, until: Time) {
-        // The contact slice borrows the 't trace, not self, so it can be
-        // hoisted out of the dispatch loop.
-        let trace: &'t ContactTrace = self.trace;
-        let contacts = trace.contacts();
         loop {
-            let next_c = contacts.get(self.next_contact).copied();
+            let next_c = self.source.peek();
             let next_w = self.workload.get(self.next_workload).copied();
             // Workload events win ties so data generated at time t can be
             // pushed during a contact starting at the same instant.
@@ -693,7 +839,7 @@ impl<'t, S: Scheme> Simulator<'t, S> {
                 self.next_workload += 1;
                 self.dispatch_workload(next_w.expect("is_workload implies a workload event"));
             } else {
-                self.next_contact += 1;
+                self.source.advance();
                 self.dispatch_contact(next_c.expect("!is_workload implies a contact"));
             }
         }
@@ -704,7 +850,7 @@ impl<'t, S: Scheme> Simulator<'t, S> {
 
     /// Processes every remaining event and returns the final metrics.
     pub fn run_to_end(&mut self) -> &Metrics {
-        let end = Time(self.trace.duration().as_secs() + 1);
+        let end = Time(self.source.end_time().0 + 1);
         self.run_until(end);
         &self.shared.metrics
     }
@@ -1423,6 +1569,60 @@ mod tests {
         let report = sim.audit_report().expect("audit enabled");
         assert!(report.is_clean(), "{}", report.summary());
         assert!(report.sweeps() >= 2, "one sweep per surviving contact");
+    }
+
+    #[test]
+    fn stream_source_replays_identically_to_trace_source() {
+        // The same synthetic population driven once from the
+        // materialized trace and once from the streaming generator:
+        // every metric must agree bit for bit, because the engine sees
+        // the exact same contact sequence.
+        let builder = SyntheticTraceBuilder::new(12)
+            .duration(Duration::days(1))
+            .target_contacts(800)
+            .seed(6);
+        let trace = builder.build();
+        let cfg = SimConfig {
+            seed: 4,
+            ..SimConfig::default()
+        };
+        let workload = vec![
+            gen_event(1, 0, 1000, 100, 80_000),
+            query_event(200, 1, 1, 50_000),
+            query_event(900, 5, 1, 50_000),
+        ];
+        let mut by_trace = Simulator::new(&trace, DirectDelivery::default(), cfg.clone());
+        by_trace.add_workload(workload.clone());
+        by_trace.run_to_end();
+        let mut by_stream = Simulator::from_source(
+            StreamSource::from_synthetic(builder.stream()),
+            DirectDelivery::default(),
+            cfg,
+        );
+        by_stream.add_workload(workload);
+        by_stream.run_to_end();
+        assert_eq!(by_trace.metrics(), by_stream.metrics());
+        assert_eq!(
+            by_trace.rate_table().total_contacts(),
+            by_stream.rate_table().total_contacts()
+        );
+        assert_eq!(
+            by_trace.scheme().contacts_seen,
+            by_stream.scheme().contacts_seen
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_stream_panics() {
+        let contacts = vec![
+            Contact::new(NodeId(0), NodeId(1), Time(5000), Time(5100)),
+            Contact::new(NodeId(0), NodeId(1), Time(1000), Time(1100)),
+        ];
+        let source = StreamSource::new(contacts.into_iter(), 2, Duration(10_000));
+        let mut sim =
+            Simulator::from_source(source, DirectDelivery::default(), SimConfig::default());
+        sim.run_to_end();
     }
 
     #[test]

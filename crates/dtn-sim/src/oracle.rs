@@ -27,9 +27,11 @@
 //!   `O(log contacts)` so per-contact `record` calls never cause
 //!   per-contact rebuilds.
 
-use dtn_core::graph::ContactGraph;
+use dtn_core::graph::{ContactGraph, CsrGraph};
 use dtn_core::ids::NodeId;
-use dtn_core::path::{shortest_paths, PathTable};
+use dtn_core::path::{
+    bounded_shortest_paths, shortest_paths, PathTable, ReachScratch, SparseReach,
+};
 use dtn_core::rate::RateTable;
 use dtn_core::time::{Duration, Time};
 
@@ -38,12 +40,20 @@ use dtn_core::time::{Duration, Time};
 /// `gen_now > gen_snapshot + max(gen_snapshot, GENERATION_SLACK)`).
 const GENERATION_SLACK: u64 = 64;
 
+/// The shared per-epoch graph: adjacency lists by default, CSR storage
+/// in scale mode (tighter memory, no per-node allocations).
+#[derive(Debug)]
+enum SnapshotGraph {
+    Adjacency(ContactGraph),
+    Csr(CsrGraph),
+}
+
 /// The contact-graph snapshot shared by all sources within one epoch.
 #[derive(Debug)]
 struct Snapshot {
     built_at: Time,
     generation: u64,
-    graph: ContactGraph,
+    graph: SnapshotGraph,
 }
 
 /// Cumulative oracle work counters, for probes and diagnostics.
@@ -95,6 +105,15 @@ pub struct PathOracle {
     /// epoch it was computed in.
     epoch: u64,
     tables: Vec<Option<(u64, PathTable)>>,
+    /// Scale mode (see [`PathOracle::with_bounded_reach`]): hop bound
+    /// for [`PathOracle::weight`] searches. `None` (the default) keeps
+    /// the exact dense path.
+    max_hops: Option<usize>,
+    /// Scale mode: direct-mapped cache of bounded sparse reaches,
+    /// indexed by `source % len` — bounded memory no matter how many
+    /// distinct sources query within an epoch.
+    sparse: Vec<Option<(NodeId, u64, SparseReach)>>,
+    scratch: ReachScratch,
     stats: OracleStats,
 }
 
@@ -117,8 +136,38 @@ impl PathOracle {
             snapshot: None,
             epoch: 0,
             tables: (0..nodes).map(|_| None).collect(),
+            max_hops: None,
+            sparse: Vec::new(),
+            scratch: ReachScratch::new(),
             stats: OracleStats::default(),
         }
+    }
+
+    /// Switches the oracle into scale mode: [`PathOracle::weight`] runs
+    /// hop-bounded sparse searches (`max_hops` relaxation levels) whose
+    /// results live in a direct-mapped cache of `cache_slots` entries,
+    /// and the shared snapshot is stored as CSR. Memory per epoch is
+    /// `O(edges + cache_slots · reach)` instead of
+    /// `O(edges + sources · nodes)` — the difference between a 100k-node
+    /// population fitting in RAM or not.
+    ///
+    /// Weights within `max_hops` hops are exact; destinations further
+    /// away read as unreachable (weight 0). Opportunistic path weights
+    /// decay multiplicatively per hop, so distant-tail truncation is the
+    /// standard accuracy/size trade (§V-A keeps paths short anyway).
+    /// [`PathOracle::table`] still serves exact dense tables when asked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_hops` or `cache_slots` is zero.
+    pub fn with_bounded_reach(mut self, max_hops: usize, cache_slots: usize) -> Self {
+        assert!(max_hops > 0, "a zero-hop search reaches nothing");
+        assert!(cache_slots > 0, "the sparse cache needs at least one slot");
+        self.max_hops = Some(max_hops);
+        self.sparse = (0..cache_slots.min(self.tables.len()))
+            .map(|_| None)
+            .collect();
+        self
     }
 
     /// The horizon `T` used for path weights.
@@ -152,10 +201,15 @@ impl PathOracle {
             }
         };
         if stale {
+            let graph = if self.max_hops.is_some() {
+                SnapshotGraph::Csr(CsrGraph::from_rate_table(rates, now))
+            } else {
+                SnapshotGraph::Adjacency(ContactGraph::from_rate_table(rates, now))
+            };
             self.snapshot = Some(Snapshot {
                 built_at: now,
                 generation: rates.generation(),
-                graph: ContactGraph::from_rate_table(rates, now),
+                graph,
             });
             self.epoch += 1;
             self.stats.rebuilds += 1;
@@ -164,6 +218,10 @@ impl PathOracle {
 
     /// The path table from `source`, recomputed against the shared
     /// snapshot if the cached copy belongs to an older epoch.
+    ///
+    /// Always an exact, unbounded search — in scale mode this is the
+    /// expensive dense escape hatch (an `O(nodes)` table per distinct
+    /// source per epoch); hot paths should prefer [`PathOracle::weight`].
     pub fn table(&mut self, rates: &RateTable, now: Time, source: NodeId) -> &PathTable {
         self.refresh_snapshot(rates, now);
         let snapshot = self.snapshot.as_ref().expect("snapshot just refreshed");
@@ -173,21 +231,46 @@ impl PathOracle {
             self.stats.table_hits += 1;
         } else {
             self.stats.table_recomputes += 1;
-            *slot = Some((
-                self.epoch,
-                shortest_paths(&snapshot.graph, source, self.horizon),
-            ));
+            let table = match &snapshot.graph {
+                SnapshotGraph::Adjacency(g) => shortest_paths(g, source, self.horizon),
+                SnapshotGraph::Csr(g) => shortest_paths(g, source, self.horizon),
+            };
+            *slot = Some((self.epoch, table));
         }
         &slot.as_ref().expect("just computed").1
     }
 
     /// The best-path weight from `source` to `dest` (1 if equal,
-    /// 0 if unreachable).
+    /// 0 if unreachable — including, in scale mode, destinations past
+    /// the hop bound).
     pub fn weight(&mut self, rates: &RateTable, now: Time, source: NodeId, dest: NodeId) -> f64 {
         if source == dest {
             return 1.0;
         }
-        self.table(rates, now, source).weight_to(dest)
+        let Some(hops) = self.max_hops else {
+            return self.table(rates, now, source).weight_to(dest);
+        };
+        self.refresh_snapshot(rates, now);
+        let snapshot = self.snapshot.as_ref().expect("snapshot just refreshed");
+        let slot_index = source.index() % self.sparse.len();
+        let slot = &mut self.sparse[slot_index];
+        let valid = matches!(slot, Some((s, epoch, _)) if *s == source && *epoch == self.epoch);
+        if valid {
+            self.stats.table_hits += 1;
+        } else {
+            // A collision evicts the previous tenant (direct-mapped).
+            self.stats.table_recomputes += 1;
+            let reach = match &snapshot.graph {
+                SnapshotGraph::Adjacency(g) => {
+                    bounded_shortest_paths(g, source, self.horizon, hops, &mut self.scratch)
+                }
+                SnapshotGraph::Csr(g) => {
+                    bounded_shortest_paths(g, source, self.horizon, hops, &mut self.scratch)
+                }
+            };
+            *slot = Some((source, self.epoch, reach));
+        }
+        slot.as_ref().expect("just computed").2.weight_to(dest)
     }
 
     /// Drops the snapshot and every cached table (e.g. after a
@@ -195,6 +278,9 @@ impl PathOracle {
     pub fn invalidate(&mut self) {
         self.snapshot = None;
         for slot in &mut self.tables {
+            *slot = None;
+        }
+        for slot in &mut self.sparse {
             *slot = None;
         }
         self.stats.invalidations += 1;
@@ -368,5 +454,76 @@ mod tests {
         let rates = RateTable::new(2, Time::ZERO);
         let mut o = PathOracle::new(2, 100.0, Duration::hours(1));
         assert_eq!(o.weight(&rates, Time(0), NodeId(1), NodeId(1)), 1.0);
+    }
+
+    #[test]
+    fn bounded_reach_matches_exact_weights_within_the_bound() {
+        // The 4-node line has diameter 3: a 4-hop bound must reproduce
+        // the dense oracle's weights bit for bit.
+        let rates = rates_line();
+        let mut exact = PathOracle::new(4, 3600.0, Duration::hours(1));
+        let mut scaled = PathOracle::new(4, 3600.0, Duration::hours(1)).with_bounded_reach(4, 4);
+        let now = Time(1000);
+        for s in 0..4u32 {
+            for d in 0..4u32 {
+                assert_eq!(
+                    exact.weight(&rates, now, NodeId(s), NodeId(d)),
+                    scaled.weight(&rates, now, NodeId(s), NodeId(d)),
+                    "weight {s}→{d} diverged under the hop bound"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hop_bound_truncates_distant_weights_to_zero() {
+        let rates = rates_line();
+        let mut o = PathOracle::new(4, 3600.0, Duration::hours(1)).with_bounded_reach(1, 4);
+        let now = Time(1000);
+        // One hop: direct neighbor reachable, two hops away is not.
+        assert!(o.weight(&rates, now, NodeId(0), NodeId(1)) > 0.0);
+        assert_eq!(o.weight(&rates, now, NodeId(0), NodeId(2)), 0.0);
+    }
+
+    #[test]
+    fn direct_mapped_cache_hits_and_collides_as_sized() {
+        let rates = rates_line();
+        // One slot: alternating sources evict each other every call.
+        let mut o = PathOracle::new(4, 3600.0, Duration::hours(1)).with_bounded_reach(4, 1);
+        let now = Time(1000);
+        let _ = o.weight(&rates, now, NodeId(0), NodeId(3));
+        let _ = o.weight(&rates, now, NodeId(0), NodeId(2)); // hit
+        let _ = o.weight(&rates, now, NodeId(1), NodeId(3)); // evicts 0
+        let _ = o.weight(&rates, now, NodeId(0), NodeId(1)); // evicts 1
+        let s = o.stats();
+        assert_eq!(s.table_recomputes, 3);
+        assert_eq!(s.table_hits, 1);
+        assert_eq!(s.rebuilds, 1, "collisions must not rebuild the snapshot");
+    }
+
+    #[test]
+    fn scale_mode_still_serves_exact_dense_tables() {
+        let rates = rates_line();
+        let mut exact = PathOracle::new(4, 3600.0, Duration::hours(1));
+        let mut scaled = PathOracle::new(4, 3600.0, Duration::hours(1)).with_bounded_reach(2, 2);
+        let now = Time(1000);
+        let te = exact.table(&rates, now, NodeId(0));
+        let ts = scaled.table(&rates, now, NodeId(0));
+        for d in 0..4u32 {
+            assert_eq!(te.weight_to(NodeId(d)), ts.weight_to(NodeId(d)));
+        }
+    }
+
+    #[test]
+    fn invalidate_clears_the_sparse_cache() {
+        let mut rates = rates_line();
+        let mut o = PathOracle::new(4, 3600.0, Duration::hours(1)).with_bounded_reach(4, 4);
+        let w0 = o.weight(&rates, Time(1000), NodeId(0), NodeId(1));
+        for t in 6..=50u64 {
+            rates.record(NodeId(0), NodeId(1), Time(t * 10));
+        }
+        o.invalidate();
+        let w1 = o.weight(&rates, Time(1000), NodeId(0), NodeId(1));
+        assert!(w1 > w0, "stale sparse reach served after invalidate");
     }
 }

@@ -1,0 +1,157 @@
+//! Differential guarantees of the city-scale engine.
+//!
+//! Two equivalences keep the streaming/sparse fast paths honest:
+//!
+//! - [`SyntheticTraceBuilder::stream`] must yield exactly the contact
+//!   sequence `build()` materializes — same seed, same contacts, same
+//!   order (proptest over builder configurations, plus a large-N
+//!   time-ordering regression through the sampled pair-selection path);
+//! - [`select_central_nodes_scoped`] must equal the global
+//!   [`select_central_nodes`] bit for bit when the partition is a
+//!   single community, and at multi-community scale its metric
+//!   distribution must stay as skewed as §IV-B expects.
+
+use dtn_coop_cache::core::graph::{ContactGraph, CsrGraph, Topology};
+use dtn_coop_cache::core::ncl::{
+    label_propagation_communities, metric_skew, scoped_metrics, select_central_nodes,
+    select_central_nodes_scoped, CommunityPartition,
+};
+use dtn_coop_cache::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Streaming and materialized generation are the same generator:
+    /// for any builder configuration up to 200 nodes, `stream()` yields
+    /// `build()`'s contact vector element for element.
+    #[test]
+    fn stream_equals_build(
+        nodes in 2usize..=200,
+        seed in 0u64..1_000,
+        communities in 1usize..=5,
+        target in 200u64..3_000,
+        burstiness in 1.0f64..4.0,
+    ) {
+        let builder = SyntheticTraceBuilder::new(nodes)
+            .duration(Duration::days(1))
+            .target_contacts(target)
+            .communities(communities.min(nodes))
+            .burstiness(burstiness)
+            .seed(seed);
+        let built = builder.build();
+        let streamed: Vec<_> = builder.stream().collect();
+        prop_assert_eq!(built.contacts(), &streamed[..]);
+    }
+}
+
+/// Large populations take the sampled (Miller–Hagberg) pair-selection
+/// path instead of the exact `C(N,2)` sweep; the merged stream must
+/// still be globally time-ordered and in-bounds.
+#[test]
+fn large_population_stream_is_time_ordered() {
+    let builder = SyntheticTraceBuilder::new(5_000)
+        .duration(Duration::hours(12))
+        .target_contacts(60_000)
+        .communities(10)
+        .edge_density(10.0 / 4_999.0)
+        .seed(11);
+    let duration = Duration::hours(12).as_secs();
+    let mut count = 0u64;
+    let mut last_start = Time(0);
+    for c in builder.stream() {
+        assert!(c.start >= last_start, "stream went back in time");
+        assert!(c.start < Time(duration), "contact starts past the end");
+        assert!(c.end > c.start, "empty contact");
+        assert!(c.a < c.b, "contact endpoints not normalized");
+        assert!(c.b.index() < 5_000, "node out of range");
+        last_start = c.start;
+        count += 1;
+    }
+    assert!(
+        (30_000..=120_000).contains(&count),
+        "calibration way off target: {count} contacts"
+    );
+}
+
+/// A deterministic sparse graph: spanning chain plus hashed extra
+/// edges, so the scoped-vs-global comparison sees varied topologies
+/// without pulling an RNG into the test crate.
+fn random_graph(n: usize, extra_edges: usize, seed: u64) -> ContactGraph {
+    let mut g = ContactGraph::new(n);
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in 1..n as u32 {
+        let rate = 1e-4 + (next() % 1_000) as f64 * 1e-6;
+        g.set_rate(NodeId(i - 1), NodeId(i), rate);
+    }
+    for _ in 0..extra_edges {
+        let a = (next() % n as u64) as u32;
+        let b = (next() % n as u64) as u32;
+        if a != b {
+            let rate = 1e-4 + (next() % 1_000) as f64 * 1e-6;
+            g.set_rate(NodeId(a), NodeId(b), rate);
+        }
+    }
+    g
+}
+
+/// With one community and no hop bound, the scoped sweep must reduce to
+/// the global §IV selection exactly — same nodes, same metric bits.
+#[test]
+fn scoped_selection_matches_global_on_single_community() {
+    for (n, extras, seed) in [(24usize, 40usize, 1u64), (60, 150, 5), (120, 400, 9)] {
+        let g = random_graph(n, extras, seed);
+        let partition = CommunityPartition::single(n);
+        for k in [1, 3, 8] {
+            let global = select_central_nodes(&g, k, 7_200.0);
+            let scoped = select_central_nodes_scoped(&g, &partition, k, 7_200.0, None);
+            assert_eq!(global.len(), scoped.len(), "n={n} k={k}");
+            for (a, b) in global.iter().zip(&scoped) {
+                assert_eq!(a.node, b.node, "n={n} k={k}: selection diverged");
+                assert_eq!(
+                    a.metric.to_bits(),
+                    b.metric.to_bits(),
+                    "n={n} k={k}: metric bits diverged at {:?}",
+                    a.node
+                );
+            }
+        }
+    }
+}
+
+/// At multi-community scale the scoped metric distribution must keep
+/// the paper's skew ("few nodes contact many others and act as the
+/// communication hubs", §IV-B): the central picks concentrate well
+/// above the median node.
+#[test]
+fn scoped_metrics_stay_skewed_at_community_scale() {
+    let trace = SyntheticTraceBuilder::new(1_200)
+        .duration(Duration::days(1))
+        .target_contacts(30_000)
+        .communities(6)
+        .community_boost(6.0)
+        .edge_density(12.0 / 1_199.0)
+        .seed(4)
+        .build();
+    let now = Time(trace.duration().as_secs());
+    let table = trace.rate_table(now);
+    let g = CsrGraph::from_rate_table(&table, now);
+    assert!(g.node_count() == 1_200);
+    let partition = label_propagation_communities(&g, 16);
+    assert!(
+        partition.count() > 1,
+        "label propagation collapsed to one community"
+    );
+    let scores = scoped_metrics(&g, &partition, 7_200.0, Some(3));
+    let skew = metric_skew(&scores);
+    assert!(
+        skew.max_over_median > 1.5,
+        "scoped metric distribution lost its skew: {skew:?}"
+    );
+}
