@@ -42,6 +42,24 @@ fn bench_hypoexp(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_hypoexp_extended(c: &mut Criterion) {
+    // The oracle's innermost kernel: one candidate-rate extension of a
+    // cached accumulator per relaxation step. The flat evaluation loop
+    // (separation scan hoisted out) is what this measures; stage counts
+    // mirror path lengths seen at the 10k city scale.
+    let mut group = c.benchmark_group("hypoexp_extended_cdf");
+    for stages in [4usize, 8, 16, 32] {
+        let mut acc = hypoexp::HorizonAccumulator::new(36_000.0);
+        for k in 1..=stages {
+            acc.push(1e-4 * k as f64);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(stages), &acc, |b, acc| {
+            b.iter(|| acc.extended_cdf(black_box(7.77e-4)))
+        });
+    }
+    group.finish();
+}
+
 fn bench_shortest_paths(c: &mut Criterion) {
     let mut group = c.benchmark_group("shortest_paths");
     for n in [50usize, 100, 200] {
@@ -85,6 +103,28 @@ fn bench_knapsack(c: &mut Criterion) {
     });
 }
 
+fn bench_knapsack_dp_heavy(c: &mut Criterion) {
+    // Forces the full DP table (total weight far above capacity) at a
+    // coarser quantum so the row update — the blocked, branchless
+    // kernel — dominates. 200 items × 4096 weight units is the
+    // replacement workload at a loaded NCL.
+    let mut rng = StdRng::seed_from_u64(13);
+    let items: Vec<CacheItem> = (0..200)
+        .map(|_| CacheItem {
+            size: rng.gen_range(1 << 20..64 << 20),
+            utility: rng.gen_range(0.0..1.0),
+        })
+        .collect();
+    let mut solver = KnapsackSolver::new(1 << 20);
+    let capacity = 4096u64 << 20;
+    c.bench_function("knapsack_dp_200items_4096units", |b| {
+        b.iter(|| {
+            let selection = solver.solve_in(black_box(&items), black_box(capacity));
+            black_box(selection.indices.len())
+        })
+    });
+}
+
 fn bench_popularity(c: &mut Criterion) {
     c.bench_function("popularity_record_and_query", |b| {
         b.iter(|| {
@@ -118,9 +158,11 @@ fn bench_trace_generation(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_hypoexp,
+    bench_hypoexp_extended,
     bench_shortest_paths,
     bench_ncl_selection,
     bench_knapsack,
+    bench_knapsack_dp_heavy,
     bench_popularity,
     bench_zipf,
     bench_trace_generation,

@@ -1,9 +1,11 @@
 //! Regenerates every table and figure of the paper as text tables.
 //!
 //! ```text
-//! experiments [--scale F] [--seeds N] [--timing] <command>
+//! experiments [--scale F] [--seeds N] [--timing] [--threads T] <command>
 //! commands: table1 fig4 fig7 fig9 fig10 fig11 fig12 fig13 all
 //!           observe <figure> [--out report.jsonl]
+//!           scale [NODES,...] [--out BENCH_scale.json]
+//!           parallel [NODES] [--out BENCH_parallel_engine.json]
 //! ```
 //!
 //! `--scale` shrinks trace duration and contact count proportionally
@@ -16,6 +18,11 @@
 //! probe layer recording every protocol event, prints a post-mortem
 //! (probe counters, per-NCL hit rates, delay decomposition, slowest
 //! queries), and streams events + per-query traces as JSONL to `--out`.
+//!
+//! `--threads T` runs `observe` and `scale` on the windowed parallel
+//! executor; `parallel` sweeps a thread-count curve (1/2/4/8) over one
+//! city-scale point plus a fig10 point, asserts every run is
+//! bit-identical to serial, and emits `BENCH_parallel_engine.json`.
 
 use std::env;
 use std::fs;
@@ -38,6 +45,8 @@ struct Options {
     out: Option<PathBuf>,
     timing: bool,
     epoch: Option<Duration>,
+    /// `SimConfig::threads` for `observe`/`scale`; 1 = serial engine.
+    threads: usize,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -49,6 +58,7 @@ fn parse_args() -> Result<Options, String> {
     let mut out = None;
     let mut timing = false;
     let mut epoch = None;
+    let mut threads = 1;
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -85,6 +95,13 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.next().ok_or("--out needs a file path")?;
                 out = Some(PathBuf::from(v));
             }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a count")?;
+                threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
+                if threads == 0 {
+                    return Err("threads must be positive".into());
+                }
+            }
             "--help" | "-h" => {
                 command = Some("help".to_string());
             }
@@ -106,6 +123,7 @@ fn parse_args() -> Result<Options, String> {
         out,
         timing,
         epoch,
+        threads,
     })
 }
 
@@ -191,14 +209,22 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+            "parallel" => {
+                if let Err(e) = parallel_cmd(&opts) {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
             "help" => {
                 println!(
                     "usage: experiments [--scale F] [--seeds N] [--csv DIR] [--timing] \
                      [--epoch SECS] \
                      <table1|fig4|fig7|fig9|fig10|fig11|fig12|fig13|ablation|ncl|bounds|churn|all>\n\
                      \x20      experiments observe <{}> [--out report.jsonl] [--scale F] \
-                     [--seeds SEED]\n\
-                     \x20      experiments scale [NODES,NODES,...] [--out BENCH_scale.json]",
+                     [--seeds SEED] [--threads T]\n\
+                     \x20      experiments scale [NODES,NODES,...] [--out BENCH_scale.json] \
+                     [--threads T]\n\
+                     \x20      experiments parallel [NODES] [--out BENCH_parallel_engine.json]",
                     bench::observe::FIGURES.join("|")
                 );
             }
@@ -569,7 +595,12 @@ fn observe(opts: &Options) -> Result<(), String> {
             bench::observe::FIGURES.join(", ")
         )
     })?;
-    let run = bench::observe::observe_figure(figure, opts.scale, u64::from(opts.seeds))?;
+    let run = bench::observe::observe_figure_threaded(
+        figure,
+        opts.scale,
+        u64::from(opts.seeds),
+        opts.threads,
+    )?;
     if let Some(path) = &opts.out {
         let lines = bench::observe::write_jsonl_file(&run, path)
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
@@ -602,11 +633,13 @@ fn scale_cmd(opts: &Options) -> Result<(), String> {
     let mut runs = Vec::new();
     for &nodes in &sizes {
         let smoke = nodes >= 500_000;
-        let cfg = if smoke {
+        let mut cfg = if smoke {
             ScaleConfig::city(nodes).smoke()
         } else {
             ScaleConfig::city(nodes)
         };
+        cfg.threads = opts.threads;
+        cfg.batch_stats = opts.threads > 1;
         eprintln!(
             "[scale] {nodes} nodes ({})...",
             if smoke { "smoke" } else { "city" }
@@ -623,6 +656,7 @@ fn scale_cmd(opts: &Options) -> Result<(), String> {
     eprintln!("[scale] audited 2000-node case...");
     let audited = run_scale(&ScaleConfig {
         audit: true,
+        threads: opts.threads,
         ..ScaleConfig::city(2_000)
     });
     let (sweeps, violations) = audited.audit.expect("audit was enabled");
@@ -664,6 +698,150 @@ fn scale_cmd(opts: &Options) -> Result<(), String> {
     }
     if violations > 0 {
         return Err(format!("audited scale case found {violations} violations"));
+    }
+    Ok(())
+}
+
+/// The `parallel` command: thread-count scaling curve of the windowed
+/// executor. Runs the city-scale point (default 10000 nodes, override
+/// with a positional count) at 1/2/4/8 threads with batch statistics
+/// on, plus one fig10 point serial vs 4 threads, asserts each parallel
+/// run reproduced its serial baseline, and emits the
+/// `BENCH_parallel_engine.json` document to `--out` or stdout.
+fn parallel_cmd(opts: &Options) -> Result<(), String> {
+    use bench::scale::{run_scale, ScaleConfig};
+    let nodes: usize = match opts.figure.as_deref() {
+        Some(s) => s
+            .trim()
+            .replace('_', "")
+            .parse()
+            .map_err(|_| format!("bad node count {s:?}"))?,
+        None => 10_000,
+    };
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    const CURVE: [usize; 4] = [1, 2, 4, 8];
+
+    let mut runs = Vec::new();
+    for threads in CURVE {
+        eprintln!("[parallel] {nodes} nodes, {threads} thread(s)...");
+        let report = run_scale(&ScaleConfig {
+            threads,
+            batch_stats: true,
+            ..ScaleConfig::city(nodes)
+        });
+        eprintln!(
+            "[parallel] {threads} thread(s): measured {:.1}s, {:.0} contacts/s{}",
+            report.measured_secs,
+            report.contacts_per_sec,
+            report.parallel.as_ref().map_or(String::new(), |p| format!(
+                ", mean batch width {:.2}",
+                p.mean_batch_width()
+            )),
+        );
+        runs.push(report);
+    }
+    // The equivalence contract, checked on the real scale point: every
+    // parallel run must land on the serial run's exact outcome.
+    let serial = &runs[0];
+    for report in &runs[1..] {
+        let identical = report.contacts == serial.contacts
+            && report.queries_issued == serial.queries_issued
+            && report.success_ratio.to_bits() == serial.success_ratio.to_bits()
+            && report.central_nodes == serial.central_nodes;
+        if !identical {
+            return Err(format!(
+                "{} threads diverged from serial at {nodes} nodes",
+                report.threads
+            ));
+        }
+    }
+
+    eprintln!("[parallel] fig10 point, serial vs 4 threads...");
+    let mut fig10_runs = Vec::new();
+    for threads in [1usize, 4] {
+        let started = std::time::Instant::now();
+        let run = bench::observe::observe_figure_threaded(
+            "fig10",
+            opts.scale,
+            u64::from(opts.seeds),
+            threads,
+        )?;
+        fig10_runs.push((threads, started.elapsed().as_secs_f64(), run));
+    }
+    let (_, _, fig10_serial) = &fig10_runs[0];
+    for (threads, _, run) in &fig10_runs[1..] {
+        if run.metrics != fig10_serial.metrics || run.ncl_query_load != fig10_serial.ncl_query_load
+        {
+            return Err(format!("{threads} threads diverged from serial on fig10"));
+        }
+    }
+
+    let mut doc = format!(
+        "{{\n  \"benchmark\": \"windowed parallel executor (SimConfig::threads)\",\n  \
+         \"command\": \"cargo run --release -p bench --bin experiments -- parallel --out \
+         BENCH_parallel_engine.json\",\n  \
+         \"host_cores\": {cores},\n  \
+         \"scale_point\": {{\n    \"nodes\": {nodes},\n    \"bit_identical_to_serial\": true,\n    \
+         \"runs\": [\n"
+    );
+    for (i, report) in runs.iter().enumerate() {
+        doc.push_str(&format!(
+            "      {{\n        \"report\":\n{}\n      }}{}\n",
+            report.to_json(8),
+            if i + 1 < runs.len() { "," } else { "" },
+        ));
+    }
+    doc.push_str("    ]\n  },\n  \"fig10_point\": {\n");
+    doc.push_str(&format!(
+        "    \"scale\": {},\n    \"seed\": {},\n    \"metrics_identical_to_serial\": true,\n    \
+         \"runs\": [\n",
+        opts.scale, opts.seeds
+    ));
+    for (i, (threads, wall_secs, run)) in fig10_runs.iter().enumerate() {
+        let p = run.probe.parallel_counters();
+        let parallel = if p.windows > 0 {
+            format!(
+                "{{\"windows\": {}, \"contacts\": {}, \"batches\": {}, \"widest\": {}, \
+                 \"mean_batch_width\": {:.4}, \"conflict_rate\": {:.4}}}",
+                p.windows,
+                p.contacts,
+                p.batches,
+                p.widest,
+                p.mean_batch_width(),
+                p.conflict_rate(),
+            )
+        } else {
+            "null".into()
+        };
+        doc.push_str(&format!(
+            "      {{\"threads\": {}, \"wall_secs\": {:.3}, \"queries_satisfied\": {}, \
+             \"parallel\": {}}}{}\n",
+            threads,
+            wall_secs,
+            run.metrics.queries_satisfied,
+            parallel,
+            if i + 1 < fig10_runs.len() { "," } else { "" },
+        ));
+    }
+    doc.push_str(
+        "    ]\n  },\n  \"notes\": [\n    \
+         \"host_cores is std::thread::available_parallelism at measurement time; wall-clock \
+         speedup is bounded by it. On a single-core host the curve measures executor overhead, \
+         not speedup -- mean_batch_width and conflict_rate report the parallelism the batcher \
+         exposes for multi-core hosts.\",\n    \
+         \"bit_identical_to_serial is asserted by this command (contacts, queries, success-ratio \
+         bits, elected NCLs); the full probe-stream equivalence lives in \
+         tests/parallel_equivalence.rs and simcheck --threads.\",\n    \
+         \"every run has batch_stats on (a counters-only probe) so thread counts pay symmetric \
+         instrumentation overhead; threads=1 reports parallel: null because the serial engine \
+         never forms windows.\"\n  ]\n}\n",
+    );
+    match &opts.out {
+        Some(path) => {
+            fs::write(path, &doc).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            println!("[parallel] wrote {}", path.display());
+        }
+        None => print!("{doc}"),
     }
     Ok(())
 }

@@ -1,7 +1,7 @@
 //! Randomized invariant fuzzer over the simulation engine.
 //!
 //! ```text
-//! simcheck [--seeds N] [--seed BASE] [--streaming M]
+//! simcheck [--seeds N] [--seed BASE] [--streaming M] [--threads T]
 //! ```
 //!
 //! Runs `N` seeds (default 32) starting at `BASE` (default 0). Each
@@ -16,22 +16,30 @@
 //! reproduce the materialized run bit for bit, and the city-scale mode
 //! (community-scoped NCL selection + bounded-reach oracle) must hold
 //! every audit law.
+//!
+//! `--threads T` (T ≥ 2) reruns every main-batch seed as a
+//! serial-vs-`T`-thread differential: the windowed parallel executor
+//! must reproduce the serial run's metrics, per-NCL query load and
+//! probe event stream bit for bit (modulo its own `parallel_window`
+//! planning events).
 
 use std::env;
 use std::process::ExitCode;
 
-use bench::simcheck::{check_seed, check_streaming_seed, CaseParams};
+use bench::simcheck::{check_parallel_seed, check_seed, check_streaming_seed, CaseParams};
 
 struct Options {
     seeds: u64,
     base: u64,
     streaming: u64,
+    threads: usize,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut seeds = 32;
     let mut base = 0;
     let mut streaming = 0;
+    let mut threads = 0;
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -49,6 +57,13 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| format!("bad streaming count {v:?}"))?;
             }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a count")?;
+                threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
+                if threads < 2 {
+                    return Err("--threads needs at least 2".into());
+                }
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -56,6 +71,7 @@ fn parse_args() -> Result<Options, String> {
         seeds,
         base,
         streaming,
+        threads,
     })
 }
 
@@ -64,7 +80,7 @@ fn main() -> ExitCode {
         Ok(opts) => opts,
         Err(msg) => {
             eprintln!("simcheck: {msg}");
-            eprintln!("usage: simcheck [--seeds N] [--seed BASE] [--streaming M]");
+            eprintln!("usage: simcheck [--seeds N] [--seed BASE] [--streaming M] [--threads T]");
             return ExitCode::FAILURE;
         }
     };
@@ -111,10 +127,36 @@ fn main() -> ExitCode {
             }
         }
     }
+    if opts.threads >= 2 {
+        for seed in opts.base..opts.base + opts.seeds {
+            match check_parallel_seed(seed, opts.threads) {
+                Ok(stats) => {
+                    sweeps += stats.sweeps;
+                    differentials += 1;
+                    println!(
+                        "parallel seed {seed:>4}: clean ({} sweeps, {}-thread == serial)",
+                        stats.sweeps, opts.threads
+                    );
+                }
+                Err(failure) => {
+                    failures += 1;
+                    println!("parallel seed {seed:>4}: FAILED");
+                    println!("  {failure}");
+                    println!("  original case: {}", CaseParams::from_seed(seed));
+                }
+            }
+        }
+    }
     println!(
-        "simcheck: {} seeds + {} streaming, {failures} failures, {sweeps} audit sweeps, \
+        "simcheck: {} seeds + {} streaming{}, {failures} failures, {sweeps} audit sweeps, \
          {differentials} differential cases",
-        opts.seeds, opts.streaming
+        opts.seeds,
+        opts.streaming,
+        if opts.threads >= 2 {
+            format!(" + {} parallel ({} threads)", opts.seeds, opts.threads)
+        } else {
+            String::new()
+        }
     );
     if failures > 0 {
         ExitCode::FAILURE

@@ -107,6 +107,19 @@ fn figure_setup(figure: &str, scale: f64, seed: u64) -> Option<(ContactTrace, Ex
 /// Runs the named figure's base configuration once with a recording
 /// probe covering the measurement phase. `Err` names the unknown figure.
 pub fn observe_figure(figure: &str, scale: f64, seed: u64) -> Result<ObserveRun, String> {
+    observe_figure_threaded(figure, scale, seed, 1)
+}
+
+/// [`observe_figure`] on the windowed parallel executor: `threads > 1`
+/// adds `parallel_window` planning events to the stream and an achieved-
+/// parallelism section to the report; everything else is bit-identical
+/// to the serial run by the engine's equivalence contract.
+pub fn observe_figure_threaded(
+    figure: &str,
+    scale: f64,
+    seed: u64,
+    threads: usize,
+) -> Result<ObserveRun, String> {
     let (trace, config) = figure_setup(figure, scale, seed)
         .ok_or_else(|| format!("unknown figure {figure:?}; expected one of {FIGURES:?}"))?;
     let kind = SchemeKind::Intentional;
@@ -117,6 +130,7 @@ pub fn observe_figure(figure: &str, scale: f64, seed: u64) -> Result<ObserveRun,
         epoch_interval: config.epoch_interval,
         path_refresh: config.path_refresh,
         seed,
+        threads,
         ..SimConfig::default()
     };
     let mut sim = Simulator::new(&trace, scheme, sim_config);
@@ -403,6 +417,25 @@ pub fn render_report(run: &ObserveRun) -> String {
         );
     }
 
+    // Achieved parallelism: per-window batch statistics from the
+    // windowed executor's planning phase (absent in serial runs).
+    let par = run.probe.parallel_counters();
+    if par.windows > 0 {
+        let _ = writeln!(out, "\n-- achieved parallelism --");
+        let _ = writeln!(
+            out,
+            "{} windows over {} contacts: {:.1} contacts/window, {} batches \
+             (mean width {:.2}, widest {}), conflict rate {:.1}%",
+            par.windows,
+            par.contacts,
+            par.contacts as f64 / par.windows as f64,
+            par.batches,
+            par.mean_batch_width(),
+            par.widest,
+            par.conflict_rate() * 100.0,
+        );
+    }
+
     // Histograms (alloc-free fixed buckets, recorded in the hot loop).
     if run.probe.delay_hist().count() > 0 {
         let _ = writeln!(out, "\n{}", run.probe.delay_hist().render("delay", "s"));
@@ -494,6 +527,24 @@ mod tests {
         assert!(report.contains("NCL query arrivals"));
         assert!(report.contains("probe counters"));
         assert!(!report.contains("MISMATCH"), "{report}");
+    }
+
+    #[test]
+    fn threaded_observe_matches_serial_and_reports_parallelism() {
+        let serial = observe_figure("fig10", 0.02, 7).expect("known figure");
+        let par = observe_figure_threaded("fig10", 0.02, 7, 4).expect("known figure");
+        // Equivalence contract: identical metrics, and the parallel run
+        // actually formed windows.
+        assert_eq!(serial.metrics, par.metrics);
+        assert_eq!(serial.central_nodes, par.central_nodes);
+        assert_eq!(serial.ncl_query_load, par.ncl_query_load);
+        assert_eq!(serial.probe.parallel_counters().windows, 0);
+        assert!(par.probe.parallel_counters().windows > 0);
+        // The report surfaces achieved parallelism only when windows ran.
+        assert!(!render_report(&serial).contains("achieved parallelism"));
+        let report = render_report(&par);
+        assert!(report.contains("achieved parallelism"), "{report}");
+        assert!(report.contains("conflict rate"), "{report}");
     }
 
     #[test]

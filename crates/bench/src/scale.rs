@@ -20,7 +20,7 @@
 //! Reported numbers (contacts/sec, peak RSS) feed `BENCH_scale.json`;
 //! the `experiments scale` subcommand drives it from the command line.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::time::Instant;
 
@@ -34,6 +34,7 @@ use dtn_core::ncl::SelectionStrategy;
 use dtn_core::time::{Duration, Time};
 use dtn_sim::engine::{SimConfig, Simulator, StreamSource, WorkloadEvent};
 use dtn_sim::message::DataItem;
+use dtn_sim::probe::{ParallelCounters, RecordingProbe};
 use dtn_trace::synthetic::SyntheticTraceBuilder;
 
 use crate::runner::peak_rss_bytes;
@@ -77,6 +78,14 @@ pub struct ScaleConfig {
     /// Run the full invariant audit after every contact (the audited
     /// mid-size configuration; far too slow for 100k nodes).
     pub audit: bool,
+    /// Worker threads for the engine's windowed parallel executor
+    /// (`SimConfig::threads`); 1 keeps the classic serial loop.
+    pub threads: usize,
+    /// Install a counters-only probe and report per-window batch
+    /// statistics (exploitable parallelism). Symmetric overhead: the
+    /// probe is installed at every thread count so scaling curves stay
+    /// comparable.
+    pub batch_stats: bool,
 }
 
 impl ScaleConfig {
@@ -106,6 +115,8 @@ impl ScaleConfig {
             reach_cache_slots: nodes,
             seed: 42,
             audit: false,
+            threads: 1,
+            batch_stats: false,
         }
     }
 
@@ -157,6 +168,11 @@ pub struct ScaleReport {
     pub central_nodes: usize,
     /// `(sweeps, violations)` when the invariant audit ran.
     pub audit: Option<(u64, u64)>,
+    /// Engine worker threads this run used.
+    pub threads: usize,
+    /// Per-window batch statistics when `ScaleConfig::batch_stats` was
+    /// on (all zero in a serial run — no windows form).
+    pub parallel: Option<ParallelCounters>,
 }
 
 impl ScaleReport {
@@ -171,6 +187,19 @@ impl ScaleReport {
             }
             None => "null".to_string(),
         };
+        let parallel = match &self.parallel {
+            Some(p) => format!(
+                "{{ \"windows\": {}, \"contacts\": {}, \"batches\": {}, \"widest\": {}, \
+                 \"mean_batch_width\": {:.3}, \"conflict_rate\": {:.4} }}",
+                p.windows,
+                p.contacts,
+                p.batches,
+                p.widest,
+                p.mean_batch_width(),
+                p.conflict_rate(),
+            ),
+            None => "null".to_string(),
+        };
         format!(
             "{pad}{{\n\
              {pad}  \"nodes\": {},\n\
@@ -183,6 +212,8 @@ impl ScaleReport {
              {pad}  \"queries_issued\": {},\n\
              {pad}  \"success_ratio\": {:.4},\n\
              {pad}  \"central_nodes\": {},\n\
+             {pad}  \"threads\": {},\n\
+             {pad}  \"parallel\": {parallel},\n\
              {pad}  \"audit\": {audit}\n\
              {pad}}}",
             self.nodes,
@@ -195,6 +226,7 @@ impl ScaleReport {
             self.queries_issued,
             self.success_ratio,
             self.central_nodes,
+            self.threads,
         )
     }
 }
@@ -270,9 +302,15 @@ pub fn run_scale(cfg: &ScaleConfig) -> ScaleReport {
             buffer_range: cfg.buffer_range,
             audit: cfg.audit,
             seed: cfg.seed,
+            threads: cfg.threads,
             ..SimConfig::default()
         },
     );
+    let recorder = cfg.batch_stats.then(|| {
+        let r = Rc::new(RefCell::new(RecordingProbe::new().without_event_stream()));
+        sim.set_probe(Box::new(Rc::clone(&r)));
+        r
+    });
 
     // Phase 1: warm-up over the first half of the stream.
     let started = Instant::now();
@@ -310,6 +348,11 @@ pub fn run_scale(cfg: &ScaleConfig) -> ScaleReport {
     sim.run_to_end();
     let measured_secs = measured_started.elapsed().as_secs_f64();
 
+    let parallel = recorder.map(|r| {
+        drop(sim.take_probe());
+        let counters = r.borrow().parallel_counters();
+        counters
+    });
     let metrics = sim.metrics();
     let contacts = contacts_seen.get();
     let loop_secs = warmup_secs + measured_secs;
@@ -331,6 +374,8 @@ pub fn run_scale(cfg: &ScaleConfig) -> ScaleReport {
         audit: sim
             .audit_report()
             .map(|r| (r.sweeps(), r.violations_total())),
+        threads: cfg.threads,
+        parallel,
     }
 }
 
@@ -376,7 +421,35 @@ mod tests {
         let json = report.to_json(2);
         assert!(json.contains("\"contacts_per_sec\""));
         assert!(json.contains("\"peak_rss_bytes\""));
+        assert!(json.contains("\"threads\": 1"));
+        assert!(json.contains("\"parallel\": null"));
         assert!(json.trim_start().starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn parallel_city_run_matches_serial_and_reports_batches() {
+        let serial = run_scale(&tiny());
+        let parallel = run_scale(&ScaleConfig {
+            threads: 4,
+            batch_stats: true,
+            ..tiny()
+        });
+        // Deterministic equivalence surfaces through every outcome the
+        // report carries.
+        assert_eq!(serial.contacts, parallel.contacts);
+        assert_eq!(serial.queries_issued, parallel.queries_issued);
+        assert_eq!(
+            serial.success_ratio.to_bits(),
+            parallel.success_ratio.to_bits()
+        );
+        assert_eq!(serial.central_nodes, parallel.central_nodes);
+        let counters = parallel.parallel.expect("batch stats requested");
+        assert!(counters.windows > 0, "no windows formed at city density");
+        assert!(counters.contacts <= parallel.contacts);
+        assert!(counters.mean_batch_width() >= 1.0);
+        let json = parallel.to_json(2);
+        assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"mean_batch_width\""));
     }
 
     #[test]

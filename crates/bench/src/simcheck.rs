@@ -40,7 +40,7 @@ use dtn_sim::engine::{
 };
 use dtn_sim::message::DataItem;
 use dtn_sim::metrics::Metrics;
-use dtn_sim::probe::RecordingProbe;
+use dtn_sim::probe::{ProbeEvent, RecordingProbe};
 use dtn_trace::synthetic::SyntheticTraceBuilder;
 use dtn_trace::trace::ContactTrace;
 use rand::rngs::StdRng;
@@ -175,6 +175,8 @@ struct RunResult {
     metrics: Metrics,
     load: Vec<u64>,
     sweeps: u64,
+    /// The full probe event stream, for cross-run bit comparison.
+    events: Vec<ProbeEvent>,
     /// `Some(summary)` when the audit or probe cross-check failed.
     failure: Option<String>,
 }
@@ -275,10 +277,12 @@ fn run_instrumented_from<S: CachingScheme, C: ContactSource>(
         check_delay_decomposition(&probe.borrow(), sim.metrics(), sim.now(), &mut probe_report);
         failure = (!probe_report.is_clean()).then(|| probe_report.summary());
     }
+    let events = probe.borrow().events().to_vec();
     RunResult {
         metrics: sim.metrics().clone(),
         load: sim.scheme().ncl_query_load().to_vec(),
         sweeps,
+        events,
         failure,
     }
 }
@@ -446,6 +450,130 @@ pub fn run_streaming_case(params: &CaseParams) -> Result<CaseStats, String> {
     })
 }
 
+/// Runs one parallel-executor differential case: the seed's full
+/// configuration serially and again with `SimConfig::threads` set, both
+/// audited, then compares metrics, per-NCL query load and the probe
+/// event stream bit for bit. The parallel stream is allowed exactly one
+/// extra event kind — `parallel_window`, emitted by the planning phase —
+/// which is filtered out before the comparison; a serial run emitting it
+/// is itself a failure.
+///
+/// # Errors
+///
+/// Returns the audit summary or divergence description on failure.
+pub fn run_parallel_case(params: &CaseParams, threads: usize) -> Result<CaseStats, String> {
+    assert!(threads > 1, "a parallel case needs at least two threads");
+    let trace = SyntheticTraceBuilder::new(params.nodes)
+        .duration(Duration::days(2))
+        .target_contacts(params.contacts)
+        .seed(params.seed)
+        .build();
+    let events = workload(params, &trace);
+    let cfg = IntentionalConfig {
+        ncl_count: params.ncl_count,
+        replacement: params.replacement,
+        response: params.response,
+        response_routing: params.routing,
+        probabilistic_selection: params.probabilistic,
+        ..IntentionalConfig::default()
+    };
+
+    let serial = run_instrumented(
+        &trace,
+        IntentionalScheme::new(cfg.clone()),
+        events.clone(),
+        sim_config(params),
+    );
+    if let Some(detail) = serial.failure {
+        return Err(format!("serial run: {detail}"));
+    }
+    if serial
+        .events
+        .iter()
+        .any(|e| matches!(e, ProbeEvent::ParallelWindow { .. }))
+    {
+        return Err("serial run emitted parallel_window events".into());
+    }
+
+    let parallel = run_instrumented(
+        &trace,
+        IntentionalScheme::new(cfg),
+        events,
+        SimConfig {
+            threads,
+            ..sim_config(params)
+        },
+    );
+    if let Some(detail) = parallel.failure {
+        return Err(format!("{threads}-thread run: {detail}"));
+    }
+    if serial.metrics != parallel.metrics {
+        return Err(format!(
+            "{threads}-thread metrics diverged: {:?} vs serial {:?}",
+            parallel.metrics, serial.metrics
+        ));
+    }
+    if serial.load != parallel.load {
+        return Err(format!(
+            "{threads}-thread NCL query load diverged: {:?} vs serial {:?}",
+            parallel.load, serial.load
+        ));
+    }
+    let filtered: Vec<&ProbeEvent> = parallel
+        .events
+        .iter()
+        .filter(|e| !matches!(e, ProbeEvent::ParallelWindow { .. }))
+        .collect();
+    if filtered.len() != serial.events.len()
+        || filtered.iter().zip(&serial.events).any(|(a, b)| **a != *b)
+    {
+        return Err(format!(
+            "{threads}-thread probe stream diverged: {} events (after filtering) vs serial {}",
+            filtered.len(),
+            serial.events.len()
+        ));
+    }
+
+    Ok(CaseStats {
+        sweeps: serial.sweeps + parallel.sweeps,
+        queries_issued: serial.metrics.queries_issued,
+        differential: true,
+    })
+}
+
+/// Checks one seed's serial-vs-parallel differential; failures come
+/// back shrunk like the main batch (the executor divergence dimension
+/// survives shrinking — every shrunk case still runs both ways).
+///
+/// # Errors
+///
+/// Returns the (shrunk) failing case on any invariant breach or
+/// divergence.
+pub fn check_parallel_seed(seed: u64, threads: usize) -> Result<CaseStats, Box<SimcheckFailure>> {
+    let params = CaseParams::from_seed(seed);
+    match run_parallel_case(&params, threads) {
+        Ok(stats) => Ok(stats),
+        Err(detail) => {
+            let mut failure = SimcheckFailure { params, detail };
+            // Greedy shrink against the parallel differential itself.
+            loop {
+                let step = shrink_steps(&failure.params).into_iter().find_map(|cand| {
+                    run_parallel_case(&cand, threads)
+                        .err()
+                        .map(|detail| SimcheckFailure {
+                            params: cand,
+                            detail,
+                        })
+                });
+                match step {
+                    Some(smaller) => failure = smaller,
+                    None => break Err(Box::new(failure)),
+                }
+            }
+        }
+    }
+}
+
 /// Checks one seed's streaming/CSR case. Streaming failures are not
 /// shrunk: the interesting dimension (population size) is pinned by the
 /// case derivation, and `shrink` reduces toward the dense regime the
@@ -556,6 +684,16 @@ mod tests {
         let stats = check_streaming_seed(0).unwrap_or_else(|f| panic!("streaming seed 0: {f}"));
         assert!(stats.sweeps > 0, "streaming case never audited");
         assert!(stats.differential, "streaming case skipped the diff");
+    }
+
+    #[test]
+    fn parallel_case_first_seeds_clean() {
+        for seed in 0..2u64 {
+            let stats = check_parallel_seed(seed, 2)
+                .unwrap_or_else(|f| panic!("parallel seed {seed} failed: {f}"));
+            assert!(stats.differential, "parallel case skipped the diff");
+            assert!(stats.sweeps > 0, "parallel case never audited");
+        }
     }
 
     #[test]

@@ -289,8 +289,9 @@ impl HorizonAccumulator {
     /// multiply-adds and exactly one fresh exponential.
     ///
     /// When `rate` is well-separated from every existing stage (the
-    /// common case), the separation scan is fused into the evaluation
-    /// loop; a clustered candidate falls back to the perturbing path.
+    /// common case), a branchless separation scan clears the way for a
+    /// flat, autovectorizable evaluation loop; a clustered candidate
+    /// falls back to the perturbing path before anything accumulates.
     ///
     /// # Panics
     ///
@@ -304,16 +305,26 @@ impl HorizonAccumulator {
         if a.all_equal && (a.rates.is_empty() || rate == a.rates[0]) {
             return erlang_cdf(rate, a.rates.len() as u32 + 1, self.t);
         }
-        // Optimistic fast path: while `rate` stays well-separated from
-        // every stage, effective_rate(rate) == rate and the scan can run
-        // inside the evaluation loop itself.
+        // Separation scan first, as its own branchless reduction: the
+        // original fused check forced an early exit in every iteration
+        // of the evaluation loop, defeating autovectorization. Hoisted,
+        // the scan is a pure max/compare reduction and the evaluation
+        // loop below runs flat. Bit-identical either way: the fused form
+        // also bailed to the perturbed path before accumulating anything.
+        let mut clustered = false;
+        for &lk in &a.spread {
+            clustered |= (rate - lk).abs() <= REL_SEPARATION * rate.max(lk);
+        }
+        if clustered {
+            return self.extended_cdf_perturbed(rate);
+        }
+        // Flat evaluation: independent multiply-adds per stage, one
+        // running product. Per-stage operation order matches the fused
+        // original exactly — f64 accumulation is never reassociated.
         let mut c_new = 1.0;
         let mut sum = 0.0;
         for k in 0..a.spread.len() {
             let lk = a.spread[k];
-            if (rate - lk).abs() <= REL_SEPARATION * rate.max(lk) {
-                return self.extended_cdf_perturbed(rate);
-            }
             let inv = 1.0 / (lk - rate);
             sum += (a.coeffs[k] * (-rate * inv)) * self.em1[k];
             c_new *= lk * inv;

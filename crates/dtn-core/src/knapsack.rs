@@ -215,12 +215,31 @@ impl KnapsackSolver {
                 continue;
             }
             let row = i * (cap_units + 1);
-            for w in (w_i..=cap_units).rev() {
-                let with = self.dp[w - w_i] + it.utility;
-                if with > self.dp[w] {
-                    self.dp[w] = with;
-                    self.take[row + w] = true;
+            // The classic in-place row update walks w downward so every
+            // read of dp[w - w_i] sees the previous row — but a reverse,
+            // branchy loop defeats autovectorization. Equivalent flat
+            // form: process blocks of width w_i from the top. Within a
+            // block all reads land strictly below it (an index read this
+            // row is only written in a later, lower block), so the body
+            // is a forward, branchless select over disjoint src/dst
+            // slices. Each cell's float op order is unchanged, and the
+            // pre-zeroed take row makes `take[k] = better` identical to
+            // the conditional write.
+            let utility = it.utility;
+            let mut hi = cap_units + 1;
+            while hi > w_i {
+                let lo = hi.saturating_sub(w_i).max(w_i);
+                let (src, dst) = self.dp.split_at_mut(lo);
+                let take_row = &mut self.take[row + lo..row + hi];
+                let src = &src[lo - w_i..];
+                for (k, (slot, taken)) in dst[..hi - lo].iter_mut().zip(take_row).enumerate() {
+                    let with = src[k] + utility;
+                    let cur = *slot;
+                    let better = with > cur;
+                    *slot = if better { with } else { cur };
+                    *taken = better;
                 }
+                hi = lo;
             }
         }
 
@@ -524,6 +543,29 @@ mod tests {
                 let fast = s.solve(it, cap);
                 let full = solve_forced_dp(&mut KnapsackSolver::new(1), it, cap);
                 assert_eq!(fast, full, "cap {cap} items {it:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_dp_covers_every_seam() {
+        // The row update runs in blocks of the item's weight, high to
+        // low. Sweep weights against capacities around block multiples
+        // (ragged first block, single-cell blocks, weight == capacity)
+        // and check the optimum against brute force at every seam.
+        for w_i in [1u64, 2, 3, 5, 7, 11] {
+            for cap in w_i.saturating_sub(1)..=3 * w_i + 2 {
+                let it = items(&[
+                    (w_i, 0.7),
+                    (w_i, 0.6),
+                    (1, 0.05),
+                    (w_i + 1, 0.9),
+                    (2 * w_i, 1.1),
+                ]);
+                let mut s = KnapsackSolver::new(1);
+                let dp = solve_forced_dp(&mut s, &it, cap).total_utility;
+                let bf = brute_force(&it, cap);
+                assert!((dp - bf).abs() < 1e-9, "w_i {w_i} cap {cap}: {dp} vs {bf}");
             }
         }
     }

@@ -1,0 +1,240 @@
+//! Differential guarantee of the windowed parallel executor.
+//!
+//! `SimConfig::threads > 1` switches the engine to batched planning over
+//! endpoint-disjoint contacts with a trace-order commit phase. The
+//! contract is strict: for any trace, any workload, audits on and epochs
+//! firing, a parallel run must reproduce the serial run **bit for bit**
+//! — metrics, rate tables, audit sweeps and the probe event stream. The
+//! single permitted difference is the extra `parallel_window` planning
+//! events a parallel run emits; filtering those out must leave the
+//! serial stream exactly.
+//!
+//! Covered here over randomized configurations (proptest) and both
+//! contact sources:
+//!
+//! - [`ContactTrace`]-backed runs at 2 and 4 threads, dense oracle;
+//! - hop-bounded sparse-oracle runs (the city-scale configuration);
+//! - [`StreamSource`]-backed runs, which exercise the windowed
+//!   executor's incremental peek/advance path.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dtn_coop_cache::cache::intentional::{IntentionalConfig, IntentionalScheme};
+use dtn_coop_cache::cache::{CachingScheme, NetworkSetup};
+use dtn_coop_cache::core::ids::{DataId, NodeId};
+use dtn_coop_cache::core::time::{Duration, Time};
+use dtn_coop_cache::sim::engine::{SimConfig, Simulator, StreamSource, WorkloadEvent};
+use dtn_coop_cache::sim::message::DataItem;
+use dtn_coop_cache::sim::metrics::Metrics;
+use dtn_coop_cache::sim::probe::{ProbeEvent, RecordingProbe};
+use dtn_coop_cache::trace::synthetic::SyntheticTraceBuilder;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Params {
+    nodes: usize,
+    seed: u64,
+    target_contacts: u64,
+    sparse_oracle: bool,
+}
+
+fn builder(p: &Params) -> SyntheticTraceBuilder {
+    SyntheticTraceBuilder::new(p.nodes)
+        .duration(Duration::days(1))
+        .target_contacts(p.target_contacts)
+        .communities(2)
+        .seed(p.seed)
+}
+
+fn sim_config(p: &Params, threads: usize) -> SimConfig {
+    SimConfig {
+        seed: p.seed ^ 0x5A5A,
+        threads,
+        buffer_range: (128_000, 512_000),
+        audit: true,
+        epoch_interval: Some(Duration::hours(3)),
+        sample_interval: Duration::hours(2),
+        contact_loss_probability: 0.05,
+        ..SimConfig::default()
+    }
+}
+
+fn scheme(p: &Params) -> IntentionalScheme {
+    IntentionalScheme::new(IntentionalConfig {
+        ncl_count: 3,
+        bounded_reach: if p.sparse_oracle { Some((4, 64)) } else { None },
+        ..IntentionalConfig::default()
+    })
+}
+
+fn workload(p: &Params, mid: Time) -> Vec<WorkloadEvent> {
+    let nodes = p.nodes as u64;
+    let items = 12u64;
+    let mut events = Vec::new();
+    for i in 0..items {
+        events.push(WorkloadEvent::GenerateData {
+            item: DataItem::new(
+                DataId(i),
+                NodeId((i * 5 % nodes) as u32),
+                1_000 + 100 * i,
+                mid + Duration::minutes(7 * i),
+                Duration::hours(20),
+            ),
+        });
+    }
+    for q in 0..40u64 {
+        events.push(WorkloadEvent::IssueQuery {
+            at: mid + Duration::minutes(30 + 11 * q),
+            requester: NodeId(((q * 7 + 3) % nodes) as u32),
+            data: DataId(q * q % items),
+            constraint: Duration::hours(6),
+        });
+    }
+    events
+}
+
+/// One full run (warm-up, NCL election, workload) at the given thread
+/// count; returns everything observable.
+fn run(p: &Params, threads: usize, streaming: bool) -> (Metrics, Vec<ProbeEvent>, u64) {
+    let b = builder(p);
+    let mid = Time(Duration::days(1).as_secs() / 2);
+    let trace = b.build();
+    let cfg = sim_config(p, threads);
+
+    macro_rules! drive {
+        ($sim:expr) => {{
+            let mut sim = $sim;
+            sim.run_until(mid);
+            let capacities: Vec<u64> = (0..p.nodes as u32)
+                .map(|n| sim.buffer_capacity(NodeId(n)))
+                .collect();
+            let rate_table = sim.rate_table().clone();
+            sim.scheme_mut().configure(&NetworkSetup {
+                rate_table: &rate_table,
+                now: mid,
+                capacities,
+                horizon: 3600.0 * 8.0,
+                path_refresh: None,
+            });
+            let recorder = Rc::new(RefCell::new(RecordingProbe::new()));
+            sim.set_probe(Box::new(Rc::clone(&recorder)));
+            sim.add_workload(workload(p, mid));
+            sim.run_to_end();
+            let report = sim.audit_report().expect("audit enabled");
+            assert!(report.is_clean(), "threads={threads}: {}", report.summary());
+            drop(sim.take_probe());
+            let probe = Rc::try_unwrap(recorder)
+                .ok()
+                .expect("engine returned its probe handle")
+                .into_inner();
+            (
+                sim.metrics().clone(),
+                probe.events().to_vec(),
+                sim.rate_table().total_contacts(),
+            )
+        }};
+    }
+
+    if streaming {
+        drive!(Simulator::from_source(
+            StreamSource::from_synthetic(b.stream()),
+            scheme(p),
+            cfg,
+        ))
+    } else {
+        drive!(Simulator::new(&trace, scheme(p), cfg))
+    }
+}
+
+/// Drops the planning events a parallel run is allowed to add.
+fn without_planning(events: Vec<ProbeEvent>) -> Vec<ProbeEvent> {
+    events
+        .into_iter()
+        .filter(|e| !matches!(e, ProbeEvent::ParallelWindow { .. }))
+        .collect()
+}
+
+fn assert_equivalent(p: &Params, streaming: bool, thread_counts: &[usize]) {
+    let (serial_m, serial_events, serial_contacts) = run(p, 1, streaming);
+    assert!(
+        !serial_events
+            .iter()
+            .any(|e| matches!(e, ProbeEvent::ParallelWindow { .. })),
+        "serial runs must not emit planning events"
+    );
+    for &threads in thread_counts {
+        let (m, events, contacts) = run(p, threads, streaming);
+        let planned = events
+            .iter()
+            .filter(|e| matches!(e, ProbeEvent::ParallelWindow { .. }))
+            .count();
+        assert!(
+            planned > 0,
+            "threads={threads}: a parallel run over {} contacts formed no windows",
+            serial_contacts
+        );
+        assert_eq!(serial_m, m, "{p:?} threads={threads}: metrics diverged");
+        assert_eq!(
+            serial_events,
+            without_planning(events),
+            "{p:?} threads={threads}: probe stream diverged"
+        );
+        assert_eq!(serial_contacts, contacts);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Trace-backed runs, dense oracle: serial vs 2 and 4 threads.
+    #[test]
+    fn trace_runs_are_thread_count_invariant(
+        nodes in 12usize..=24,
+        seed in 0u64..500,
+        target_contacts in 1_500u64..=3_000,
+    ) {
+        let p = Params { nodes, seed, target_contacts, sparse_oracle: false };
+        assert_equivalent(&p, false, &[2, 4]);
+    }
+
+    /// The hop-bounded sparse oracle (city-scale configuration) obeys
+    /// the same contract: its direct-mapped reach cache and staged
+    /// sparse priming must not leak thread-count dependence.
+    #[test]
+    fn sparse_oracle_runs_are_thread_count_invariant(
+        nodes in 12usize..=20,
+        seed in 0u64..500,
+    ) {
+        let p = Params { nodes, seed, target_contacts: 2_000, sparse_oracle: true };
+        assert_equivalent(&p, false, &[4]);
+    }
+
+    /// Streaming-source runs: the windowed gather loop peeks/advances
+    /// an unmaterialized source and must still match its own serial run.
+    #[test]
+    fn stream_runs_are_thread_count_invariant(
+        nodes in 12usize..=20,
+        seed in 0u64..500,
+    ) {
+        let p = Params { nodes, seed, target_contacts: 2_000, sparse_oracle: false };
+        assert_equivalent(&p, true, &[2, 4]);
+    }
+}
+
+/// A fixed deep configuration pinned outside proptest so CI exercises it
+/// on every run: both sources, both oracles, 2 and 4 threads.
+#[test]
+fn pinned_dense_and_sparse_equivalence() {
+    for sparse_oracle in [false, true] {
+        for streaming in [false, true] {
+            let p = Params {
+                nodes: 18,
+                seed: 42,
+                target_contacts: 2_500,
+                sparse_oracle,
+            };
+            assert_equivalent(&p, streaming, &[2, 4]);
+        }
+    }
+}
