@@ -215,6 +215,12 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+            "regimes" => {
+                if let Err(e) = regimes_cmd(&opts) {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
             "help" => {
                 println!(
                     "usage: experiments [--scale F] [--seeds N] [--csv DIR] [--timing] \
@@ -224,7 +230,9 @@ fn main() -> ExitCode {
                      [--seeds SEED] [--threads T]\n\
                      \x20      experiments scale [NODES,NODES,...] [--out BENCH_scale.json] \
                      [--threads T]\n\
-                     \x20      experiments parallel [NODES] [--out BENCH_parallel_engine.json]",
+                     \x20      experiments parallel [NODES] [--out BENCH_parallel_engine.json]\n\
+                     \x20      experiments regimes [PROCESS,...] [--out BENCH_regimes.json] \
+                     [--scale F] [--seeds N] [--threads T]",
                     bench::observe::FIGURES.join("|")
                 );
             }
@@ -842,6 +850,73 @@ fn parallel_cmd(opts: &Options) -> Result<(), String> {
             println!("[parallel] wrote {}", path.display());
         }
         None => print!("{doc}"),
+    }
+    Ok(())
+}
+
+/// The `regimes` command: the hostile-regime matrix (contact process ×
+/// overlay × NCL-maintenance policy). An optional positional narrows
+/// the process list (comma-separated kebab-case names); every overlay
+/// slot always runs. Emits the `BENCH_regimes.json` document to `--out`
+/// or stdout and fails if any audited run reports violations.
+fn regimes_cmd(opts: &Options) -> Result<(), String> {
+    use bench::regimes::{report_to_json, run_regime_matrix, RegimeMatrixConfig};
+    use dtn_trace::process::ContactProcessKind;
+    let processes: Vec<ContactProcessKind> = match opts.figure.as_deref() {
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                let name = s.trim();
+                ContactProcessKind::parse(name).ok_or_else(|| {
+                    format!(
+                        "unknown process {name:?}; known: {}",
+                        ContactProcessKind::ALL
+                            .iter()
+                            .map(|k| k.name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                })
+            })
+            .collect::<Result<_, _>>()?,
+        None => ContactProcessKind::ALL.to_vec(),
+    };
+    let cfg = RegimeMatrixConfig {
+        scale: opts.scale,
+        seeds: opts.seeds,
+        processes,
+        threads: opts.threads,
+        ..RegimeMatrixConfig::default()
+    };
+    eprintln!(
+        "[regimes] {} processes x {} overlays x {{frozen, adaptive}}, {} seed(s), scale {}...",
+        cfg.processes.len(),
+        cfg.overlays.len(),
+        cfg.seeds,
+        cfg.scale,
+    );
+    let report = run_regime_matrix(&cfg);
+    for cell in &report.cells {
+        eprintln!(
+            "[regimes] {:>17} x {:<13} frozen {:.3} adaptive {:.3} (recovery {:+.3})",
+            cell.process.name(),
+            cell.overlay,
+            cell.frozen.success_ratio,
+            cell.adaptive.success_ratio,
+            cell.recovery(),
+        );
+    }
+    let violations = report.total_violations();
+    let doc = report_to_json(&report);
+    match &opts.out {
+        Some(path) => {
+            fs::write(path, &doc).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            println!("[regimes] wrote {}", path.display());
+        }
+        None => print!("{doc}"),
+    }
+    if violations > 0 {
+        return Err(format!("audited regime runs found {violations} violations"));
     }
     Ok(())
 }

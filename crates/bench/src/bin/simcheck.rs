@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! simcheck [--seeds N] [--seed BASE] [--streaming M] [--threads T]
+//!          [--process <name|all>]
 //! ```
 //!
 //! Runs `N` seeds (default 32) starting at `BASE` (default 0). Each
@@ -17,6 +18,14 @@
 //! (community-scoped NCL selection + bounded-reach oracle) must hold
 //! every audit law.
 //!
+//! `--process <name|all>` reruns every main-batch seed on traces
+//! generated under the named non-Poisson contact process, with a
+//! seed-derived hostile overlay (flash crowd, NCL blackout, partition,
+//! or buffer famine) filtering the contact stream and injecting its
+//! workload. `all` covers every non-Poisson process. Both schemes see
+//! the identical overlaid stream, so epoch-free cases keep the
+//! optimized-vs-reference differential.
+//!
 //! `--threads T` (T ≥ 2) reruns every main-batch seed as a
 //! serial-vs-`T`-thread differential: the windowed parallel executor
 //! must reproduce the serial run's metrics, per-NCL query load and
@@ -26,13 +35,18 @@
 use std::env;
 use std::process::ExitCode;
 
-use bench::simcheck::{check_parallel_seed, check_seed, check_streaming_seed, CaseParams};
+use bench::simcheck::{
+    check_parallel_seed, check_process_seed, check_seed, check_streaming_seed, CaseParams,
+};
+use dtn_trace::process::ContactProcessKind;
 
 struct Options {
     seeds: u64,
     base: u64,
     streaming: u64,
     threads: usize,
+    /// Non-Poisson contact processes to fuzz (`--process <name|all>`).
+    processes: Vec<ContactProcessKind>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -40,6 +54,7 @@ fn parse_args() -> Result<Options, String> {
     let mut base = 0;
     let mut streaming = 0;
     let mut threads = 0;
+    let mut processes = Vec::new();
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -64,6 +79,30 @@ fn parse_args() -> Result<Options, String> {
                     return Err("--threads needs at least 2".into());
                 }
             }
+            "--process" => {
+                let v = args.next().ok_or("--process needs a name or 'all'")?;
+                if v == "all" {
+                    // Poisson is the main batch's law; the process batch
+                    // exists for everything else.
+                    processes.extend(
+                        ContactProcessKind::ALL
+                            .into_iter()
+                            .filter(|k| *k != ContactProcessKind::Poisson),
+                    );
+                } else {
+                    let kind = ContactProcessKind::parse(&v).ok_or_else(|| {
+                        format!(
+                            "unknown process {v:?}; known: all, {}",
+                            ContactProcessKind::ALL
+                                .iter()
+                                .map(|k| k.name())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        )
+                    })?;
+                    processes.push(kind);
+                }
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -72,6 +111,7 @@ fn parse_args() -> Result<Options, String> {
         base,
         streaming,
         threads,
+        processes,
     })
 }
 
@@ -80,7 +120,10 @@ fn main() -> ExitCode {
         Ok(opts) => opts,
         Err(msg) => {
             eprintln!("simcheck: {msg}");
-            eprintln!("usage: simcheck [--seeds N] [--seed BASE] [--streaming M] [--threads T]");
+            eprintln!(
+                "usage: simcheck [--seeds N] [--seed BASE] [--streaming M] [--threads T] \
+                 [--process <name|all>]"
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -127,6 +170,34 @@ fn main() -> ExitCode {
             }
         }
     }
+    let mut process_cases = 0u64;
+    for &process in &opts.processes {
+        for seed in opts.base..opts.base + opts.seeds {
+            process_cases += 1;
+            match check_process_seed(seed, process) {
+                Ok(stats) => {
+                    sweeps += stats.sweeps;
+                    differentials += u64::from(stats.differential);
+                    println!(
+                        "process {:<17} seed {seed:>4}: clean ({} sweeps{})",
+                        process.name(),
+                        stats.sweeps,
+                        if stats.differential {
+                            ", differential"
+                        } else {
+                            ", audit-only"
+                        }
+                    );
+                }
+                Err(failure) => {
+                    failures += 1;
+                    println!("process {:<17} seed {seed:>4}: FAILED", process.name());
+                    println!("  {failure}");
+                    println!("  original case: {}", CaseParams::from_seed(seed));
+                }
+            }
+        }
+    }
     if opts.threads >= 2 {
         for seed in opts.base..opts.base + opts.seeds {
             match check_parallel_seed(seed, opts.threads) {
@@ -148,10 +219,19 @@ fn main() -> ExitCode {
         }
     }
     println!(
-        "simcheck: {} seeds + {} streaming{}, {failures} failures, {sweeps} audit sweeps, \
+        "simcheck: {} seeds + {} streaming{}{}, {failures} failures, {sweeps} audit sweeps, \
          {differentials} differential cases",
         opts.seeds,
         opts.streaming,
+        if process_cases > 0 {
+            format!(
+                " + {} process/overlay ({} processes)",
+                process_cases,
+                opts.processes.len()
+            )
+        } else {
+            String::new()
+        },
         if opts.threads >= 2 {
             format!(" + {} parallel ({} threads)", opts.seeds, opts.threads)
         } else {

@@ -7,6 +7,7 @@
 
 pub mod figures;
 pub mod observe;
+pub mod regimes;
 pub mod runner;
 pub mod scale;
 pub mod simcheck;

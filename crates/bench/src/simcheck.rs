@@ -40,7 +40,9 @@ use dtn_sim::engine::{
 };
 use dtn_sim::message::DataItem;
 use dtn_sim::metrics::Metrics;
+use dtn_sim::overlay::{OverlayKind, OverlaySource, RegimeOverlay};
 use dtn_sim::probe::{ProbeEvent, RecordingProbe};
+use dtn_trace::process::ContactProcessKind;
 use dtn_trace::synthetic::SyntheticTraceBuilder;
 use dtn_trace::trace::ContactTrace;
 use rand::rngs::StdRng;
@@ -541,6 +543,164 @@ pub fn run_parallel_case(params: &CaseParams, threads: usize) -> Result<CaseStat
     })
 }
 
+/// Derives this seed's hostile overlay for the process batch: the kind
+/// rotates with the seed, the window covers the middle of the workload
+/// half, and the blackout targets the top central nodes of the
+/// mid-trace rate table — the same nodes the scheme is about to elect.
+fn process_case_overlay(params: &CaseParams, trace: &ContactTrace) -> RegimeOverlay {
+    let mid = trace.midpoint();
+    let half = trace.duration().as_secs() - mid.as_secs();
+    let start = Time(mid.as_secs() + half * 15 / 100);
+    let end = Time(mid.as_secs() + half * 75 / 100);
+    let kind = match params.seed % 4 {
+        0 => OverlayKind::FlashCrowd {
+            item: DataId(0),
+            requests: 8 + (params.seed % 9) as u32,
+            constraint: Duration::hours(10),
+        },
+        1 => {
+            let table = trace.rate_table(mid);
+            let graph = dtn_core::graph::ContactGraph::from_rate_table(&table, mid);
+            let count = 1 + (params.seed as usize / 4) % 3;
+            let nodes: Vec<NodeId> = dtn_core::ncl::select_central_nodes(&graph, count, 7200.0)
+                .into_iter()
+                .map(|s| s.node)
+                .collect();
+            OverlayKind::NclBlackout { nodes }
+        }
+        2 => OverlayKind::Partition {
+            cut: (params.nodes / 2) as u32,
+        },
+        _ => OverlayKind::BufferFamine {
+            items: 4 + (params.seed % 12) as u32,
+            size: if params.tight_buffers { 400 } else { 20_000 },
+        },
+    };
+    RegimeOverlay::new(start, end, kind)
+}
+
+/// Runs one non-Poisson process case: the seed's protocol configuration
+/// on a trace generated under `process`, with the seed's hostile
+/// overlay filtering the contact stream and injecting its workload.
+/// Both schemes see the identical overlaid stream, so the epoch-free
+/// optimized-vs-reference differential still holds; every run is fully
+/// audited (including the trace-monotonicity law over the overlay
+/// output).
+///
+/// # Errors
+///
+/// Returns the audit summary or divergence description on failure.
+pub fn run_process_case(
+    params: &CaseParams,
+    process: ContactProcessKind,
+) -> Result<CaseStats, String> {
+    let trace = SyntheticTraceBuilder::new(params.nodes)
+        .duration(Duration::days(2))
+        .target_contacts(params.contacts)
+        .contact_process(process)
+        .seed(params.seed)
+        .build();
+    let mid = trace.midpoint();
+    let overlay = process_case_overlay(params, &trace);
+    let mut events = workload(params, &trace);
+    // Famine fillers start above the workload's item-id range.
+    events.extend(overlay.workload_events(params.nodes, params.items));
+    let cfg = IntentionalConfig {
+        ncl_count: params.ncl_count,
+        replacement: params.replacement,
+        response: params.response,
+        response_routing: params.routing,
+        probabilistic_selection: params.probabilistic,
+        ..IntentionalConfig::default()
+    };
+    let source = || OverlaySource::new(TraceSource::new(&trace), vec![overlay.clone()]);
+
+    let fast = run_instrumented_from(
+        source(),
+        IntentionalScheme::new(cfg.clone()),
+        events.clone(),
+        sim_config(params),
+        mid,
+        params.nodes,
+    );
+    if let Some(detail) = fast.failure {
+        return Err(format!("optimized scheme ({}): {detail}", process.name()));
+    }
+    let mut stats = CaseStats {
+        sweeps: fast.sweeps,
+        queries_issued: fast.metrics.queries_issued,
+        differential: false,
+    };
+
+    if params.epoch_hours.is_none() {
+        let reference = run_instrumented_from(
+            source(),
+            ReferenceIntentionalScheme::new(cfg),
+            events,
+            sim_config(params),
+            mid,
+            params.nodes,
+        );
+        if let Some(detail) = reference.failure {
+            return Err(format!("reference scheme ({}): {detail}", process.name()));
+        }
+        if fast.metrics != reference.metrics {
+            return Err(format!(
+                "metrics diverged under {}: optimized {:?} vs reference {:?}",
+                process.name(),
+                fast.metrics,
+                reference.metrics
+            ));
+        }
+        if fast.load != reference.load {
+            return Err(format!(
+                "NCL query load diverged under {}: optimized {:?} vs reference {:?}",
+                process.name(),
+                fast.load,
+                reference.load
+            ));
+        }
+        stats.sweeps += reference.sweeps;
+        stats.differential = true;
+    }
+    Ok(stats)
+}
+
+/// Checks one seed's process/overlay case; failures come back shrunk
+/// against the same process (the overlay kind follows the seed, which
+/// shrinking never changes).
+///
+/// # Errors
+///
+/// Returns the (shrunk) failing case on any invariant breach or
+/// divergence.
+pub fn check_process_seed(
+    seed: u64,
+    process: ContactProcessKind,
+) -> Result<CaseStats, Box<SimcheckFailure>> {
+    let params = CaseParams::from_seed(seed);
+    match run_process_case(&params, process) {
+        Ok(stats) => Ok(stats),
+        Err(detail) => {
+            let mut failure = SimcheckFailure { params, detail };
+            loop {
+                let step = shrink_steps(&failure.params).into_iter().find_map(|cand| {
+                    run_process_case(&cand, process)
+                        .err()
+                        .map(|detail| SimcheckFailure {
+                            params: cand,
+                            detail,
+                        })
+                });
+                match step {
+                    Some(smaller) => failure = smaller,
+                    None => break Err(Box::new(failure)),
+                }
+            }
+        }
+    }
+}
+
 /// Checks one seed's serial-vs-parallel differential; failures come
 /// back shrunk like the main batch (the executor divergence dimension
 /// survives shrinking — every shrunk case still runs both ways).
@@ -684,6 +844,21 @@ mod tests {
         let stats = check_streaming_seed(0).unwrap_or_else(|f| panic!("streaming seed 0: {f}"));
         assert!(stats.sweeps > 0, "streaming case never audited");
         assert!(stats.differential, "streaming case skipped the diff");
+    }
+
+    #[test]
+    fn process_cases_first_seeds_clean() {
+        // Seeds 0..4 rotate through all four overlay kinds.
+        for seed in 0..4u64 {
+            let process = ContactProcessKind::ALL[1 + seed as usize % 4];
+            let stats = check_process_seed(seed, process)
+                .unwrap_or_else(|f| panic!("process seed {seed}: {f}"));
+            assert!(stats.sweeps > 0, "process seed {seed} never audited");
+            assert!(
+                stats.queries_issued > 0,
+                "process seed {seed} issued no queries"
+            );
+        }
     }
 
     #[test]

@@ -31,6 +31,12 @@ pub struct RateEstimator {
     last_contact: Option<Time>,
     /// Exponentially weighted moving average of inter-contact gaps.
     ewma_gap_secs: Option<f64>,
+    /// Number of positive inter-contact gaps folded into the moments.
+    gap_count: u64,
+    /// Running sum of positive inter-contact gaps, in seconds.
+    gap_sum_secs: f64,
+    /// Running sum of squared positive inter-contact gaps.
+    gap_sq_sum_secs: f64,
 }
 
 /// Smoothing factor of the EWMA inter-contact estimator: the weight of
@@ -45,6 +51,9 @@ impl RateEstimator {
             contacts: 0,
             last_contact: None,
             ewma_gap_secs: None,
+            gap_count: 0,
+            gap_sum_secs: 0.0,
+            gap_sq_sum_secs: 0.0,
         }
     }
 
@@ -57,6 +66,9 @@ impl RateEstimator {
                     Some(ewma) => EWMA_ALPHA * gap + (1.0 - EWMA_ALPHA) * ewma,
                     None => gap,
                 });
+                self.gap_count += 1;
+                self.gap_sum_secs += gap;
+                self.gap_sq_sum_secs += gap * gap;
             }
         }
         self.last_contact = Some(self.last_contact.map_or(at, |t| t.max(at)));
@@ -119,6 +131,30 @@ impl RateEstimator {
             }
         };
         Some(1.0 / gap.max(silence))
+    }
+
+    /// Squared coefficient of variation of the observed inter-contact
+    /// gaps, `Var(gap) / E[gap]²` — a dispersion diagnostic for the
+    /// paper's Poisson contact model (§III-B).
+    ///
+    /// An exponential (Poisson) pair scores ≈ 1; heavy-tailed
+    /// inter-contact laws (Pareto, bounded power law) score well above
+    /// 1; near-periodic schedules score near 0. NCL selection and the
+    /// delay predictions that flow from `λ_ij` assume exponential gaps,
+    /// so a `gap_cv2` far from 1 warns that those predictions are
+    /// optimistic. `None` until three gapped contacts (two gaps) have
+    /// been observed.
+    pub fn gap_cv2(&self) -> Option<f64> {
+        if self.gap_count < 2 {
+            return None;
+        }
+        let n = self.gap_count as f64;
+        let mean = self.gap_sum_secs / n;
+        if mean <= 0.0 {
+            return None;
+        }
+        let var = (self.gap_sq_sum_secs / n - mean * mean).max(0.0);
+        Some(var / (mean * mean))
     }
 }
 
@@ -281,6 +317,41 @@ impl RateTable {
     #[inline]
     pub fn recent_rate(&self, a: NodeId, b: NodeId) -> Option<f64> {
         self.estimator(a, b).and_then(RateEstimator::recent_rate)
+    }
+
+    /// The pair's gap-dispersion diagnostic (see
+    /// [`RateEstimator::gap_cv2`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either node is out of range.
+    #[inline]
+    pub fn gap_cv2(&self, a: NodeId, b: NodeId) -> Option<f64> {
+        self.estimator(a, b).and_then(RateEstimator::gap_cv2)
+    }
+
+    /// Contact-weighted mean of [`RateEstimator::gap_cv2`] over all
+    /// pairs with a defined dispersion, or `None` if no pair has one.
+    ///
+    /// Weighting by gap count makes the aggregate answer "how
+    /// Poisson-like is the traffic the estimator actually sees", rather
+    /// than letting barely-observed pairs (whose two-gap CV² is mostly
+    /// noise) dominate a flat average.
+    pub fn mean_gap_cv2(&self) -> Option<f64> {
+        let mut weighted = 0.0;
+        let mut weight = 0.0;
+        for (_, _, e) in self.iter_estimators() {
+            if let Some(cv2) = e.gap_cv2() {
+                let w = e.gap_count as f64;
+                weighted += cv2 * w;
+                weight += w;
+            }
+        }
+        if weight > 0.0 {
+            Some(weighted / weight)
+        } else {
+            None
+        }
     }
 
     /// Total contacts recorded across all pairs.
@@ -506,6 +577,79 @@ mod tests {
     }
 
     #[test]
+    fn gap_cv2_separates_periodic_exponential_and_heavy_tails() {
+        // Periodic: identical gaps, zero variance.
+        let mut periodic = RateEstimator::new(Time::ZERO);
+        for i in 1..=20u64 {
+            periodic.record_contact(Time(i * 100));
+        }
+        let cv2 = periodic.gap_cv2().expect("19 gaps");
+        assert!(cv2 < 1e-9, "periodic gaps must score ~0, got {cv2}");
+
+        // Exponential: inverse-CDF samples on a uniform grid have the
+        // exponential's unit squared coefficient of variation.
+        let mut expo = RateEstimator::new(Time::ZERO);
+        let mut t = 0.0f64;
+        let n = 4000;
+        for i in 0..n {
+            let u = (i as f64 + 0.5) / n as f64;
+            t += -u.ln() * 100.0;
+            expo.record_contact(Time(t as u64));
+        }
+        let cv2 = expo.gap_cv2().expect("many gaps");
+        assert!((cv2 - 1.0).abs() < 0.1, "exponential CV² ≈ 1, got {cv2}");
+
+        // Heavy tail: Pareto(α = 1.5) gaps via the inverse CDF. Infinite
+        // theoretical variance; any long sample run scores far above 1.
+        let mut heavy = RateEstimator::new(Time::ZERO);
+        let mut t = 0.0f64;
+        for i in 0..n {
+            let u = 1.0 - (i as f64 + 0.5) / n as f64;
+            t += 30.0 * u.powf(-1.0 / 1.5);
+            heavy.record_contact(Time(t as u64));
+        }
+        let cv2 = heavy.gap_cv2().expect("many gaps");
+        assert!(cv2 > 2.0, "Pareto gaps must score well above 1, got {cv2}");
+    }
+
+    #[test]
+    fn gap_cv2_needs_two_gaps() {
+        let mut e = RateEstimator::new(Time::ZERO);
+        e.record_contact(Time(100));
+        assert_eq!(e.gap_cv2(), None, "no gap yet");
+        e.record_contact(Time(200));
+        assert_eq!(e.gap_cv2(), None, "one gap has no variance estimate");
+        // A zero gap does not count toward the moments.
+        e.record_contact(Time(200));
+        assert_eq!(e.gap_cv2(), None);
+        e.record_contact(Time(300));
+        assert!(e.gap_cv2().is_some(), "two positive gaps suffice");
+    }
+
+    #[test]
+    fn table_mean_gap_cv2_weights_by_gap_count() {
+        let mut t = RateTable::new(3, Time::ZERO);
+        // Pair (0,1): 10 periodic gaps, CV² = 0.
+        for i in 1..=11u64 {
+            t.record(NodeId(0), NodeId(1), Time(i * 50));
+        }
+        // Pair (1,2): 2 gaps of 100 and 300 s.
+        // mean 200, var 10_000 ⇒ CV² = 0.25.
+        t.record(NodeId(1), NodeId(2), Time(100));
+        t.record(NodeId(1), NodeId(2), Time(200));
+        t.record(NodeId(1), NodeId(2), Time(500));
+        // Pair (0,2): never met — contributes nothing.
+        let mean = t.mean_gap_cv2().expect("two pairs have dispersion");
+        let expect = (0.0 * 10.0 + 0.25 * 2.0) / 12.0;
+        assert!((mean - expect).abs() < 1e-9, "got {mean}, want {expect}");
+        assert_eq!(t.gap_cv2(NodeId(0), NodeId(2)), None);
+        assert!(t.gap_cv2(NodeId(2), NodeId(1)).expect("met") > 0.2);
+
+        let empty = RateTable::new(2, Time::ZERO);
+        assert_eq!(empty.mean_gap_cv2(), None);
+    }
+
+    #[test]
     fn table_is_symmetric() {
         let mut t = RateTable::new(4, Time::ZERO);
         t.record(NodeId(1), NodeId(3), Time(10));
@@ -592,8 +736,10 @@ mod tests {
                 assert_eq!(dense.rate(a, b, now), sparse.rate(a, b, now));
                 assert_eq!(dense.contact_count(a, b), sparse.contact_count(a, b));
                 assert_eq!(dense.recent_rate(a, b), sparse.recent_rate(a, b));
+                assert_eq!(dense.gap_cv2(a, b), sparse.gap_cv2(a, b));
             }
         }
+        assert_eq!(dense.mean_gap_cv2(), sparse.mean_gap_cv2());
         let dr: Vec<_> = dense.iter_rates(now).collect();
         let sr: Vec<_> = sparse.iter_rates(now).collect();
         assert_eq!(dr, sr, "iter_rates order and content must match");

@@ -24,6 +24,7 @@ use std::fmt;
 
 use dtn_core::ids::{DataId, NodeId};
 use dtn_core::time::Time;
+use dtn_trace::trace::Contact;
 
 use crate::buffer::Buffer;
 use crate::metrics::Metrics;
@@ -54,6 +55,15 @@ pub enum AuditLaw {
     /// Side indexes (pull/broadcast/response locators) agree with the
     /// slabs they index.
     IndexConsistency,
+    /// The contact stream feeding the engine is well-formed: starts are
+    /// nondecreasing, durations positive, endpoints distinct and in
+    /// range. Regime overlays may *drop or reshape* contacts but must
+    /// never emit an out-of-order or negative-duration one; this law
+    /// catches a corrupting [`ContactSource`] before its contacts
+    /// poison the rate table and every downstream metric.
+    ///
+    /// [`ContactSource`]: crate::engine::ContactSource
+    TraceMonotonicity,
 }
 
 impl AuditLaw {
@@ -67,6 +77,7 @@ impl AuditLaw {
             AuditLaw::DeliveryAccounting => "delivery-accounting",
             AuditLaw::DelayDecomposition => "delay-decomposition",
             AuditLaw::IndexConsistency => "index-consistency",
+            AuditLaw::TraceMonotonicity => "trace-monotonicity",
         }
     }
 }
@@ -176,6 +187,80 @@ pub struct AuditState {
     pub deliveries_reported: u64,
     /// Deliveries naming a query id that was never issued.
     pub unknown_deliveries: u64,
+    /// High-water mark of dispatched contact starts, for
+    /// [`AuditLaw::TraceMonotonicity`].
+    pub last_contact_start: Time,
+}
+
+/// Checks [`AuditLaw::TraceMonotonicity`] on one contact about to be
+/// dispatched: positive duration, distinct in-range endpoints, and a
+/// start no earlier than any previously dispatched contact. Returns
+/// `true` when the contact is well-formed (and advances the high-water
+/// mark in `state`); `false` means the engine must quarantine the
+/// contact — replaying a malformed contact would corrupt the rate
+/// table and every metric downstream, turning one structured violation
+/// into an avalanche of secondary ones.
+///
+/// `Contact::new` upholds all the shape laws by panicking, and
+/// [`StreamSource`] asserts ordering — this audit exists for *other*
+/// [`ContactSource`] implementations (overlay stacks, trace importers,
+/// fuzzers) that build contacts from raw fields.
+///
+/// [`StreamSource`]: crate::engine::StreamSource
+/// [`ContactSource`]: crate::engine::ContactSource
+pub fn check_contact_well_formed(contact: &Contact, nodes: usize, state: &mut AuditState) -> bool {
+    let at = contact.start;
+    let mut flag = |detail: String, node: Option<NodeId>| {
+        state.report.violate(AuditViolation {
+            law: AuditLaw::TraceMonotonicity,
+            at,
+            node,
+            item: None,
+            detail,
+        });
+    };
+    let mut ok = true;
+    if contact.end <= contact.start {
+        flag(
+            format!(
+                "non-positive contact duration: start {:?} end {:?}",
+                contact.start, contact.end
+            ),
+            Some(contact.a),
+        );
+        ok = false;
+    }
+    if contact.a == contact.b {
+        flag(
+            format!("self-contact ({}, {})", contact.a, contact.b),
+            Some(contact.a),
+        );
+        ok = false;
+    }
+    if contact.a.index() >= nodes || contact.b.index() >= nodes {
+        flag(
+            format!(
+                "contact ({}, {}) outside the {nodes}-node population",
+                contact.a, contact.b
+            ),
+            Some(contact.a.max(contact.b)),
+        );
+        ok = false;
+    }
+    if contact.start < state.last_contact_start {
+        flag(
+            format!(
+                "out-of-order contact: start {:?} after high-water mark {:?}",
+                contact.start, state.last_contact_start
+            ),
+            Some(contact.a),
+        );
+        ok = false;
+    }
+    if ok {
+        state.last_contact_start = contact.start;
+    }
+    ok
 }
 
 /// Checks [`AuditLaw::BufferAccounting`] over a slice of per-node
@@ -298,9 +383,86 @@ mod tests {
             AuditLaw::DeliveryAccounting,
             AuditLaw::DelayDecomposition,
             AuditLaw::IndexConsistency,
+            AuditLaw::TraceMonotonicity,
         ];
         let names: std::collections::HashSet<_> = laws.iter().map(|l| l.name()).collect();
         assert_eq!(names.len(), laws.len());
+    }
+
+    #[test]
+    fn contact_shape_checker_accepts_ordered_well_formed_contacts() {
+        let mut state = AuditState::default();
+        let a = Contact {
+            a: NodeId(0),
+            b: NodeId(1),
+            start: Time(100),
+            end: Time(160),
+        };
+        let b = Contact {
+            a: NodeId(2),
+            b: NodeId(3),
+            start: Time(100),
+            end: Time(220),
+        };
+        assert!(check_contact_well_formed(&a, 4, &mut state));
+        assert!(
+            check_contact_well_formed(&b, 4, &mut state),
+            "ties are in order"
+        );
+        assert!(state.report.is_clean());
+        assert_eq!(state.last_contact_start, Time(100));
+    }
+
+    #[test]
+    fn contact_shape_checker_flags_each_malformation() {
+        let mut state = AuditState::default();
+        let good = Contact {
+            a: NodeId(0),
+            b: NodeId(1),
+            start: Time(500),
+            end: Time(560),
+        };
+        assert!(check_contact_well_formed(&good, 4, &mut state));
+
+        // Negative duration.
+        let negative = Contact {
+            start: Time(600),
+            end: Time(600),
+            ..good
+        };
+        assert!(!check_contact_well_formed(&negative, 4, &mut state));
+        // Self-contact.
+        let selfc = Contact {
+            b: NodeId(0),
+            start: Time(700),
+            end: Time(760),
+            ..good
+        };
+        assert!(!check_contact_well_formed(&selfc, 4, &mut state));
+        // Out of range.
+        let oob = Contact {
+            b: NodeId(9),
+            start: Time(800),
+            end: Time(860),
+            ..good
+        };
+        assert!(!check_contact_well_formed(&oob, 4, &mut state));
+        // Time travel: before the Time(500) high-water mark.
+        let stale = Contact {
+            start: Time(400),
+            end: Time(460),
+            ..good
+        };
+        assert!(!check_contact_well_formed(&stale, 4, &mut state));
+
+        assert_eq!(state.report.violations_total(), 4);
+        assert!(state
+            .report
+            .violations()
+            .iter()
+            .all(|v| v.law == AuditLaw::TraceMonotonicity));
+        // Rejected contacts never advance the high-water mark.
+        assert_eq!(state.last_contact_start, Time(500));
     }
 
     #[test]

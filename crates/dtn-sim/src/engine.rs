@@ -765,6 +765,14 @@ impl<S: Scheme, C: ContactSource> Simulator<S, C> {
         &self.scheme
     }
 
+    /// The contact source driving the simulation (e.g. to read an
+    /// [`OverlaySource`]'s dropped-contact counter after a run).
+    ///
+    /// [`OverlaySource`]: crate::overlay::OverlaySource
+    pub fn source(&self) -> &C {
+        &self.source
+    }
+
     /// Mutable access to the scheme (for configuration between phases).
     pub fn scheme_mut(&mut self) -> &mut S {
         &mut self.scheme
@@ -1123,6 +1131,16 @@ impl<S: Scheme, C: ContactSource> Simulator<S, C> {
     }
 
     fn dispatch_contact(&mut self, contact: Contact) {
+        if let Some(audit) = &mut self.shared.audit {
+            // Trace-monotonicity law: a malformed contact is reported
+            // and quarantined before it can touch the RNG, the rate
+            // table, or the scheme — one structured violation instead
+            // of a cascade of secondary ones (or a panic downstream).
+            let nodes = self.shared.buffer_capacities.len();
+            if !crate::audit::check_contact_well_formed(&contact, nodes, audit) {
+                return;
+            }
+        }
         if self.contact_loss > 0.0 && self.shared.rng.gen_bool(self.contact_loss) {
             // Fault injection: the radios never connected.
             self.shared.metrics.contacts_lost += 1;

@@ -17,6 +17,7 @@ pub mod engine;
 pub mod message;
 pub mod metrics;
 pub mod oracle;
+pub mod overlay;
 pub mod probe;
 
 pub use audit::{AuditLaw, AuditReport, AuditState, AuditViolation};
@@ -27,6 +28,7 @@ pub use engine::{
 pub use message::{DataItem, Query};
 pub use metrics::Metrics;
 pub use oracle::{OracleStats, PathOracle};
+pub use overlay::{OverlayKind, OverlaySource, RegimeOverlay};
 pub use probe::{
     DelayDecomposition, HopPhase, HopRecord, NoopProbe, Probe, ProbeEvent, ProbeSink, QueryTrace,
     RecordingProbe,

@@ -27,10 +27,12 @@
 pub mod analysis;
 pub mod import;
 pub mod io;
+pub mod process;
 pub mod stats;
 pub mod synthetic;
 pub mod trace;
 
+pub use process::{ContactProcess, ContactProcessKind};
 pub use stats::TraceStats;
 pub use synthetic::SyntheticTraceBuilder;
 pub use trace::{Contact, ContactTrace};

@@ -4,7 +4,10 @@
 //! model follows the paper's own assumptions:
 //!
 //! - each unordered node pair `(i, j)` meets according to a **Poisson
-//!   process** with rate `λ_ij` (§III-B of the paper);
+//!   process** with rate `λ_ij` (§III-B of the paper) by default — the
+//!   per-pair law is pluggable via [`ContactProcessKind`] (heavy-tailed
+//!   and duty-cycled alternatives, all calibrated to the same mean
+//!   rate, for estimator-mismatch experiments);
 //! - rates are heterogeneous: each node has a *sociability* weight `w_i`
 //!   drawn from a truncated Pareto distribution and
 //!   `λ_ij ∝ w_i · w_j · m_ij`, where `m_ij` boosts pairs in the same
@@ -22,6 +25,7 @@ use rand::{Rng, SeedableRng};
 use dtn_core::ids::NodeId;
 use dtn_core::time::{Duration, Time};
 
+use crate::process::{ContactProcess, ContactProcessKind, PairSampler};
 use crate::trace::{Contact, ContactTrace};
 use crate::TracePreset;
 
@@ -56,6 +60,7 @@ pub struct SyntheticTraceBuilder {
     community_boost: f64,
     edge_density: f64,
     burstiness: f64,
+    process: ContactProcessKind,
     seed: u64,
     scale: f64,
 }
@@ -82,6 +87,7 @@ impl SyntheticTraceBuilder {
             community_boost: 4.0,
             edge_density: 0.4,
             burstiness: 1.0,
+            process: ContactProcessKind::Poisson,
             seed: 0,
             scale: 1.0,
         }
@@ -249,6 +255,22 @@ impl SyntheticTraceBuilder {
         self
     }
 
+    /// Sets the per-pair inter-contact process (default
+    /// [`ContactProcessKind::Poisson`], the paper's §III-B model). Every
+    /// process is calibrated to the same mean session rate, so the
+    /// expected contact count is invariant under this knob — only the
+    /// gap distribution's shape changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process parameters are outside their documented
+    /// domains (see [`ContactProcessKind::validate`]).
+    pub fn contact_process(mut self, process: ContactProcessKind) -> Self {
+        process.validate();
+        self.process = process;
+        self
+    }
+
     /// Sets the RNG seed; the same builder with the same seed produces an
     /// identical trace.
     pub fn seed(mut self, seed: u64) -> Self {
@@ -374,6 +396,7 @@ impl SyntheticTraceBuilder {
             span,
             granularity_secs: self.granularity.as_secs().max(1),
             burstiness: self.burstiness,
+            process: self.process,
             pairs,
         }
     }
@@ -554,6 +577,12 @@ fn uniform01(x: u64) -> f64 {
     (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
+/// Hashes `x` to a uniform in `[0, 1)` — for per-pair derived constants
+/// (e.g. duty-cycle phases) that must not consume any RNG stream.
+pub(crate) fn hash_uniform01(x: u64) -> f64 {
+    uniform01(mix64(x))
+}
+
 /// Everything the two generation paths share: calibration results plus
 /// one entry per kept pair.
 #[derive(Debug, Clone)]
@@ -563,6 +592,7 @@ struct TracePlan {
     span: f64,
     granularity_secs: u64,
     burstiness: f64,
+    process: ContactProcessKind,
     pairs: Vec<PlannedPair>,
 }
 
@@ -576,15 +606,16 @@ struct PlannedPair {
     rng_seed: u64,
 }
 
-/// Lazy generator of one pair's raw contact sequence — the Poisson
-/// session process with geometric re-detection runs, emitted one contact
-/// at a time. Both generation paths run this exact state machine, so
-/// their per-pair sequences are identical by construction.
+/// Lazy generator of one pair's raw contact sequence — the pluggable
+/// session process ([`ContactProcess`]) with geometric re-detection
+/// runs, emitted one contact at a time. Both generation paths run this
+/// exact state machine, so their per-pair sequences are identical by
+/// construction.
 struct PairContacts {
     a: NodeId,
     b: NodeId,
     rng: StdRng,
-    session_rate: f64,
+    sampler: PairSampler,
     burstiness: f64,
     granularity_secs: u64,
     duration_secs: u64,
@@ -606,7 +637,7 @@ impl PairContacts {
             a: pair.a,
             b: pair.b,
             rng: StdRng::seed_from_u64(pair.rng_seed),
-            session_rate: pair.session_rate,
+            sampler: plan.process.sampler(pair.session_rate, pair.rng_seed),
             burstiness: plan.burstiness,
             granularity_secs: plan.granularity_secs,
             duration_secs: plan.trace_duration.as_secs(),
@@ -630,15 +661,15 @@ impl PairContacts {
         loop {
             if self.run_left == 0 {
                 if self.in_run {
-                    // Resume the Poisson session process from the start
-                    // of the run's last contact (memoryless
-                    // continuation; for single-contact sessions `t` is
-                    // unchanged).
+                    // Resume the session process from the start of the
+                    // run's last contact (a renewal restart; for the
+                    // memoryless Poisson reference this is exactly the
+                    // pre-trait continuation, and for single-contact
+                    // sessions `t` is unchanged).
                     self.t = self.t.max(self.session_t.saturating_sub(g) as f64);
                     self.in_run = false;
                 }
-                let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
-                self.t += -u.ln() / self.session_rate;
+                self.t = self.sampler.next_session(self.t, &mut self.rng);
                 if self.t >= self.span {
                     self.done = true;
                     return None;
@@ -1049,6 +1080,42 @@ mod tests {
     }
 
     #[test]
+    fn calibration_is_invariant_under_the_process_choice() {
+        // The acceptance bar for "figures stay comparable": every
+        // process must land near the same contact target. Heavy-tailed
+        // gap laws converge slowly, hence the per-process bands.
+        let target = 12_000.0;
+        for kind in ContactProcessKind::ALL {
+            let t = SyntheticTraceBuilder::new(30)
+                .duration(Duration::days(6))
+                .target_contacts(12_000)
+                .contact_process(kind)
+                .seed(77)
+                .build();
+            let got = t.contact_count() as f64;
+            let tol = match kind {
+                ContactProcessKind::Poisson => 0.10,
+                // One Pareto draw can swallow a pair's whole span.
+                _ => 0.30,
+            };
+            assert!(
+                (got - target).abs() < tol * target,
+                "{}: got {got} contacts for target {target}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duty fraction")]
+    fn invalid_process_parameters_panic_at_the_builder() {
+        let _ = SyntheticTraceBuilder::new(5).contact_process(ContactProcessKind::DutyCycled {
+            period_secs: 3600.0,
+            duty: 0.0,
+        });
+    }
+
+    #[test]
     #[should_panic(expected = "burstiness")]
     fn sub_one_burstiness_panics() {
         let _ = SyntheticTraceBuilder::new(5).burstiness(0.5);
@@ -1077,6 +1144,19 @@ mod tests {
             SyntheticTraceBuilder::new(25).seed(23).burstiness(4.0),
             SyntheticTraceBuilder::new(40).seed(5).scale(0.3),
             SyntheticTraceBuilder::from_preset(TracePreset::Infocom05).scale(0.05),
+            SyntheticTraceBuilder::new(18)
+                .seed(11)
+                .contact_process(ContactProcessKind::PARETO),
+            SyntheticTraceBuilder::new(18)
+                .seed(13)
+                .contact_process(ContactProcessKind::LOGNORMAL),
+            SyntheticTraceBuilder::new(18)
+                .seed(19)
+                .contact_process(ContactProcessKind::BOUNDED_POWER_LAW),
+            SyntheticTraceBuilder::new(18)
+                .seed(29)
+                .burstiness(3.0)
+                .contact_process(ContactProcessKind::DUTY_CYCLED),
         ];
         for builder in builders {
             let built = builder.build();

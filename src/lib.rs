@@ -54,6 +54,8 @@ pub mod prelude {
     pub use dtn_core::ids::{DataId, NodeId, QueryId};
     pub use dtn_core::ncl::select_central_nodes;
     pub use dtn_core::time::{Duration, Time};
+    pub use dtn_sim::overlay::{OverlayKind, OverlaySource, RegimeOverlay};
+    pub use dtn_trace::process::ContactProcessKind;
     pub use dtn_trace::synthetic::SyntheticTraceBuilder;
     pub use dtn_trace::trace::ContactTrace;
     pub use dtn_trace::TracePreset;

@@ -23,7 +23,8 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// Streaming and materialized generation are the same generator:
-    /// for any builder configuration up to 200 nodes, `stream()` yields
+    /// for any builder configuration up to 200 nodes and any of the
+    /// pluggable per-pair contact processes, `stream()` yields
     /// `build()`'s contact vector element for element.
     #[test]
     fn stream_equals_build(
@@ -32,12 +33,14 @@ proptest! {
         communities in 1usize..=5,
         target in 200u64..3_000,
         burstiness in 1.0f64..4.0,
+        process_idx in 0usize..ContactProcessKind::ALL.len(),
     ) {
         let builder = SyntheticTraceBuilder::new(nodes)
             .duration(Duration::days(1))
             .target_contacts(target)
             .communities(communities.min(nodes))
             .burstiness(burstiness)
+            .contact_process(ContactProcessKind::ALL[process_idx])
             .seed(seed);
         let built = builder.build();
         let streamed: Vec<_> = builder.stream().collect();
