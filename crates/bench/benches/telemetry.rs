@@ -1,0 +1,184 @@
+//! Flight-recorder overhead benchmark: the same fig10-style point run
+//! uninstrumented, with the windowed [`Telemetry`] recorder tee'd onto
+//! the probe layer, and with the hierarchical phase profiler enabled.
+//!
+//! Three arms over one manual warm-up → configure → workload protocol
+//! (the exact sequence `run_experiment` and `observe` perform):
+//!
+//! - `off` — no probe, `profile: false`. This is the zero-cost-off
+//!   gate arm: its time must stay within 5% of the committed
+//!   `BENCH_sim_engine.json` optimized baseline, because with
+//!   everything disabled the engine runs the identical hot loop.
+//! - `telemetry` — a [`Telemetry`] window recorder installed as the
+//!   probe. Measures the cost of folding every engine event into the
+//!   fixed window array (alloc-free after setup).
+//! - `profiler` — `profile: true`. Measures the scoped span tree
+//!   (monotonic clock reads around engine phases).
+//!
+//! Before measuring, the `off` arm asserts bit-identical [`Metrics`]
+//! against `run_experiment` (same protocol, so same numbers) and the
+//! instrumented arms assert they perturb nothing. The committed
+//! `BENCH_telemetry.json` records the gate; `cargo bench -p bench
+//! --bench telemetry -- --test` runs each body once as a CI smoke.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dtn_cache::experiment::{build_scheme, run_experiment, ExperimentConfig};
+use dtn_cache::{NetworkSetup, SchemeKind};
+use dtn_core::ids::NodeId;
+use dtn_core::time::{Duration, Time};
+use dtn_sim::engine::{SimConfig, Simulator};
+use dtn_sim::metrics::Metrics;
+use dtn_sim::telemetry::{Telemetry, TelemetryConfig};
+use dtn_trace::synthetic::SyntheticTraceBuilder;
+use dtn_trace::trace::ContactTrace;
+use dtn_trace::TracePreset;
+use dtn_workload::{Workload, WorkloadConfig};
+
+/// Same reduced fig10 point as `benches/sim_engine.rs`, so the `off`
+/// arm is directly comparable to the committed optimized baseline.
+const SCALE: f64 = 0.3;
+const SEED: u64 = 42;
+
+/// Which instrument the run carries.
+#[derive(Clone, Copy, PartialEq)]
+enum Instrument {
+    Off,
+    Telemetry,
+    Profiler,
+}
+
+fn fig10_trace() -> ContactTrace {
+    SyntheticTraceBuilder::from_preset(TracePreset::MitReality)
+        .scale(SCALE)
+        .seed(42)
+        .build()
+}
+
+fn fig10_config() -> ExperimentConfig {
+    ExperimentConfig {
+        ncl_count: 8,
+        mean_data_lifetime: Duration((Duration::weeks(1).as_secs() as f64 * SCALE) as u64)
+            .max(Duration::hours(1)),
+        ..ExperimentConfig::default()
+    }
+}
+
+/// The `run_experiment` protocol spelled out so an instrument can be
+/// attached: warm-up over the first half, NCL selection + configure,
+/// workload over the second half.
+fn run_point(trace: &ContactTrace, config: &ExperimentConfig, instrument: Instrument) -> Metrics {
+    let scheme = build_scheme(SchemeKind::Intentional, config);
+    let mut sim = Simulator::new(
+        trace,
+        scheme,
+        SimConfig {
+            buffer_range: config.buffer_range,
+            sample_interval: config.sample_interval,
+            epoch_interval: config.epoch_interval,
+            path_refresh: config.path_refresh,
+            seed: SEED,
+            profile: instrument == Instrument::Profiler,
+            ..SimConfig::default()
+        },
+    );
+
+    let mid = trace.midpoint();
+    sim.run_until(mid);
+
+    let capacities: Vec<u64> = (0..trace.node_count() as u32)
+        .map(|n| sim.buffer_capacity(NodeId(n)))
+        .collect();
+    let rate_table = sim.rate_table().clone();
+    let setup = NetworkSetup {
+        rate_table: &rate_table,
+        now: mid,
+        capacities,
+        horizon: config
+            .horizon
+            .unwrap_or_else(|| config.mean_data_lifetime.as_secs_f64().max(3600.0)),
+        path_refresh: config.path_refresh,
+    };
+    sim.scheme_mut().configure(&setup);
+
+    let end = Time(trace.duration().as_secs());
+    let telemetry = (instrument == Instrument::Telemetry).then(|| {
+        let recorder = Rc::new(RefCell::new(Telemetry::new(&TelemetryConfig::spanning(
+            mid,
+            Duration(end.0 - mid.0),
+            24,
+            config.ncl_count,
+        ))));
+        sim.set_probe(Box::new(Rc::clone(&recorder)));
+        recorder
+    });
+
+    let workload_cfg = WorkloadConfig {
+        generation_probability: config.generation_probability,
+        mean_lifetime: config.mean_data_lifetime,
+        mean_size: config.mean_data_size,
+        zipf_exponent: config.zipf_exponent,
+        query_constraint: config.query_constraint,
+        window: (mid, end),
+        seed: SEED,
+    };
+    let workload = Workload::generate(trace.node_count(), &workload_cfg);
+    sim.add_workload(workload.into_events());
+    sim.run_to_end();
+
+    if let Some(recorder) = telemetry {
+        drop(sim.take_probe());
+        let telemetry = Rc::try_unwrap(recorder)
+            .expect("engine returned its telemetry handle")
+            .into_inner();
+        black_box(telemetry.totals());
+    }
+    sim.metrics().clone()
+}
+
+fn bench_telemetry(c: &mut Criterion) {
+    let trace = fig10_trace();
+    let cfg = fig10_config();
+
+    // Self-checks: the spelled-out protocol reproduces `run_experiment`
+    // bit-for-bit, and neither instrument perturbs the engine.
+    let reference = run_experiment(&trace, SchemeKind::Intentional, &cfg, SEED);
+    let off = run_point(&trace, &cfg, Instrument::Off);
+    assert_eq!(
+        off, reference.metrics,
+        "manual protocol diverged from run_experiment on the benchmark point"
+    );
+    assert_eq!(
+        run_point(&trace, &cfg, Instrument::Telemetry),
+        off,
+        "telemetry probe perturbed the run"
+    );
+    assert_eq!(
+        run_point(&trace, &cfg, Instrument::Profiler),
+        off,
+        "profiler perturbed the run"
+    );
+
+    let mut group = c.benchmark_group("telemetry");
+    for (name, instrument) in [
+        ("off", Instrument::Off),
+        ("telemetry", Instrument::Telemetry),
+        ("profiler", Instrument::Profiler),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new(name, "fig10_mit_single_seed"),
+            &trace,
+            |b, trace| b.iter(|| run_point(black_box(trace), black_box(&cfg), instrument)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_telemetry
+}
+criterion_main!(benches);

@@ -3,7 +3,9 @@
 //! ```text
 //! experiments [--scale F] [--seeds N] [--timing] [--threads T] <command>
 //! commands: table1 fig4 fig7 fig9 fig10 fig11 fig12 fig13 all
-//!           observe <figure> [--out report.jsonl]
+//!           observe <target> [--out report.jsonl]
+//!           timeline <target> [--out report.jsonl]
+//!           compare <a.jsonl|BENCH_a.json> <b> [--threshold-pct P]
 //!           scale [NODES,...] [--out BENCH_scale.json]
 //!           parallel [NODES] [--out BENCH_parallel_engine.json]
 //! ```
@@ -14,10 +16,20 @@
 //! simulation throughput (events/sec) per figure point; `--epoch SECS`
 //! narrows the `churn` sweep to frozen NCLs vs one re-election cadence.
 //!
-//! `observe <figure>` re-runs the figure's base configuration with the
-//! probe layer recording every protocol event, prints a post-mortem
-//! (probe counters, per-NCL hit rates, delay decomposition, slowest
-//! queries), and streams events + per-query traces as JSONL to `--out`.
+//! `observe <target>` re-runs a target's base configuration — any
+//! figure, the `regimes` blackout cell, or the `scale` streaming smoke
+//! city — with the probe layer recording every protocol event, prints a
+//! post-mortem (probe counters, per-NCL hit rates, delay decomposition,
+//! slowest queries), and streams the full capture (events, traces,
+//! telemetry windows, phase profile) as versioned JSONL to `--out`.
+//! `timeline <target>` runs the same capture but renders the over-time
+//! view: the windowed telemetry table and the hierarchical phase
+//! profile.
+//!
+//! `compare <a> <b>` aligns two captures (JSONL exports or committed
+//! `BENCH_*.json` documents), prints every per-window / per-phase /
+//! per-counter delta, and exits non-zero when a gated outcome metric
+//! regresses past `--threshold-pct` (default 5).
 //!
 //! `--threads T` runs `observe` and `scale` on the windowed parallel
 //! executor; `parallel` sweeps a thread-count curve (1/2/4/8) over one
@@ -38,15 +50,20 @@ struct Options {
     scale: f64,
     seeds: u32,
     command: String,
-    /// Second positional: the figure for `observe`.
+    /// Second positional: the target for `observe`/`timeline`, the
+    /// first run for `compare`.
     figure: Option<String>,
+    /// Third positional: the second run for `compare`.
+    second: Option<String>,
     csv_dir: Option<PathBuf>,
-    /// JSONL output path for `observe`.
+    /// JSONL output path for `observe`/`timeline`.
     out: Option<PathBuf>,
     timing: bool,
     epoch: Option<Duration>,
     /// `SimConfig::threads` for `observe`/`scale`; 1 = serial engine.
     threads: usize,
+    /// Relative regression threshold for `compare`, in percent.
+    threshold_pct: f64,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -56,9 +73,11 @@ fn parse_args() -> Result<Options, String> {
     let mut figure = None;
     let mut csv_dir = None;
     let mut out = None;
+    let mut second = None;
     let mut timing = false;
     let mut epoch = None;
     let mut threads = 1;
+    let mut threshold_pct = 5.0f64;
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -102,6 +121,13 @@ fn parse_args() -> Result<Options, String> {
                     return Err("threads must be positive".into());
                 }
             }
+            "--threshold-pct" => {
+                let v = args.next().ok_or("--threshold-pct needs a percentage")?;
+                threshold_pct = v.parse().map_err(|_| format!("bad threshold {v:?}"))?;
+                if threshold_pct.is_nan() || threshold_pct < 0.0 {
+                    return Err("threshold must be non-negative".into());
+                }
+            }
             "--help" | "-h" => {
                 command = Some("help".to_string());
             }
@@ -111,6 +137,9 @@ fn parse_args() -> Result<Options, String> {
             other if command.is_some() && figure.is_none() && !other.starts_with('-') => {
                 figure = Some(other.to_string());
             }
+            other if figure.is_some() && second.is_none() && !other.starts_with('-') => {
+                second = Some(other.to_string());
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -119,11 +148,13 @@ fn parse_args() -> Result<Options, String> {
         seeds,
         command: command.unwrap_or_else(|| "help".into()),
         figure,
+        second,
         csv_dir,
         out,
         timing,
         epoch,
         threads,
+        threshold_pct,
     })
 }
 
@@ -203,6 +234,23 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+            "timeline" => {
+                if let Err(e) = timeline(&opts) {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            "compare" => match compare(&opts) {
+                Ok(clean) => {
+                    if !clean {
+                        return ExitCode::FAILURE;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
             "scale" => {
                 if let Err(e) = scale_cmd(&opts) {
                     eprintln!("error: {e}");
@@ -226,14 +274,17 @@ fn main() -> ExitCode {
                     "usage: experiments [--scale F] [--seeds N] [--csv DIR] [--timing] \
                      [--epoch SECS] \
                      <table1|fig4|fig7|fig9|fig10|fig11|fig12|fig13|ablation|ncl|bounds|churn|all>\n\
-                     \x20      experiments observe <{}> [--out report.jsonl] [--scale F] \
+                     \x20      experiments observe <{targets}> [--out report.jsonl] [--scale F] \
                      [--seeds SEED] [--threads T]\n\
+                     \x20      experiments timeline <{targets}> [--out report.jsonl] [--scale F] \
+                     [--seeds SEED] [--threads T]\n\
+                     \x20      experiments compare <a.jsonl|BENCH_a.json> <b> [--threshold-pct P]\n\
                      \x20      experiments scale [NODES,NODES,...] [--out BENCH_scale.json] \
                      [--threads T]\n\
                      \x20      experiments parallel [NODES] [--out BENCH_parallel_engine.json]\n\
                      \x20      experiments regimes [PROCESS,...] [--out BENCH_regimes.json] \
                      [--scale F] [--seeds N] [--threads T]",
-                    bench::observe::FIGURES.join("|")
+                    targets = bench::observe::TARGETS.join("|")
                 );
             }
             other => {
@@ -593,29 +644,59 @@ fn churn(opts: &Options) {
     print_timings(opts, "epoch", &columns, &timing_rows);
 }
 
-/// The `observe <figure>` command: one probe-instrumented run, JSONL
-/// export via `--out`, post-mortem on stdout. `--seeds` picks the seed
-/// of the single observed run.
-fn observe(opts: &Options) -> Result<(), String> {
-    let figure = opts.figure.as_deref().ok_or_else(|| {
+/// Runs the shared capture behind `observe`/`timeline`: one fully
+/// instrumented run of the named target, JSONL export via `--out`.
+fn captured_run(opts: &Options, command: &str) -> Result<bench::observe::ObserveRun, String> {
+    let target = opts.figure.as_deref().ok_or_else(|| {
         format!(
-            "observe needs a figure: one of {}",
-            bench::observe::FIGURES.join(", ")
+            "{command} needs a target: one of {}",
+            bench::observe::TARGETS.join(", ")
         )
     })?;
-    let run = bench::observe::observe_figure_threaded(
-        figure,
-        opts.scale,
-        u64::from(opts.seeds),
-        opts.threads,
-    )?;
+    let run = bench::observe::observe_any(target, opts.scale, u64::from(opts.seeds), opts.threads)?;
     if let Some(path) = &opts.out {
         let lines = bench::observe::write_jsonl_file(&run, path)
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         println!("[jsonl] wrote {lines} lines to {}", path.display());
     }
+    Ok(run)
+}
+
+/// The `observe <target>` command: one probe-instrumented run, JSONL
+/// export via `--out`, post-mortem on stdout. `--seeds` picks the seed
+/// of the single observed run.
+fn observe(opts: &Options) -> Result<(), String> {
+    let run = captured_run(opts, "observe")?;
     print!("{}", bench::observe::render_report(&run));
     Ok(())
+}
+
+/// The `timeline <target>` command: the same capture as `observe`, but
+/// rendered as the windowed over-time table plus the phase profile.
+fn timeline(opts: &Options) -> Result<(), String> {
+    let run = captured_run(opts, "timeline")?;
+    print!("{}", bench::observe::render_timeline(&run));
+    Ok(())
+}
+
+/// The `compare <a> <b>` command. `Ok(true)` means no regression;
+/// `Ok(false)` prints the report and fails the process.
+fn compare(opts: &Options) -> Result<bool, String> {
+    let a = opts
+        .figure
+        .as_deref()
+        .ok_or("compare needs two run files")?;
+    let b = opts
+        .second
+        .as_deref()
+        .ok_or("compare needs two run files")?;
+    let report = bench::compare::compare_files(
+        std::path::Path::new(a),
+        std::path::Path::new(b),
+        opts.threshold_pct,
+    )?;
+    print!("{}", report.render());
+    Ok(!report.has_regressions())
 }
 
 /// The `scale` command: city-scale streaming runs over a comma-

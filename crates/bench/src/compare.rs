@@ -1,0 +1,545 @@
+//! The run-diff regression harness behind `experiments compare`.
+//!
+//! Aligns two runs — JSONL captures from `observe`/`timeline`, or two
+//! committed `BENCH_*.json` documents — into keyed numeric series,
+//! reports every per-window / per-phase / per-counter delta, and gates
+//! a small set of outcome metrics behind a configurable threshold so
+//! CI can fail a pull request that quietly regresses delivery.
+//!
+//! Two alignment modes, auto-detected per file:
+//!
+//! - **jsonl**: one [`crate::observe`] capture per file. Lines become
+//!   series keys — `run.*` header counters, `events.<kind>` counts,
+//!   `traces`, `window[i].*` (including per-NCL `[j]` lanes and the
+//!   window edges, so a layout drift surfaces as its own delta),
+//!   `phase[order:name@depth].*`, `footer.*`. Only deterministic
+//!   counters are *gated* (success ratio, mean delay, bytes on the
+//!   wire); phase wall-clock rows are informational — CI machines are
+//!   too noisy for timed gates, per the repo's benching convention.
+//! - **bench**: one JSON document per file (`BENCH_*.json`). Every
+//!   numeric leaf becomes a dotted-path series; gate direction is
+//!   inferred from the key name (`*_ns`/`*_secs`/`peak_rss_bytes` are
+//!   lower-better, `*per_sec`/`success_ratio`/`speedup`/`*hit*` are
+//!   higher-better, anything else is ungated).
+//!
+//! A run compared against itself aligns exactly: zero differing rows,
+//! zero regressions, exit 0.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use dtn_sim::telemetry::Telemetry;
+
+use crate::json::JsonValue;
+
+/// One aligned series whose value differs between the runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaRow {
+    /// Series key (`window[3].deliveries`, `results...optimized_ns`, …).
+    pub key: String,
+    /// Value in the first run.
+    pub a: f64,
+    /// Value in the second run.
+    pub b: f64,
+}
+
+impl DeltaRow {
+    /// Relative change in percent (`None` when the baseline is 0).
+    pub fn pct(&self) -> Option<f64> {
+        (self.a != 0.0).then(|| (self.b - self.a) / self.a * 100.0)
+    }
+}
+
+/// The full alignment of two runs.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// Detected alignment mode: `"jsonl"` or `"bench"`.
+    pub mode: &'static str,
+    /// Label of the first run (its path).
+    pub a_label: String,
+    /// Label of the second run (its path).
+    pub b_label: String,
+    /// Series present in both runs.
+    pub aligned: usize,
+    /// Aligned series whose values differ, in key order.
+    pub rows: Vec<DeltaRow>,
+    /// Series only the first run has.
+    pub only_a: Vec<String>,
+    /// Series only the second run has.
+    pub only_b: Vec<String>,
+    /// Human-readable gate violations; non-empty fails the compare.
+    pub regressions: Vec<String>,
+    /// The relative threshold the gates ran at, in percent.
+    pub threshold_pct: f64,
+}
+
+impl CompareReport {
+    /// Whether any gated metric regressed past the threshold.
+    pub fn has_regressions(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+
+    /// Renders the report for the terminal.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== compare ({}): {} vs {} ==",
+            self.mode, self.a_label, self.b_label
+        );
+        let _ = writeln!(
+            out,
+            "{} aligned series; {} differ; {} only in a; {} only in b; threshold {}%",
+            self.aligned,
+            self.rows.len(),
+            self.only_a.len(),
+            self.only_b.len(),
+            self.threshold_pct,
+        );
+        const SHOW: usize = 64;
+        if !self.rows.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<44} {:>14} {:>14} {:>9}",
+                "series", "a", "b", "delta"
+            );
+            for row in self.rows.iter().take(SHOW) {
+                let delta = row
+                    .pct()
+                    .map_or_else(|| "new".to_string(), |p| format!("{p:+.1}%"));
+                let _ = writeln!(
+                    out,
+                    "{:<44} {:>14} {:>14} {:>9}",
+                    row.key, row.a, row.b, delta
+                );
+            }
+            if self.rows.len() > SHOW {
+                let _ = writeln!(
+                    out,
+                    "... and {} more differing series",
+                    self.rows.len() - SHOW
+                );
+            }
+        }
+        for (name, keys) in [("a", &self.only_a), ("b", &self.only_b)] {
+            if !keys.is_empty() {
+                let shown: Vec<&str> = keys.iter().take(8).map(String::as_str).collect();
+                let _ = writeln!(
+                    out,
+                    "only in {name} ({}): {}{}",
+                    keys.len(),
+                    shown.join(", "),
+                    if keys.len() > 8 { ", ..." } else { "" }
+                );
+            }
+        }
+        if self.regressions.is_empty() {
+            let _ = writeln!(out, "verdict: OK");
+        } else {
+            for r in &self.regressions {
+                let _ = writeln!(out, "regression: {r}");
+            }
+            let _ = writeln!(out, "verdict: REGRESSED");
+        }
+        out
+    }
+}
+
+/// Compares two run exports on disk. See the module docs for the
+/// formats; mixing a JSONL capture with a bench document is an error.
+pub fn compare_files(a: &Path, b: &Path, threshold_pct: f64) -> Result<CompareReport, String> {
+    let read = |p: &Path| {
+        std::fs::read_to_string(p).map_err(|e| format!("cannot read {}: {e}", p.display()))
+    };
+    compare_strings(
+        &read(a)?,
+        &a.display().to_string(),
+        &read(b)?,
+        &b.display().to_string(),
+        threshold_pct,
+    )
+}
+
+/// [`compare_files`] over in-memory text (the testable core).
+pub fn compare_strings(
+    a_text: &str,
+    a_label: &str,
+    b_text: &str,
+    b_label: &str,
+    threshold_pct: f64,
+) -> Result<CompareReport, String> {
+    let a_doc = JsonValue::parse(a_text).ok();
+    let b_doc = JsonValue::parse(b_text).ok();
+    let (mode, a_series, b_series) = match (a_doc, b_doc) {
+        (Some(a), Some(b)) => {
+            let mut sa = BTreeMap::new();
+            let mut sb = BTreeMap::new();
+            flatten(&a, "", &mut sa);
+            flatten(&b, "", &mut sb);
+            ("bench", sa, sb)
+        }
+        (None, None) => (
+            "jsonl",
+            jsonl_series(a_text, a_label)?,
+            jsonl_series(b_text, b_label)?,
+        ),
+        (Some(_), None) | (None, Some(_)) => {
+            return Err(format!(
+                "format mismatch: one of {a_label} / {b_label} is a single JSON \
+                 document, the other a JSONL capture"
+            ))
+        }
+    };
+
+    let mut rows = Vec::new();
+    let mut only_a = Vec::new();
+    let mut aligned = 0usize;
+    for (key, &va) in &a_series {
+        match b_series.get(key) {
+            Some(&vb) => {
+                aligned += 1;
+                if va != vb {
+                    rows.push(DeltaRow {
+                        key: key.clone(),
+                        a: va,
+                        b: vb,
+                    });
+                }
+            }
+            None => only_a.push(key.clone()),
+        }
+    }
+    let only_b: Vec<String> = b_series
+        .keys()
+        .filter(|k| !a_series.contains_key(*k))
+        .cloned()
+        .collect();
+
+    let regressions = if mode == "bench" {
+        bench_regressions(&a_series, &b_series, threshold_pct)
+    } else {
+        jsonl_regressions(&a_series, &b_series, threshold_pct)
+    };
+
+    Ok(CompareReport {
+        mode,
+        a_label: a_label.to_string(),
+        b_label: b_label.to_string(),
+        aligned,
+        rows,
+        only_a,
+        only_b,
+        regressions,
+        threshold_pct,
+    })
+}
+
+/// Flattens every numeric leaf of a JSON document to a dotted path
+/// (array elements as `[i]`). Strings, booleans and nulls are dropped —
+/// the diff aligns numbers.
+fn flatten(value: &JsonValue, prefix: &str, out: &mut BTreeMap<String, f64>) {
+    match value {
+        JsonValue::Num(n) => {
+            out.insert(prefix.to_string(), *n);
+        }
+        JsonValue::Obj(fields) => {
+            for (k, v) in fields {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten(v, &path, out);
+            }
+        }
+        JsonValue::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                flatten(v, &format!("{prefix}[{i}]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Folds one JSONL capture into keyed numeric series. Unknown line
+/// types pass through silently so the harness stays forward-compatible
+/// with new exporters; an unparseable line is an error.
+fn jsonl_series(text: &str, label: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut out = BTreeMap::new();
+    let mut event_counts: BTreeMap<String, f64> = BTreeMap::new();
+    let mut traces = 0.0f64;
+    let mut phase_order = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = JsonValue::parse(line).map_err(|e| format!("{label}:{}: {e}", idx + 1))?;
+        match v.get("type").and_then(JsonValue::as_str).unwrap_or("") {
+            "run" => {
+                if let Some(ts) = v.get("telemetry_schema").and_then(JsonValue::as_str) {
+                    if ts != Telemetry::SCHEMA {
+                        return Err(format!(
+                            "{label}: unsupported telemetry schema {ts:?} (this build \
+                             reads {:?})",
+                            Telemetry::SCHEMA
+                        ));
+                    }
+                }
+                collect_numeric(&v, "run", &mut out);
+            }
+            "event" => {
+                let kind = v.get("kind").and_then(JsonValue::as_str).unwrap_or("?");
+                *event_counts.entry(kind.to_string()).or_insert(0.0) += 1.0;
+            }
+            "trace" => traces += 1.0,
+            "window" => {
+                let i = v
+                    .get("index")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("{label}:{}: window without index", idx + 1))?;
+                collect_numeric(&v, &format!("window[{i}]"), &mut out);
+            }
+            "phase" => {
+                let name = v.get("phase").and_then(JsonValue::as_str).unwrap_or("?");
+                let depth = v.get("depth").and_then(JsonValue::as_f64).unwrap_or(0.0);
+                // Order + depth pin the key to the tree position, so a
+                // reshaped call tree misaligns instead of silently
+                // pairing different spans.
+                collect_numeric(
+                    &v,
+                    &format!("phase[{phase_order}:{name}@{depth}]"),
+                    &mut out,
+                );
+                phase_order += 1;
+            }
+            "footer" => collect_numeric(&v, "footer", &mut out),
+            _ => {}
+        }
+    }
+    for (kind, count) in event_counts {
+        out.insert(format!("events.{kind}"), count);
+    }
+    out.insert("traces".to_string(), traces);
+    Ok(out)
+}
+
+/// Hoists every numeric field (and numeric array lane) of one parsed
+/// line under `prefix`.
+fn collect_numeric(v: &JsonValue, prefix: &str, out: &mut BTreeMap<String, f64>) {
+    let JsonValue::Obj(fields) = v else { return };
+    for (k, val) in fields {
+        if k == "type" || k == "index" || k == "depth" || k == "phase" {
+            continue;
+        }
+        match val {
+            JsonValue::Num(n) => {
+                out.insert(format!("{prefix}.{k}"), *n);
+            }
+            JsonValue::Arr(items) => {
+                for (j, item) in items.iter().enumerate() {
+                    if let JsonValue::Num(n) = item {
+                        out.insert(format!("{prefix}.{k}[{j}]"), *n);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Reads a whole-run counter, preferring the authoritative footer and
+/// falling back to the legacy header totals (`dtn-observe/1` captures
+/// have no footer).
+fn run_total(series: &BTreeMap<String, f64>, name: &str) -> Option<f64> {
+    series
+        .get(&format!("footer.{name}"))
+        .or_else(|| series.get(&format!("run.{name}")))
+        .copied()
+}
+
+/// The JSONL gates: deterministic outcome counters only. Wall-clock
+/// phase rows are never gated here — that is what the locally-refreshed
+/// `BENCH_*.json` documents are for.
+fn jsonl_regressions(
+    a: &BTreeMap<String, f64>,
+    b: &BTreeMap<String, f64>,
+    threshold_pct: f64,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    let t = threshold_pct / 100.0;
+    let ratio = |m: &BTreeMap<String, f64>| -> Option<f64> {
+        let issued = run_total(m, "queries_issued")?;
+        let satisfied = run_total(m, "queries_satisfied")?;
+        (issued > 0.0).then(|| satisfied / issued)
+    };
+    if let (Some(ra), Some(rb)) = (ratio(a), ratio(b)) {
+        if rb < ra * (1.0 - t) {
+            out.push(format!(
+                "success ratio fell {:.1}% ({ra:.4} -> {rb:.4})",
+                (ra - rb) / ra * 100.0
+            ));
+        }
+    }
+    let delay = |m: &BTreeMap<String, f64>| -> Option<f64> {
+        let total = run_total(m, "total_delay_secs")?;
+        let satisfied = run_total(m, "queries_satisfied")?;
+        (satisfied > 0.0).then(|| total / satisfied)
+    };
+    if let (Some(da), Some(db)) = (delay(a), delay(b)) {
+        if da > 0.0 && db > da * (1.0 + t) {
+            out.push(format!(
+                "mean delay rose {:.1}% ({da:.0}s -> {db:.0}s)",
+                (db - da) / da * 100.0
+            ));
+        }
+    }
+    if let (Some(ba), Some(bb)) = (
+        run_total(a, "bytes_transmitted"),
+        run_total(b, "bytes_transmitted"),
+    ) {
+        if ba > 0.0 && bb > ba * (1.0 + t) {
+            out.push(format!(
+                "bytes on the wire rose {:.1}% ({ba:.0} -> {bb:.0})",
+                (bb - ba) / ba * 100.0
+            ));
+        }
+    }
+    out
+}
+
+/// Gate direction for one bench-document key, by naming convention.
+fn bench_direction(key: &str) -> Option<bool> {
+    // `true` = lower is better.
+    let last = key.rsplit('.').next().unwrap_or(key);
+    if last.ends_with("_ns")
+        || last.ends_with("_secs")
+        || last == "peak_rss_bytes"
+        || last.ends_with("wall_secs")
+    {
+        Some(true)
+    } else if last.ends_with("per_sec")
+        || last.contains("success_ratio")
+        || last.contains("speedup")
+        || last.contains("hit")
+    {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+fn bench_regressions(
+    a: &BTreeMap<String, f64>,
+    b: &BTreeMap<String, f64>,
+    threshold_pct: f64,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    let t = threshold_pct / 100.0;
+    for (key, &va) in a {
+        let Some(&vb) = b.get(key) else { continue };
+        let Some(lower_better) = bench_direction(key) else {
+            continue;
+        };
+        if va == 0.0 {
+            continue;
+        }
+        let worse = if lower_better {
+            vb > va * (1.0 + t)
+        } else {
+            vb < va * (1.0 - t)
+        };
+        if worse {
+            out.push(format!(
+                "{key} {} {:.1}% ({va} -> {vb})",
+                if lower_better { "rose" } else { "fell" },
+                ((vb - va) / va * 100.0).abs()
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::{observe_figure, write_jsonl};
+
+    fn capture(seed: u64) -> String {
+        let run = observe_figure("fig10", 0.02, seed).expect("known figure");
+        let mut buf = Vec::new();
+        write_jsonl(&run, &mut buf).expect("in-memory write");
+        String::from_utf8(buf).expect("utf8")
+    }
+
+    #[test]
+    fn run_against_itself_is_clean() {
+        let a = capture(7);
+        let report = compare_strings(&a, "a", &a, "b", 5.0).expect("same format");
+        assert_eq!(report.mode, "jsonl");
+        assert!(report.aligned > 10, "capture produced series");
+        assert!(report.rows.is_empty(), "{:?}", report.rows);
+        assert!(report.only_a.is_empty() && report.only_b.is_empty());
+        assert!(!report.has_regressions());
+        assert!(report.render().contains("verdict: OK"));
+    }
+
+    #[test]
+    fn different_seeds_produce_window_deltas() {
+        let report = compare_strings(&capture(7), "a", &capture(8), "b", 5.0).expect("same format");
+        assert!(!report.rows.is_empty(), "seeds diverge somewhere");
+        assert!(
+            report.rows.iter().any(|r| r.key.starts_with("window[")),
+            "no per-window delta in {:?}",
+            report.rows
+        );
+        assert!(report.render().contains("window["));
+    }
+
+    #[test]
+    fn success_ratio_drop_is_gated() {
+        let a = "{\"type\":\"run\",\"schema\":\"dtn-observe/2\",\"queries_issued\":100,\"queries_satisfied\":80,\"total_delay_secs\":800}\n{\"type\":\"footer\",\"queries_issued\":100,\"queries_satisfied\":80,\"total_delay_secs\":800,\"bytes_transmitted\":1000}\n";
+        let b = "{\"type\":\"run\",\"schema\":\"dtn-observe/2\",\"queries_issued\":100,\"queries_satisfied\":60,\"total_delay_secs\":800}\n{\"type\":\"footer\",\"queries_issued\":100,\"queries_satisfied\":60,\"total_delay_secs\":800,\"bytes_transmitted\":1000}\n";
+        let report = compare_strings(a, "a", b, "b", 5.0).expect("same format");
+        assert!(report.has_regressions());
+        assert!(report.regressions[0].contains("success ratio"));
+        // The same drop passes under a liberal threshold.
+        let loose = compare_strings(a, "a", b, "b", 50.0).expect("same format");
+        assert!(!loose.has_regressions());
+        // And the improvement direction never gates.
+        let gain = compare_strings(b, "b", a, "a", 5.0).expect("same format");
+        assert!(!gain.has_regressions());
+    }
+
+    #[test]
+    fn bench_documents_gate_by_key_direction() {
+        let a = "{\"results\": {\"fig\": {\"optimized_ns\": 100000, \"speedup\": 3.5, \"note\": \"x\"}}}";
+        let slower = "{\"results\": {\"fig\": {\"optimized_ns\": 120000, \"speedup\": 3.5, \"note\": \"x\"}}}";
+        let report = compare_strings(a, "a", slower, "b", 5.0).expect("bench mode");
+        assert_eq!(report.mode, "bench");
+        assert!(report.has_regressions(), "{report:?}");
+        assert!(report.regressions[0].contains("optimized_ns"));
+        let faster = "{\"results\": {\"fig\": {\"optimized_ns\": 80000, \"speedup\": 4.4, \"note\": \"x\"}}}";
+        let ok = compare_strings(a, "a", faster, "b", 5.0).expect("bench mode");
+        assert!(!ok.has_regressions(), "{ok:?}");
+        assert_eq!(ok.rows.len(), 2, "both numeric leaves moved");
+    }
+
+    #[test]
+    fn mixed_formats_are_an_error() {
+        let bench = "{\"results\": {\"x\": 1}}";
+        let jsonl =
+            "{\"type\":\"run\",\"queries_issued\":1}\n{\"type\":\"footer\",\"queries_issued\":1}\n";
+        assert!(compare_strings(bench, "a", jsonl, "b", 5.0).is_err());
+    }
+
+    #[test]
+    fn legacy_headers_without_footer_still_gate() {
+        // dtn-observe/1 captures had no footer; the gates fall back to
+        // the header totals.
+        let a = "{\"type\":\"run\",\"queries_issued\":50,\"queries_satisfied\":40,\"total_delay_secs\":100}\n{\"type\":\"event\",\"kind\":\"x\",\"at\":1}\n";
+        let b = "{\"type\":\"run\",\"queries_issued\":50,\"queries_satisfied\":20,\"total_delay_secs\":100}\n{\"type\":\"event\",\"kind\":\"x\",\"at\":1}\n";
+        let report = compare_strings(a, "a", b, "b", 5.0).expect("same format");
+        assert!(report.has_regressions());
+    }
+}

@@ -5,7 +5,9 @@
 //! same code at reduced scale. See DESIGN.md §4 for the experiment
 //! index and EXPERIMENTS.md for recorded results.
 
+pub mod compare;
 pub mod figures;
+pub mod json;
 pub mod observe;
 pub mod regimes;
 pub mod runner;

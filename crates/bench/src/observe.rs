@@ -1,21 +1,27 @@
-//! The `observe` command: one fully-instrumented experiment run.
+//! The `observe`/`timeline` capture layer: one fully-instrumented
+//! experiment run behind one versioned JSONL emitter.
 //!
 //! Re-runs a figure's base configuration (intentional scheme, same
 //! warm-up → configure → workload protocol as
 //! [`dtn_cache::experiment::run_experiment`]) with a
-//! [`RecordingProbe`] installed for the measurement phase, then
+//! [`RecordingProbe`] *and* a windowed [`Telemetry`] recorder tee'd
+//! onto the probe layer, plus the hierarchical phase profiler, then
 //!
-//! - streams every probe event and every assembled query trace as
-//!   JSONL (`--out PATH`), and
-//! - renders a human-readable post-mortem: the probe counter table,
-//!   per-NCL query arrivals and hit rates, the three-phase delay
-//!   decomposition (which sums exactly to the metrics'
-//!   `total_delay_secs`), delay/hop/occupancy histograms, oracle cache
-//!   behavior, and the top-k slowest satisfied queries with their full
-//!   lifecycle.
+//! - streams the capture as versioned JSONL (`--out PATH`): a
+//!   [`RUN_SCHEMA`] header, every probe event, every assembled query
+//!   trace, the telemetry window series, the phase-profile rows, and a
+//!   totals footer the `experiments compare` harness aligns runs by;
+//! - renders a human-readable post-mortem ([`render_report`]) or the
+//!   over-time timeline view ([`render_timeline`]).
 //!
-//! The probe is installed *after* `configure`, so the export covers the
-//! measurement phase only — the phase every figure reports on.
+//! [`observe_any`] is the single entry point every subcommand routes
+//! through: the five figures plus the `regimes` blackout cell and the
+//! `scale` streaming smoke run, so every target shares the emitter.
+//!
+//! The probe is installed *after* `configure` for figure runs, so the
+//! export covers the measurement phase only — the phase every figure
+//! reports on. (`scale` captures from t=0: its warm-up half is part of
+//! what the streaming timeline is for.)
 
 use std::cell::RefCell;
 use std::fmt::Write as _;
@@ -29,7 +35,9 @@ use dtn_core::ids::NodeId;
 use dtn_core::time::{Duration, Time};
 use dtn_sim::engine::{SimConfig, Simulator};
 use dtn_sim::metrics::Metrics;
-use dtn_sim::probe::{ProbeEvent, QueryTrace, RecordingProbe};
+use dtn_sim::probe::{ProbeEvent, QueryTrace, RecordingProbe, TeeProbe};
+use dtn_sim::profiler::ProfileReport;
+use dtn_sim::telemetry::{Telemetry, TelemetryConfig};
 use dtn_trace::synthetic::regime_shift_trace;
 use dtn_trace::trace::ContactTrace;
 use dtn_trace::TracePreset;
@@ -37,10 +45,18 @@ use dtn_workload::{Workload, WorkloadConfig};
 
 use crate::figures::{mit_config, preset_trace};
 
+/// Version tag of the JSONL run capture (header + footer layout).
+/// `dtn-observe/1` was the unversioned header-only format; `compare`
+/// still parses it.
+pub const RUN_SCHEMA: &str = "dtn-observe/2";
+
+/// Telemetry windows a capture folds its measurement phase into.
+pub const TIMELINE_WINDOWS: u64 = 24;
+
 /// Everything one instrumented run produced.
 #[derive(Debug)]
 pub struct ObserveRun {
-    /// The figure whose base configuration ran.
+    /// The figure whose base configuration ran (or `regimes`/`scale`).
     pub figure: String,
     /// The scheme that ran (always the intentional scheme today).
     pub scheme: SchemeKind,
@@ -50,6 +66,10 @@ pub struct ObserveRun {
     pub metrics: Metrics,
     /// The recorder with events, traces, counters and histograms.
     pub probe: RecordingProbe,
+    /// The windowed flight recorder tee'd onto the same event stream.
+    pub telemetry: Telemetry,
+    /// The hierarchical phase profile of the run.
+    pub profile: Option<ProfileReport>,
     /// Central nodes after the run (reflects re-elections).
     pub central_nodes: Vec<NodeId>,
     /// Queries that arrived at each central node, by NCL index.
@@ -58,6 +78,12 @@ pub struct ObserveRun {
 
 /// The figures `observe` knows base configurations for.
 pub const FIGURES: [&str; 5] = ["fig10", "fig11", "fig12", "fig13", "churn"];
+
+/// Every target [`observe_any`] accepts: the figures plus the hostile-
+/// regime blackout cell and the city-scale streaming smoke run.
+pub const TARGETS: [&str; 7] = [
+    "fig10", "fig11", "fig12", "fig13", "churn", "regimes", "scale",
+];
 
 /// The trace and base configuration behind one figure, at `scale`.
 fn figure_setup(figure: &str, scale: f64, seed: u64) -> Option<(ContactTrace, ExperimentConfig)> {
@@ -130,6 +156,7 @@ pub fn observe_figure_threaded(
         epoch_interval: config.epoch_interval,
         path_refresh: config.path_refresh,
         seed,
+        profile: true,
         threads,
         ..SimConfig::default()
     };
@@ -156,12 +183,23 @@ pub fn observe_figure_threaded(
     };
     sim.scheme_mut().configure(&setup);
 
-    // Install the probe now, so the export covers the measurement phase.
+    // Install the probes now, so the export covers the measurement
+    // phase: the recording probe and the windowed flight recorder fold
+    // the identical event stream.
+    let end = Time(trace.duration().as_secs());
     let recorder = Rc::new(RefCell::new(RecordingProbe::new()));
-    sim.set_probe(Box::new(Rc::clone(&recorder)));
+    let telemetry = Rc::new(RefCell::new(Telemetry::new(&TelemetryConfig::spanning(
+        mid,
+        Duration(end.0 - mid.0),
+        TIMELINE_WINDOWS,
+        config.ncl_count,
+    ))));
+    sim.set_probe(Box::new(TeeProbe::new(
+        Box::new(Rc::clone(&recorder)),
+        Box::new(Rc::clone(&telemetry)),
+    )));
 
     // Phase 3: workload over the second half.
-    let end = Time(trace.duration().as_secs());
     let workload_cfg = WorkloadConfig {
         generation_probability: config.generation_probability,
         mean_lifetime: config.mean_data_lifetime,
@@ -179,27 +217,59 @@ pub fn observe_figure_threaded(
     let probe = Rc::try_unwrap(recorder)
         .expect("engine returned its probe handle")
         .into_inner();
+    let telemetry = Rc::try_unwrap(telemetry)
+        .expect("engine returned its telemetry handle")
+        .into_inner();
     Ok(ObserveRun {
         figure: figure.to_string(),
         scheme: kind,
         seed,
         metrics: sim.metrics().clone(),
         probe,
+        telemetry,
+        profile: sim.profile_report(),
         central_nodes: sim.scheme().central_nodes().to_vec(),
         ncl_query_load: sim.scheme().ncl_query_load().to_vec(),
     })
 }
 
-/// One `{"type":"run",...}` JSONL header line describing the run.
+/// The unified capture entry point: figures run through
+/// [`observe_figure_threaded`], `regimes` runs the instrumented
+/// NCL-blackout cell, `scale` runs the instrumented streaming smoke
+/// city. Every target returns the same [`ObserveRun`] and therefore
+/// shares one JSONL emitter and one report/timeline renderer.
+pub fn observe_any(
+    target: &str,
+    scale: f64,
+    seed: u64,
+    threads: usize,
+) -> Result<ObserveRun, String> {
+    match target {
+        "regimes" => Ok(crate::regimes::observe_blackout(scale, seed, threads)),
+        "scale" => Ok(crate::scale::observe_city_smoke(seed, threads)),
+        _ => observe_figure_threaded(target, scale, seed, threads),
+    }
+    .map_err(|_| format!("unknown target {target:?}; expected one of {TARGETS:?}"))
+}
+
+/// One `{"type":"run",...}` JSONL header line describing the run. The
+/// `schema`/`telemetry_schema` tags version the capture; the legacy
+/// per-run totals stay in place so pre-versioning consumers keep
+/// working.
 pub fn run_header_json(run: &ObserveRun) -> String {
     let d = run.probe.total_decomposition();
     format!(
-        "{{\"type\":\"run\",\"figure\":\"{}\",\"scheme\":\"{}\",\"seed\":{},\
+        "{{\"type\":\"run\",\"schema\":\"{RUN_SCHEMA}\",\"telemetry_schema\":\"{}\",\
+         \"figure\":\"{}\",\"scheme\":\"{}\",\"seed\":{},\
+         \"window_secs\":{},\"origin\":{},\
          \"queries_issued\":{},\"queries_satisfied\":{},\"total_delay_secs\":{},\
          \"pull_secs\":{},\"ncl_secs\":{},\"response_secs\":{}}}",
+        Telemetry::SCHEMA,
         run.figure,
         run.scheme.name(),
         run.seed,
+        run.telemetry.window_secs(),
+        run.telemetry.origin().0,
         run.metrics.queries_issued,
         run.metrics.queries_satisfied,
         run.metrics.total_delay_secs,
@@ -209,8 +279,39 @@ pub fn run_header_json(run: &ObserveRun) -> String {
     )
 }
 
-/// Streams the run as JSONL: one header line, every probe event, then
-/// every assembled query trace. Returns the number of lines written.
+/// The `{"type":"footer",...}` closing line: whole-run totals from the
+/// engine metrics (the authoritative side of the conservation check)
+/// plus the non-empty telemetry window count, so `compare` can align
+/// and sanity-check a capture without replaying its event stream.
+pub fn run_footer_json(run: &ObserveRun) -> String {
+    let m = &run.metrics;
+    let windows = run
+        .telemetry
+        .windows()
+        .iter()
+        .filter(|w| !w.is_empty())
+        .count();
+    format!(
+        "{{\"type\":\"footer\",\"schema\":\"{RUN_SCHEMA}\",\
+         \"queries_issued\":{},\"queries_satisfied\":{},\"total_delay_secs\":{},\
+         \"duplicate_deliveries\":{},\"late_deliveries\":{},\"data_generated\":{},\
+         \"bytes_transmitted\":{},\"transfers_rejected\":{},\"contacts_lost\":{},\
+         \"windows\":{windows}}}",
+        m.queries_issued,
+        m.queries_satisfied,
+        m.total_delay_secs,
+        m.duplicate_deliveries,
+        m.late_deliveries,
+        m.data_generated,
+        m.bytes_transmitted,
+        m.transfers_rejected,
+        m.contacts_lost,
+    )
+}
+
+/// Streams the run as versioned JSONL: the header, every probe event,
+/// every assembled query trace, the telemetry window series, the phase
+/// profile, and the totals footer. Returns the number of lines written.
 pub fn write_jsonl(run: &ObserveRun, out: &mut dyn io::Write) -> io::Result<usize> {
     let mut lines = 0usize;
     writeln!(out, "{}", run_header_json(run))?;
@@ -223,6 +324,18 @@ pub fn write_jsonl(run: &ObserveRun, out: &mut dyn io::Write) -> io::Result<usiz
         writeln!(out, "{}", trace.to_json())?;
         lines += 1;
     }
+    for line in run.telemetry.to_jsonl().lines() {
+        writeln!(out, "{line}")?;
+        lines += 1;
+    }
+    if let Some(profile) = &run.profile {
+        for line in profile.to_jsonl().lines() {
+            writeln!(out, "{line}")?;
+            lines += 1;
+        }
+    }
+    writeln!(out, "{}", run_footer_json(run))?;
+    lines += 1;
     Ok(lines)
 }
 
@@ -467,6 +580,39 @@ pub fn render_report(run: &ObserveRun) -> String {
     out
 }
 
+/// Renders the `timeline` view: run banner, the windowed over-time
+/// table, and the hierarchical phase profile.
+pub fn render_timeline(run: &ObserveRun) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== timeline {}: {} (seed {}) ==",
+        run.figure,
+        run.scheme.name(),
+        run.seed
+    );
+    let _ = writeln!(
+        out,
+        "window {}s from t={}s; {} non-empty windows; {} queries, {} satisfied ({:.1}%)",
+        run.telemetry.window_secs(),
+        run.telemetry.origin().0,
+        run.telemetry
+            .windows()
+            .iter()
+            .filter(|w| !w.is_empty())
+            .count(),
+        run.metrics.queries_issued,
+        run.metrics.queries_satisfied,
+        run.metrics.success_ratio() * 100.0,
+    );
+    out.push_str(&run.telemetry.render_table());
+    if let Some(profile) = &run.profile {
+        out.push('\n');
+        out.push_str(&profile.render());
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -495,6 +641,17 @@ mod tests {
             run.probe.delay_hist().count(),
             run.metrics.queries_satisfied
         );
+        // The tee'd flight recorder conserves the same totals window by
+        // window (the full matrix lives in tests/telemetry_conservation).
+        let totals = run.telemetry.totals();
+        assert_eq!(totals.queries_issued, run.metrics.queries_issued);
+        assert_eq!(totals.deliveries, run.metrics.queries_satisfied);
+        assert_eq!(totals.delay_sum_secs, run.metrics.total_delay_secs);
+        assert_eq!(totals.bytes_transmitted, run.metrics.bytes_transmitted);
+        // The profiler ran and charged the contact loop.
+        let profile = run.profile.as_ref().expect("observe profiles its runs");
+        assert!(profile.entries.iter().any(|e| e.phase == "contact_commit"));
+        assert!(profile.total_ns() > 0);
     }
 
     #[test]
@@ -512,10 +669,37 @@ mod tests {
             );
             assert!(line.contains("\"type\":\""), "line missing type: {line:?}");
         }
-        // Header first, then events, then traces.
-        assert!(text.lines().next().unwrap().contains("\"type\":\"run\""));
+        // Header first, then events, traces, windows, phases, footer.
+        let first = text.lines().next().unwrap();
+        assert!(first.contains("\"type\":\"run\""));
+        assert!(first.contains("\"schema\":\"dtn-observe/2\""));
+        assert!(first.contains("\"telemetry_schema\":\"dtn-telemetry/1\""));
         assert!(text.contains("\"type\":\"event\""));
         assert!(text.contains("\"type\":\"trace\""));
+        assert!(text.contains("\"type\":\"window\""));
+        assert!(text.contains("\"type\":\"phase\""));
+        let last = text.lines().last().unwrap();
+        assert!(last.contains("\"type\":\"footer\""), "{last}");
+        assert!(last.contains(&format!(
+            "\"queries_satisfied\":{}",
+            run.metrics.queries_satisfied
+        )));
+    }
+
+    #[test]
+    fn timeline_renders_windows_and_profile() {
+        let run = observe_figure("fig10", 0.02, 7).expect("known figure");
+        let timeline = render_timeline(&run);
+        assert!(timeline.contains("timeline fig10"));
+        assert!(timeline.contains("t_start"), "{timeline}");
+        assert!(timeline.contains("phase profile"), "{timeline}");
+        assert!(timeline.contains("contact_commit"), "{timeline}");
+    }
+
+    #[test]
+    fn observe_any_rejects_unknown_targets() {
+        let err = observe_any("fig99", 0.02, 1, 1).unwrap_err();
+        assert!(err.contains("regimes") && err.contains("scale"), "{err}");
     }
 
     #[test]

@@ -16,8 +16,11 @@
 //! exponent, mean gap CV²) quantify how far each process pushes the
 //! rate estimator from the Poisson world it was built for.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use dtn_cache::intentional::{IntentionalConfig, IntentionalScheme};
-use dtn_cache::{CachingScheme, NetworkSetup};
+use dtn_cache::{CachingScheme, NetworkSetup, SchemeKind};
 use dtn_core::graph::ContactGraph;
 use dtn_core::ids::{DataId, NodeId};
 use dtn_core::ncl::select_central_nodes;
@@ -25,10 +28,14 @@ use dtn_core::time::{Duration, Time};
 use dtn_sim::engine::{SimConfig, Simulator, TraceSource, WorkloadEvent};
 use dtn_sim::message::DataItem;
 use dtn_sim::overlay::{OverlayKind, OverlaySource, RegimeOverlay};
+use dtn_sim::probe::{RecordingProbe, TeeProbe};
+use dtn_sim::telemetry::{Telemetry, TelemetryConfig};
 use dtn_trace::process::ContactProcessKind;
 use dtn_trace::synthetic::SyntheticTraceBuilder;
 use dtn_trace::trace::ContactTrace;
 use dtn_trace::{analysis, stats};
+
+use crate::observe::{ObserveRun, TIMELINE_WINDOWS};
 
 /// The overlay slots of the matrix, in report order. `"none"` is the
 /// unperturbed baseline every other slot is read against.
@@ -360,6 +367,89 @@ fn run_one(
     }
 }
 
+/// One fully-instrumented hostile-regime run for `observe`/`timeline`:
+/// the Poisson base process under the `ncl-blackout` overlay with
+/// adaptive re-election — the cell whose over-time story (load collapse
+/// at the blacked-out NCLs, recovery after re-election, heal at the
+/// window end) the flight recorder exists to show. Same protocol as
+/// the matrix's `run_one`; the probes are installed after `configure`, so the
+/// capture covers the measurement half, and the blackout window is
+/// marked on the telemetry series.
+pub fn observe_blackout(scale: f64, seed: u64, threads: usize) -> ObserveRun {
+    let scale = scale.max(0.02);
+    let plan = RunPlan::new(scale);
+    let trace = trace_builder(ContactProcessKind::Poisson, scale, seed).build();
+    let overlay = build_overlay("ncl-blackout", &plan, &trace).expect("blackout slot");
+
+    let source = OverlaySource::new(TraceSource::new(&trace), vec![overlay.clone()]);
+    let scheme = IntentionalScheme::new(IntentionalConfig {
+        ncl_count: NCL_COUNT,
+        ..IntentionalConfig::default()
+    });
+    let config = SimConfig {
+        buffer_range: (64_000, 96_000),
+        seed,
+        epoch_interval: Some(plan.epoch),
+        profile: true,
+        threads,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::from_source(source, scheme, config);
+    sim.run_until(plan.mid);
+
+    let capacities: Vec<u64> = (0..NODES as u32)
+        .map(|n| sim.buffer_capacity(NodeId(n)))
+        .collect();
+    let rate_table = sim.rate_table().clone();
+    let setup = NetworkSetup {
+        rate_table: &rate_table,
+        now: plan.mid,
+        capacities,
+        horizon: 7_200.0,
+        path_refresh: None,
+    };
+    sim.scheme_mut().configure(&setup);
+
+    let end = Time(plan.duration.as_secs());
+    let recorder = Rc::new(RefCell::new(RecordingProbe::new()));
+    let mut telemetry = Telemetry::new(&TelemetryConfig::spanning(
+        plan.mid,
+        Duration(end.0 - plan.mid.0),
+        TIMELINE_WINDOWS,
+        NCL_COUNT,
+    ));
+    telemetry.mark_overlay("ncl-blackout", plan.w_start, plan.w_end);
+    let telemetry = Rc::new(RefCell::new(telemetry));
+    sim.set_probe(Box::new(TeeProbe::new(
+        Box::new(Rc::clone(&recorder)),
+        Box::new(Rc::clone(&telemetry)),
+    )));
+
+    let mut events = base_workload(&plan);
+    events.extend(overlay.workload_events(NODES, SPARE_ITEM_BASE));
+    sim.add_workload(events);
+    sim.run_to_end();
+
+    drop(sim.take_probe());
+    let probe = Rc::try_unwrap(recorder)
+        .expect("engine returned its probe handle")
+        .into_inner();
+    let telemetry = Rc::try_unwrap(telemetry)
+        .expect("engine returned its telemetry handle")
+        .into_inner();
+    ObserveRun {
+        figure: "regimes".to_string(),
+        scheme: SchemeKind::Intentional,
+        seed,
+        metrics: sim.metrics().clone(),
+        probe,
+        telemetry,
+        profile: sim.profile_report(),
+        central_nodes: sim.scheme().central_nodes().to_vec(),
+        ncl_query_load: sim.scheme().ncl_query_load().to_vec(),
+    }
+}
+
 fn aggregate(runs: &[SingleRun]) -> RegimeOutcome {
     let n = runs.len().max(1) as f64;
     RegimeOutcome {
@@ -599,6 +689,23 @@ mod tests {
         let a = run_regime_matrix(&cfg);
         let b = run_regime_matrix(&cfg);
         assert_eq!(report_to_json(&a), report_to_json(&b));
+    }
+
+    #[test]
+    fn observed_blackout_marks_the_window_and_profiles() {
+        let run = observe_blackout(0.02, MATRIX_SEED, 1);
+        assert_eq!(run.figure, "regimes");
+        assert!(run.metrics.queries_issued > 0);
+        // The blackout overlay is marked on at least one window.
+        let marked =
+            (0..run.telemetry.windows().len()).any(|i| !run.telemetry.overlays_in(i).is_empty());
+        assert!(marked, "no window carries the blackout overlay");
+        // Telemetry conserves the engine totals.
+        let totals = run.telemetry.totals();
+        assert_eq!(totals.queries_issued, run.metrics.queries_issued);
+        assert_eq!(totals.deliveries, run.metrics.queries_satisfied);
+        // The profiler ran.
+        assert!(run.profile.as_ref().is_some_and(|p| p.total_ns() > 0));
     }
 
     #[test]

@@ -28,16 +28,19 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use dtn_cache::intentional::{IntentionalConfig, IntentionalScheme};
-use dtn_cache::{CachingScheme, NetworkSetup};
+use dtn_cache::{CachingScheme, NetworkSetup, SchemeKind};
 use dtn_core::ids::{DataId, NodeId};
 use dtn_core::ncl::SelectionStrategy;
 use dtn_core::time::{Duration, Time};
 use dtn_sim::engine::{SimConfig, Simulator, StreamSource, WorkloadEvent};
 use dtn_sim::message::DataItem;
-use dtn_sim::probe::{ParallelCounters, RecordingProbe};
+use dtn_sim::probe::{ParallelCounters, RecordingProbe, TeeProbe};
+use dtn_sim::telemetry::{Telemetry, TelemetryConfig};
 use dtn_trace::synthetic::SyntheticTraceBuilder;
 
-use crate::runner::peak_rss_bytes;
+use dtn_core::sys::peak_rss_bytes;
+
+use crate::observe::{ObserveRun, TIMELINE_WINDOWS};
 
 /// All knobs of one city-scale run.
 #[derive(Debug, Clone)]
@@ -86,6 +89,10 @@ pub struct ScaleConfig {
     /// probe is installed at every thread count so scaling curves stay
     /// comparable.
     pub batch_stats: bool,
+    /// Print an engine heartbeat to stderr every N contacts (contacts/s,
+    /// peak RSS, ETA). City runs at 10⁵–10⁶ nodes take minutes; the
+    /// heartbeat is the only sign of life before the report prints.
+    pub heartbeat_every_contacts: Option<u64>,
 }
 
 impl ScaleConfig {
@@ -117,6 +124,9 @@ impl ScaleConfig {
             audit: false,
             threads: 1,
             batch_stats: false,
+            // Silent below half a million contacts: smokes and tests
+            // finish before the first beat would fire.
+            heartbeat_every_contacts: Some(500_000),
         }
     }
 
@@ -278,6 +288,16 @@ fn scale_workload(cfg: &ScaleConfig, start: Time, end: Time) -> Vec<WorkloadEven
 /// and memory. Panics on configuration errors (fewer than two nodes,
 /// zero NCLs) — this is a benchmark harness, not a library API.
 pub fn run_scale(cfg: &ScaleConfig) -> ScaleReport {
+    run_scale_observed(cfg, false).0
+}
+
+/// [`run_scale`] with optional full instrumentation: when `observe` is
+/// on, a recording probe + windowed [`Telemetry`] tee and the phase
+/// profiler ride along and come back as an [`ObserveRun`] next to the
+/// throughput report. Unlike the figure captures, the telemetry spans
+/// the *whole* run from t=0 — warm-up visibility is what a streaming
+/// timeline is for.
+pub fn run_scale_observed(cfg: &ScaleConfig, observe: bool) -> (ScaleReport, Option<ObserveRun>) {
     let contacts_seen = Rc::new(Cell::new(0u64));
     let counter = Rc::clone(&contacts_seen);
     let stream = cfg.builder().stream();
@@ -303,14 +323,37 @@ pub fn run_scale(cfg: &ScaleConfig) -> ScaleReport {
             audit: cfg.audit,
             seed: cfg.seed,
             threads: cfg.threads,
+            profile: observe,
+            heartbeat_every_contacts: cfg.heartbeat_every_contacts,
             ..SimConfig::default()
         },
     );
-    let recorder = cfg.batch_stats.then(|| {
-        let r = Rc::new(RefCell::new(RecordingProbe::new().without_event_stream()));
-        sim.set_probe(Box::new(Rc::clone(&r)));
-        r
+    // Observed runs keep the full event stream (the JSONL export needs
+    // it); batch-stats-only runs stay counters-only so the probe cost
+    // is symmetric across thread counts.
+    let recorder = (cfg.batch_stats || observe).then(|| {
+        Rc::new(RefCell::new(if observe {
+            RecordingProbe::new()
+        } else {
+            RecordingProbe::new().without_event_stream()
+        }))
     });
+    let telemetry = observe.then(|| {
+        Rc::new(RefCell::new(Telemetry::new(&TelemetryConfig::spanning(
+            Time(0),
+            cfg.duration,
+            TIMELINE_WINDOWS,
+            cfg.ncl_count,
+        ))))
+    });
+    match (&recorder, &telemetry) {
+        (Some(r), Some(t)) => sim.set_probe(Box::new(TeeProbe::new(
+            Box::new(Rc::clone(r)),
+            Box::new(Rc::clone(t)),
+        ))),
+        (Some(r), None) => sim.set_probe(Box::new(Rc::clone(r))),
+        _ => {}
+    }
 
     // Phase 1: warm-up over the first half of the stream.
     let started = Instant::now();
@@ -348,15 +391,25 @@ pub fn run_scale(cfg: &ScaleConfig) -> ScaleReport {
     sim.run_to_end();
     let measured_secs = measured_started.elapsed().as_secs_f64();
 
-    let parallel = recorder.map(|r| {
+    if recorder.is_some() {
         drop(sim.take_probe());
-        let counters = r.borrow().parallel_counters();
-        counters
+    }
+    let probe = recorder.map(|r| {
+        Rc::try_unwrap(r)
+            .expect("engine returned its probe handle")
+            .into_inner()
     });
-    let metrics = sim.metrics();
+    // `parallel` keeps its batch-stats-only meaning: an observed serial
+    // run reports `null` there exactly like before.
+    let parallel = if cfg.batch_stats {
+        probe.as_ref().map(RecordingProbe::parallel_counters)
+    } else {
+        None
+    };
+    let metrics = sim.metrics().clone();
     let contacts = contacts_seen.get();
     let loop_secs = warmup_secs + measured_secs;
-    ScaleReport {
+    let report = ScaleReport {
         nodes: cfg.nodes,
         contacts,
         warmup_secs,
@@ -376,7 +429,34 @@ pub fn run_scale(cfg: &ScaleConfig) -> ScaleReport {
             .map(|r| (r.sweeps(), r.violations_total())),
         threads: cfg.threads,
         parallel,
-    }
+    };
+    let observed = observe.then(|| ObserveRun {
+        figure: "scale".to_string(),
+        scheme: SchemeKind::Intentional,
+        seed: cfg.seed,
+        metrics,
+        probe: probe.expect("observe installs the recorder"),
+        telemetry: Rc::try_unwrap(telemetry.expect("observe installs the telemetry"))
+            .expect("engine returned its telemetry handle")
+            .into_inner(),
+        profile: sim.profile_report(),
+        central_nodes: sim.scheme().central_nodes().to_vec(),
+        ncl_query_load: sim.scheme().ncl_query_load().to_vec(),
+    });
+    (report, observed)
+}
+
+/// The instrumented city smoke behind `observe scale` / `timeline
+/// scale`: a 2 000-node city at full density, telemetry from t=0, batch
+/// stats whenever the run is threaded.
+pub fn observe_city_smoke(seed: u64, threads: usize) -> ObserveRun {
+    let cfg = ScaleConfig {
+        seed,
+        threads,
+        batch_stats: threads > 1,
+        ..ScaleConfig::city(2_000)
+    };
+    run_scale_observed(&cfg, true).1.expect("observe requested")
 }
 
 #[cfg(test)]
@@ -450,6 +530,32 @@ mod tests {
         let json = parallel.to_json(2);
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("\"mean_batch_width\""));
+    }
+
+    #[test]
+    fn observed_run_tees_telemetry_and_profile() {
+        let (report, observed) = run_scale_observed(&tiny(), true);
+        let run = observed.expect("observe requested");
+        assert_eq!(run.figure, "scale");
+        assert_eq!(report.queries_issued, run.metrics.queries_issued);
+        // The capture spans the whole run from t=0, warm-up included:
+        // every contact the engine processed is in some window.
+        assert_eq!(run.telemetry.origin(), Time(0));
+        let totals = run.telemetry.totals();
+        assert!(totals.contacts > 0);
+        assert_eq!(totals.contacts, run.probe.count("contact_begin"));
+        assert_eq!(totals.queries_issued, run.metrics.queries_issued);
+        assert!(run.profile.as_ref().is_some_and(|p| p.total_ns() > 0));
+        // `parallel` keeps its batch-stats-only meaning under observe.
+        assert!(report.parallel.is_none());
+        // The plain runner reports identical throughput-facing outcomes.
+        let plain = run_scale(&tiny());
+        assert_eq!(plain.contacts, report.contacts);
+        assert_eq!(plain.queries_issued, report.queries_issued);
+        assert_eq!(
+            plain.success_ratio.to_bits(),
+            report.success_ratio.to_bits()
+        );
     }
 
     #[test]

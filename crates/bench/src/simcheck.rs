@@ -41,7 +41,8 @@ use dtn_sim::engine::{
 use dtn_sim::message::DataItem;
 use dtn_sim::metrics::Metrics;
 use dtn_sim::overlay::{OverlayKind, OverlaySource, RegimeOverlay};
-use dtn_sim::probe::{ProbeEvent, RecordingProbe};
+use dtn_sim::probe::{ProbeEvent, RecordingProbe, TeeProbe};
+use dtn_sim::telemetry::{Telemetry, TelemetryConfig};
 use dtn_trace::process::ContactProcessKind;
 use dtn_trace::synthetic::SyntheticTraceBuilder;
 use dtn_trace::trace::ContactTrace;
@@ -253,8 +254,21 @@ fn run_instrumented_from<S: CachingScheme, C: ContactSource>(
     nodes: usize,
 ) -> RunResult {
     let probe = Rc::new(RefCell::new(RecordingProbe::new()));
+    // A flight recorder rides along on every fuzz case: its window sums
+    // must conserve the engine totals and the probe's event counts
+    // exactly, on every seed the fuzzer throws at it. The horizon is
+    // only a preallocation hint; overrunning it is fine.
+    let telemetry = Rc::new(RefCell::new(Telemetry::new(&TelemetryConfig::spanning(
+        Time(0),
+        Duration((mid.0 * 2).max(1)),
+        16,
+        16,
+    ))));
     let mut sim = Simulator::from_source(source, scheme, sim_cfg);
-    sim.set_probe(Box::new(Rc::clone(&probe)));
+    sim.set_probe(Box::new(TeeProbe::new(
+        Box::new(Rc::clone(&probe)),
+        Box::new(Rc::clone(&telemetry)),
+    )));
     sim.run_until(mid);
     let capacities: Vec<u64> = (0..nodes as u32)
         .map(|n| sim.buffer_capacity(NodeId(n)))
@@ -279,6 +293,9 @@ fn run_instrumented_from<S: CachingScheme, C: ContactSource>(
         check_delay_decomposition(&probe.borrow(), sim.metrics(), sim.now(), &mut probe_report);
         failure = (!probe_report.is_clean()).then(|| probe_report.summary());
     }
+    if failure.is_none() {
+        failure = check_telemetry_conservation(&telemetry.borrow(), &probe.borrow(), sim.metrics());
+    }
     let events = probe.borrow().events().to_vec();
     RunResult {
         metrics: sim.metrics().clone(),
@@ -287,6 +304,81 @@ fn run_instrumented_from<S: CachingScheme, C: ContactSource>(
         events,
         failure,
     }
+}
+
+/// Strict-equality conservation: the telemetry window sums must
+/// reproduce the engine totals and the recording probe's independent
+/// event counts. Returns a failure description on the first mismatch.
+fn check_telemetry_conservation(
+    telemetry: &Telemetry,
+    probe: &RecordingProbe,
+    metrics: &Metrics,
+) -> Option<String> {
+    let t = telemetry.totals();
+    let (_, oracle_recomputes, oracle_hits) = probe.oracle_counters();
+    let parallel_contacts: u64 = telemetry
+        .windows()
+        .iter()
+        .map(|w| w.parallel_contacts)
+        .sum();
+    let checks: [(&str, u64, u64); 14] = [
+        ("queries_issued", t.queries_issued, metrics.queries_issued),
+        ("deliveries", t.deliveries, metrics.queries_satisfied),
+        ("delay_sum_secs", t.delay_sum_secs, metrics.total_delay_secs),
+        (
+            "duplicate_deliveries",
+            t.duplicate_deliveries,
+            metrics.duplicate_deliveries,
+        ),
+        (
+            "late_deliveries",
+            t.late_deliveries,
+            metrics.late_deliveries,
+        ),
+        ("data_injected", t.data_injected, metrics.data_generated),
+        (
+            "bytes_transmitted",
+            t.bytes_transmitted,
+            metrics.bytes_transmitted,
+        ),
+        (
+            "transfers_rejected",
+            t.transfers_rejected,
+            metrics.transfers_rejected,
+        ),
+        ("contacts_lost", t.contacts_lost, metrics.contacts_lost),
+        ("contacts", t.contacts, probe.count("contact_begin")),
+        ("ncl_load", t.ncl_load, probe.count("query_at_central")),
+        (
+            "replacements",
+            t.replacements,
+            probe.count("replacement_evicted"),
+        ),
+        (
+            "oracle_rebuilds",
+            t.oracle_rebuilds,
+            probe.count("oracle_rebuilt"),
+        ),
+        (
+            "parallel_contacts",
+            parallel_contacts,
+            probe.parallel_counters().contacts,
+        ),
+    ];
+    for (name, folded, expected) in checks {
+        if folded != expected {
+            return Some(format!(
+                "telemetry conservation: {name} folded {folded} != {expected}"
+            ));
+        }
+    }
+    if (t.oracle_recomputes, t.oracle_hits) != (oracle_recomputes, oracle_hits) {
+        return Some(format!(
+            "telemetry conservation: oracle deltas folded ({}, {}) != ({oracle_recomputes}, {oracle_hits})",
+            t.oracle_recomputes, t.oracle_hits
+        ));
+    }
+    None
 }
 
 /// Runs one case: optimized scheme under audit, plus the reference

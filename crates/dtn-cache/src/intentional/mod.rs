@@ -98,6 +98,7 @@ use dtn_sim::engine::{CacheStats, Epoch, PlanCtx, Scheme, SimCtx};
 use dtn_sim::message::{DataItem, Query};
 use dtn_sim::oracle::PathOracle;
 use dtn_sim::probe::ProbeEvent;
+use dtn_sim::profiler::Phase;
 use dtn_trace::trace::Contact;
 
 use crate::replacement::{NodeCacheMeta, ReplacementKind};
@@ -444,7 +445,12 @@ impl Scheme for IntentionalScheme {
         if !self.configured() {
             return;
         }
+        // The whole re-election pass — contact-graph refresh, central
+        // re-selection, oracle invalidation, copy migration — is the
+        // maintenance-driven oracle-rebuild phase of the profile.
+        ctx.profile_enter(Phase::OracleRebuild);
         self.reelect(ctx);
+        ctx.profile_exit();
     }
 
     fn plan_contacts(&mut self, plan: &PlanCtx<'_>, batch: &[Contact]) {

@@ -17,6 +17,7 @@ use dtn_sim::engine::SimCtx;
 use dtn_sim::message::DataItem;
 use dtn_sim::oracle::PathOracle;
 use dtn_sim::probe::ProbeEvent;
+use dtn_sim::profiler::Phase;
 
 use crate::common::DataRegistry;
 use crate::replacement::{make_room, NodeCacheMeta, ReplacementKind};
@@ -793,6 +794,7 @@ impl IntentionalScheme {
         // Algorithm 1 (or the deterministic basic strategy when
         // ablated) for the better-placed node, then the remainder for
         // the other. The solver reuses its DP scratch across calls.
+        ctx.profile_enter(Phase::KnapsackSolve);
         let cap_first = self.buffers[first.index()].free();
         let mut chosen_first = mem::take(&mut self.sx_chosen);
         chosen_first.clear();
@@ -832,6 +834,7 @@ impl IntentionalScheme {
                 in_second[rest[j]] = true;
             }
         }
+        ctx.profile_exit();
 
         let mut moves = 0u64;
         for (i, &(item, prior_holder)) in pool.iter().enumerate() {

@@ -17,7 +17,9 @@
 //! - [`par`] — deterministic order-preserving parallel map used by the
 //!   NCL metric sweep,
 //! - [`hist`] — alloc-free fixed-bucket histograms for hot-loop
-//!   instrumentation (delays, hop counts, buffer occupancy).
+//!   instrumentation (delays, hop counts, buffer occupancy),
+//! - [`sys`] — process-level introspection (the shared VmHWM peak-RSS
+//!   sampler behind bench reports and the engine heartbeat).
 //!
 //! # Example
 //!
@@ -52,6 +54,7 @@ pub mod path;
 pub mod popularity;
 pub mod rate;
 pub mod sigmoid;
+pub mod sys;
 pub mod time;
 
 pub use error::CoreError;

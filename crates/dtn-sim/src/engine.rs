@@ -28,6 +28,7 @@ use crate::audit::{AuditLaw, AuditReport, AuditState, AuditViolation};
 use crate::message::{DataItem, Query};
 use crate::metrics::{CacheSample, Metrics};
 use crate::probe::{Probe, ProbeEvent, ProbeSink};
+use crate::profiler::{Phase, ProfileReport, Profiler};
 
 /// Bytes per megabit, for converting the paper's "Mb" figures.
 pub const MEGABIT_BYTES: u64 = 125_000;
@@ -90,6 +91,17 @@ pub struct SimConfig {
     /// [`Simulator::audit_report`]. Default `false`: the engine carries
     /// a single `None` and audits cost one predicted branch per event.
     pub audit: bool,
+    /// Collects a hierarchical wall-clock phase profile (see
+    /// [`crate::profiler`]), readable via [`Simulator::profile_report`].
+    /// Default `false`: the engine carries a single `None` and every
+    /// span site costs one predicted branch — same zero-cost discipline
+    /// as the probe sink and the audit slot.
+    pub profile: bool,
+    /// Emits a progress heartbeat to stderr every this many dispatched
+    /// contacts (simulation progress, contacts/s, peak RSS, ETA) — for
+    /// watching long city-scale runs. Default `None`: off, one
+    /// predicted branch per contact.
+    pub heartbeat_every_contacts: Option<u64>,
     /// Worker threads for the deterministic intra-run parallel executor.
     /// `0` or `1` (the default) runs the classic serial event loop
     /// untouched; `n > 1` switches [`Simulator::run_until`] to the
@@ -116,6 +128,8 @@ impl Default for SimConfig {
             max_delay_samples: Some(65_536),
             delay_histogram: None,
             audit: false,
+            profile: false,
+            heartbeat_every_contacts: None,
             threads: 1,
             seed: 0,
         }
@@ -288,6 +302,9 @@ struct Shared {
     /// `Some` iff `SimConfig::audit` was set; boxed so the audit-off
     /// hot path carries one machine word.
     audit: Option<Box<AuditState>>,
+    /// `Some` iff `SimConfig::profile` was set; same one-machine-word
+    /// discipline as the audit slot.
+    profiler: Option<Box<Profiler>>,
 }
 
 /// The services a [`Scheme`] can call while handling an event.
@@ -341,6 +358,27 @@ impl SimCtx<'_> {
     /// that a lazy [`ProbeSink::emit`] closure cannot express.
     pub fn probe_enabled(&self) -> bool {
         self.shared.probe.is_enabled()
+    }
+
+    /// Opens a profiler span for `phase` (no-op unless
+    /// [`SimConfig::profile`] is set). Schemes bracket their own
+    /// heavyweight phases — knapsack solves, maintenance rebuilds —
+    /// with this and [`SimCtx::profile_exit`]; calls must balance on
+    /// every path, including early returns.
+    #[inline]
+    pub fn profile_enter(&mut self, phase: Phase) {
+        if let Some(p) = &mut self.shared.profiler {
+            p.enter(phase);
+        }
+    }
+
+    /// Closes the innermost open profiler span (no-op when profiling is
+    /// off).
+    #[inline]
+    pub fn profile_exit(&mut self) {
+        if let Some(p) = &mut self.shared.profiler {
+            p.exit();
+        }
     }
 
     /// Attempts to transmit `bytes` over the current contact, consuming
@@ -692,6 +730,20 @@ pub struct Simulator<S, C> {
     bandwidth: u64,
     contact_loss: f64,
     threads: usize,
+    heartbeat: Option<Heartbeat>,
+}
+
+/// Progress-heartbeat state (see
+/// [`SimConfig::heartbeat_every_contacts`]). Wall-clock anchors are
+/// taken lazily at the first dispatched contact so configure/warm-up
+/// phases don't distort the rate or the ETA.
+struct Heartbeat {
+    every: u64,
+    contacts: u64,
+    started_wall: Option<std::time::Instant>,
+    started_sim: Time,
+    last_wall: std::time::Instant,
+    last_contacts: u64,
 }
 
 /// Maximum contacts gathered into one window of the parallel executor.
@@ -746,6 +798,7 @@ impl<S: Scheme, C: ContactSource> Simulator<S, C> {
                 max_delay_samples: config.max_delay_samples,
                 probe: ProbeSink::Noop,
                 audit: config.audit.then(|| Box::new(AuditState::default())),
+                profiler: config.profile.then(|| Box::new(Profiler::new())),
             },
             workload: Vec::new(),
             next_workload: 0,
@@ -757,6 +810,14 @@ impl<S: Scheme, C: ContactSource> Simulator<S, C> {
             bandwidth: config.bandwidth_bytes_per_sec,
             contact_loss: config.contact_loss_probability,
             threads: config.threads,
+            heartbeat: config.heartbeat_every_contacts.map(|every| Heartbeat {
+                every: every.max(1),
+                contacts: 0,
+                started_wall: None,
+                started_sim: Time::ZERO,
+                last_wall: std::time::Instant::now(),
+                last_contacts: 0,
+            }),
         }
     }
 
@@ -806,6 +867,80 @@ impl<S: Scheme, C: ContactSource> Simulator<S, C> {
     /// [`SimConfig::audit`] was set.
     pub fn audit_report(&self) -> Option<&AuditReport> {
         self.shared.audit.as_deref().map(|a| &a.report)
+    }
+
+    /// Snapshot of the hierarchical phase profile, `None` unless
+    /// [`SimConfig::profile`] was set.
+    pub fn profile_report(&self) -> Option<ProfileReport> {
+        self.shared.profiler.as_deref().map(Profiler::report)
+    }
+
+    #[inline]
+    fn prof_enter(&mut self, phase: Phase) {
+        if let Some(p) = &mut self.shared.profiler {
+            p.enter(phase);
+        }
+    }
+
+    #[inline]
+    fn prof_exit(&mut self) {
+        if let Some(p) = &mut self.shared.profiler {
+            p.exit();
+        }
+    }
+
+    /// Counts one dispatched contact toward the heartbeat and, when
+    /// due, writes a progress line to stderr (keeping stdout free for
+    /// JSONL): simulation progress, contact throughput since the last
+    /// beat, peak RSS, and an ETA extrapolated from overall progress.
+    fn heartbeat_tick(&mut self) {
+        let end = self.source.end_time();
+        let Some(hb) = &mut self.heartbeat else {
+            return;
+        };
+        let now_wall = std::time::Instant::now();
+        if hb.started_wall.is_none() {
+            hb.started_wall = Some(now_wall);
+            hb.started_sim = self.shared.now;
+            hb.last_wall = now_wall;
+        }
+        let started = hb.started_wall.expect("initialised just above");
+        hb.contacts += 1;
+        if hb.contacts % hb.every != 0 {
+            return;
+        }
+        let sim_now = self.shared.now.0;
+        let rate = {
+            let secs = now_wall.duration_since(hb.last_wall).as_secs_f64();
+            let delta = hb.contacts - hb.last_contacts;
+            if secs > 0.0 {
+                delta as f64 / secs
+            } else {
+                0.0
+            }
+        };
+        let progressed = sim_now.saturating_sub(hb.started_sim.0);
+        let eta = if progressed > 0 {
+            let wall = now_wall.duration_since(started).as_secs_f64();
+            let remaining = end.0.saturating_sub(sim_now);
+            format!("{:.0}s", wall * remaining as f64 / progressed as f64)
+        } else {
+            "-".to_string()
+        };
+        let pct = if end.0 > 0 {
+            sim_now as f64 / end.0 as f64 * 100.0
+        } else {
+            100.0
+        };
+        eprintln!(
+            "[heartbeat] t={sim_now}s/{}s ({pct:.1}%) contacts={} ({rate:.0}/s) \
+             rss={:.1}MB eta={eta}",
+            end.0,
+            hb.contacts,
+            dtn_core::sys::peak_rss_bytes() as f64 / (1024.0 * 1024.0),
+        );
+        hb.last_wall = now_wall;
+        hb.last_contacts = hb.contacts;
     }
 
     /// Installs a probe; every layer's [`ProbeEvent`]s flow into it
@@ -909,10 +1044,14 @@ impl<S: Scheme, C: ContactSource> Simulator<S, C> {
             self.fire_epoch_if_due();
             if is_workload {
                 self.next_workload += 1;
+                self.prof_enter(Phase::Workload);
                 self.dispatch_workload(next_w.expect("is_workload implies a workload event"));
+                self.prof_exit();
             } else {
                 self.source.advance();
+                self.prof_enter(Phase::ContactCommit);
                 self.dispatch_contact(next_c.expect("!is_workload implies a contact"));
+                self.prof_exit();
             }
         }
         self.shared.now = self.shared.now.max(until);
@@ -978,11 +1117,14 @@ impl<S: Scheme, C: ContactSource> Simulator<S, C> {
                 self.sample_if_due();
                 self.fire_epoch_if_due();
                 self.next_workload += 1;
+                self.prof_enter(Phase::Workload);
                 self.dispatch_workload(next_w.expect("is_workload implies a workload event"));
+                self.prof_exit();
                 continue;
             }
             // Gather the window: consecutive contacts none of which any
             // other event source can preempt.
+            self.prof_enter(Phase::ContactGather);
             window.clear();
             let workload_bound = next_w.map(|e| e.at());
             while window.len() < MAX_WINDOW {
@@ -997,6 +1139,7 @@ impl<S: Scheme, C: ContactSource> Simulator<S, C> {
                 window.push(c);
                 self.source.advance();
             }
+            self.prof_exit();
             if window.is_empty() {
                 // The very next contact coincides with a sample or epoch
                 // boundary: fire those and dispatch it serially.
@@ -1004,7 +1147,9 @@ impl<S: Scheme, C: ContactSource> Simulator<S, C> {
                 self.sample_if_due();
                 self.fire_epoch_if_due();
                 self.source.advance();
+                self.prof_enter(Phase::ContactCommit);
                 self.dispatch_contact(next_c.expect("!is_workload implies a contact"));
+                self.prof_exit();
                 continue;
             }
             self.run_window(&window, &mut batch_of);
@@ -1057,6 +1202,7 @@ impl<S: Scheme, C: ContactSource> Simulator<S, C> {
         // Plan phase: per batch, let the scheme warm its per-endpoint
         // caches in parallel. Read-only by construction; the scheme and
         // the shared engine state are disjoint borrows.
+        self.prof_enter(Phase::ContactPlan);
         let mut batch: Vec<Contact> = Vec::with_capacity(widest as usize);
         for b in 0..batch_nodes.len() as u32 {
             batch.clear();
@@ -1074,6 +1220,7 @@ impl<S: Scheme, C: ContactSource> Simulator<S, C> {
             };
             self.scheme.plan_contacts(&plan, &batch);
         }
+        self.prof_exit();
 
         // Commit phase: original trace order through the serial path.
         // The sample/epoch calls are provably no-ops (the gather bound
@@ -1082,7 +1229,9 @@ impl<S: Scheme, C: ContactSource> Simulator<S, C> {
             self.shared.now = contact.start;
             self.sample_if_due();
             self.fire_epoch_if_due();
+            self.prof_enter(Phase::ContactCommit);
             self.dispatch_contact(contact);
+            self.prof_exit();
         }
     }
 
@@ -1131,6 +1280,9 @@ impl<S: Scheme, C: ContactSource> Simulator<S, C> {
     }
 
     fn dispatch_contact(&mut self, contact: Contact) {
+        if self.heartbeat.is_some() {
+            self.heartbeat_tick();
+        }
         if let Some(audit) = &mut self.shared.audit {
             // Trace-monotonicity law: a malformed contact is reported
             // and quarantined before it can touch the RNG, the rate
@@ -1205,6 +1357,7 @@ impl<S: Scheme, C: ContactSource> Simulator<S, C> {
         if self.shared.now < self.next_sample {
             return;
         }
+        self.prof_enter(Phase::Sample);
         let stats = self.scheme.cache_stats(self.shared.now);
         self.shared.metrics.samples.push(CacheSample {
             at: self.shared.now,
@@ -1221,6 +1374,7 @@ impl<S: Scheme, C: ContactSource> Simulator<S, C> {
         while self.next_sample <= self.shared.now {
             self.next_sample += self.sample_interval;
         }
+        self.prof_exit();
     }
 
     /// Fires the [`Scheme::on_epoch`] maintenance hook if the epoch
@@ -1235,6 +1389,7 @@ impl<S: Scheme, C: ContactSource> Simulator<S, C> {
         if self.shared.now < self.next_epoch {
             return;
         }
+        self.prof_enter(Phase::EpochMaintenance);
         let epoch = Epoch {
             index: self.epoch_index,
             at: self.shared.now,
@@ -1254,6 +1409,7 @@ impl<S: Scheme, C: ContactSource> Simulator<S, C> {
         if self.shared.audit.is_some() {
             self.run_audit();
         }
+        self.prof_exit();
     }
 
     /// One audit sweep: engine-side query/delivery conservation, then
@@ -1263,10 +1419,12 @@ impl<S: Scheme, C: ContactSource> Simulator<S, C> {
         let Some(mut audit) = self.shared.audit.take() else {
             return;
         };
+        self.prof_enter(Phase::AuditSweep);
         audit.report.begin_sweep();
         self.check_query_conservation(&mut audit);
         self.scheme.audit(self.shared.now, &mut audit.report);
         self.shared.audit = Some(audit);
+        self.prof_exit();
     }
 
     /// [`AuditLaw::QueryConservation`] and

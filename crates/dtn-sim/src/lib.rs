@@ -19,6 +19,8 @@ pub mod metrics;
 pub mod oracle;
 pub mod overlay;
 pub mod probe;
+pub mod profiler;
+pub mod telemetry;
 
 pub use audit::{AuditLaw, AuditReport, AuditState, AuditViolation};
 pub use buffer::Buffer;
@@ -31,5 +33,7 @@ pub use oracle::{OracleStats, PathOracle};
 pub use overlay::{OverlayKind, OverlaySource, RegimeOverlay};
 pub use probe::{
     DelayDecomposition, HopPhase, HopRecord, NoopProbe, Probe, ProbeEvent, ProbeSink, QueryTrace,
-    RecordingProbe,
+    RecordingProbe, TeeProbe,
 };
+pub use profiler::{Phase, ProfileEntry, ProfileReport, Profiler};
+pub use telemetry::{Telemetry, TelemetryConfig, TelemetryTotals, WindowStats};

@@ -456,6 +456,28 @@ impl<P: Probe> Probe for Rc<RefCell<P>> {
     }
 }
 
+/// Fans one event stream out to two probes in order — e.g. a
+/// [`RecordingProbe`] and a [`Telemetry`](crate::telemetry::Telemetry)
+/// recorder observing the same run. Nest tees for wider fan-out.
+pub struct TeeProbe {
+    first: Box<dyn Probe>,
+    second: Box<dyn Probe>,
+}
+
+impl TeeProbe {
+    /// A tee delivering every event to `first`, then `second`.
+    pub fn new(first: Box<dyn Probe>, second: Box<dyn Probe>) -> Self {
+        TeeProbe { first, second }
+    }
+}
+
+impl Probe for TeeProbe {
+    fn record(&mut self, event: &ProbeEvent) {
+        self.first.record(event);
+        self.second.record(event);
+    }
+}
+
 /// The engine's probe slot: either disabled (the default — emission
 /// sites reduce to one predicted branch, the event is never built) or
 /// an installed recorder.

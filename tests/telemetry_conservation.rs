@@ -1,0 +1,150 @@
+//! Conservation of the windowed flight recorder on an audited run.
+//!
+//! A [`Telemetry`] recorder tee'd onto the probe layer folds the event
+//! stream into fixed simulation-time windows. Folding must lose
+//! nothing: summing every window has to reproduce the engine's
+//! [`Metrics`] totals *exactly* — strict equality, not approximation —
+//! and agree with an independently recording [`RecordingProbe`] fed the
+//! identical stream. The run is fully audited so the totals being
+//! conserved are themselves invariant-checked.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dtn_coop_cache::cache::intentional::{IntentionalConfig, IntentionalScheme};
+use dtn_coop_cache::cache::{CachingScheme, NetworkSetup};
+use dtn_coop_cache::core::ids::{DataId, NodeId};
+use dtn_coop_cache::core::time::{Duration, Time};
+use dtn_coop_cache::sim::engine::{SimConfig, Simulator, WorkloadEvent};
+use dtn_coop_cache::sim::message::DataItem;
+use dtn_coop_cache::sim::probe::{RecordingProbe, TeeProbe};
+use dtn_coop_cache::sim::telemetry::{Telemetry, TelemetryConfig};
+use dtn_coop_cache::trace::synthetic::SyntheticTraceBuilder;
+use dtn_coop_cache::trace::trace::ContactTrace;
+
+const NODES: usize = 24;
+const SEED: u64 = 5;
+
+fn workload(trace: &ContactTrace) -> Vec<WorkloadEvent> {
+    let mid = trace.midpoint();
+    let items = 16u64;
+    let mut events = Vec::new();
+    for i in 0..items {
+        events.push(WorkloadEvent::GenerateData {
+            item: DataItem::new(
+                DataId(i),
+                NodeId((i * 5 % NODES as u64) as u32),
+                1_200,
+                mid + Duration::minutes(12 * i),
+                Duration::hours(20),
+            ),
+        });
+    }
+    for q in 0..80u64 {
+        events.push(WorkloadEvent::IssueQuery {
+            at: mid + Duration::minutes(45 + 11 * q),
+            requester: NodeId(((q * 7 + 3) % NODES as u64) as u32),
+            data: DataId(q * q % items),
+            constraint: Duration::hours(8),
+        });
+    }
+    events
+}
+
+#[test]
+fn window_sums_reproduce_metrics_totals_on_an_audited_run() {
+    let trace = SyntheticTraceBuilder::new(NODES)
+        .duration(Duration::days(2))
+        .target_contacts(7_000)
+        .seed(SEED)
+        .build();
+    let mid = trace.midpoint();
+    let end = Time(trace.duration().as_secs());
+
+    let scheme = IntentionalScheme::new(IntentionalConfig {
+        ncl_count: 4,
+        ..IntentionalConfig::default()
+    });
+    let mut sim = Simulator::new(
+        &trace,
+        scheme,
+        SimConfig {
+            buffer_range: (40_000, 60_000),
+            seed: SEED,
+            audit: true,
+            epoch_interval: Some(Duration::hours(6)),
+            ..SimConfig::default()
+        },
+    );
+
+    // Probes from t=0: the capture covers warm-up and measurement, so
+    // every counter the engine ever bumps is in some window.
+    let recorder = Rc::new(RefCell::new(RecordingProbe::new()));
+    let telemetry = Rc::new(RefCell::new(Telemetry::new(&TelemetryConfig::spanning(
+        Time(0),
+        Duration(end.0),
+        20,
+        4,
+    ))));
+    sim.set_probe(Box::new(TeeProbe::new(
+        Box::new(Rc::clone(&recorder)),
+        Box::new(Rc::clone(&telemetry)),
+    )));
+
+    sim.run_until(mid);
+    let capacities: Vec<u64> = (0..NODES as u32)
+        .map(|n| sim.buffer_capacity(NodeId(n)))
+        .collect();
+    let rate_table = sim.rate_table().clone();
+    let setup = NetworkSetup {
+        rate_table: &rate_table,
+        now: mid,
+        capacities,
+        horizon: 7_200.0,
+        path_refresh: None,
+    };
+    sim.scheme_mut().configure(&setup);
+    sim.add_workload(workload(&trace));
+    sim.run_to_end();
+
+    let audit = sim.audit_report().expect("audit was enabled");
+    assert!(audit.is_clean(), "audit violations: {}", audit.summary());
+
+    drop(sim.take_probe());
+    let probe = Rc::try_unwrap(recorder)
+        .expect("probe handle back")
+        .into_inner();
+    let telemetry = Rc::try_unwrap(telemetry)
+        .expect("telemetry handle back")
+        .into_inner();
+    let m = sim.metrics();
+    let t = telemetry.totals();
+
+    // The run actually exercised the counters being conserved.
+    assert!(m.queries_issued > 0 && m.queries_satisfied > 0);
+    assert!(m.bytes_transmitted > 0);
+    assert!(
+        telemetry.windows().iter().filter(|w| !w.is_empty()).count() > 1,
+        "fold degenerated into one window"
+    );
+
+    // Strict conservation against the engine metrics.
+    assert_eq!(t.queries_issued, m.queries_issued);
+    assert_eq!(t.deliveries, m.queries_satisfied);
+    assert_eq!(t.delay_sum_secs, m.total_delay_secs);
+    assert_eq!(t.duplicate_deliveries, m.duplicate_deliveries);
+    assert_eq!(t.late_deliveries, m.late_deliveries);
+    assert_eq!(t.data_injected, m.data_generated);
+    assert_eq!(t.bytes_transmitted, m.bytes_transmitted);
+    assert_eq!(t.transfers_rejected, m.transfers_rejected);
+    assert_eq!(t.contacts_lost, m.contacts_lost);
+
+    // And against the independently recording probe.
+    assert_eq!(t.contacts, probe.count("contact_begin"));
+    assert_eq!(t.ncl_load, probe.count("query_at_central"));
+    assert_eq!(t.replacements, probe.count("replacement_evicted"));
+    assert_eq!(t.epochs, probe.count("epoch_fired"));
+    assert_eq!(t.oracle_rebuilds, probe.count("oracle_rebuilt"));
+    let (_, recomputes, hits) = probe.oracle_counters();
+    assert_eq!((t.oracle_recomputes, t.oracle_hits), (recomputes, hits));
+}
