@@ -64,6 +64,11 @@ struct Options {
     threads: usize,
     /// Relative regression threshold for `compare`, in percent.
     threshold_pct: f64,
+    /// `serve`: run only the CI-sized smoke configuration.
+    smoke: bool,
+    /// `serve`: run the serve-vs-engine differential instead of the
+    /// benchmark.
+    differential: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -78,11 +83,19 @@ fn parse_args() -> Result<Options, String> {
     let mut epoch = None;
     let mut threads = 1;
     let mut threshold_pct = 5.0f64;
+    let mut smoke = false;
+    let mut differential = false;
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--timing" => {
                 timing = true;
+            }
+            "--smoke" => {
+                smoke = true;
+            }
+            "--differential" => {
+                differential = true;
             }
             "--epoch" => {
                 let v = args.next().ok_or("--epoch needs seconds")?;
@@ -155,6 +168,8 @@ fn parse_args() -> Result<Options, String> {
         epoch,
         threads,
         threshold_pct,
+        smoke,
+        differential,
     })
 }
 
@@ -269,6 +284,12 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+            "serve" => {
+                if let Err(e) = serve_cmd(&opts) {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
             "help" => {
                 println!(
                     "usage: experiments [--scale F] [--seeds N] [--csv DIR] [--timing] \
@@ -283,7 +304,9 @@ fn main() -> ExitCode {
                      [--threads T]\n\
                      \x20      experiments parallel [NODES] [--out BENCH_parallel_engine.json]\n\
                      \x20      experiments regimes [PROCESS,...] [--out BENCH_regimes.json] \
-                     [--scale F] [--seeds N] [--threads T]",
+                     [--scale F] [--seeds N] [--threads T]\n\
+                     \x20      experiments serve [--smoke] [--differential] \
+                     [--out BENCH_serve.json]",
                     targets = bench::observe::TARGETS.join("|")
                 );
             }
@@ -787,6 +810,80 @@ fn scale_cmd(opts: &Options) -> Result<(), String> {
     }
     if violations > 0 {
         return Err(format!("audited scale case found {violations} violations"));
+    }
+    Ok(())
+}
+
+/// The `serve` command: the open-loop serving benchmark
+/// (`BENCH_serve.json`) or, with `--differential`, the serve-vs-engine
+/// equivalence check. `--smoke` runs only the CI-sized configuration —
+/// its deterministic `_exact`/`_checksum` keys must reproduce the
+/// committed baseline bit-identically on any machine, while the
+/// wall-clock numbers are informational (CI never gates wall clock).
+fn serve_cmd(opts: &Options) -> Result<(), String> {
+    use bench::serve::{run_serve_bench, run_serve_differential, ServeBenchConfig};
+    if opts.differential {
+        eprintln!("[serve] differential: serve vs engine on a shared trace...");
+        let problems = run_serve_differential(&ServeBenchConfig::smoke());
+        if problems.is_empty() {
+            println!("[serve] differential OK: decisions bit-identical to the engine kernel");
+            return Ok(());
+        }
+        for p in &problems {
+            eprintln!("[serve] MISMATCH: {p}");
+        }
+        return Err(format!(
+            "serve differential found {} mismatches",
+            problems.len()
+        ));
+    }
+
+    eprintln!("[serve] smoke configuration...");
+    let smoke = run_serve_bench("smoke", &ServeBenchConfig::smoke());
+    eprintln!(
+        "[serve] smoke: {} decisions, sustained {:.0}/s, service p99 {:.1}us, checksum {}",
+        smoke.decisions,
+        smoke.sustained_per_sec,
+        smoke.service_p99_ns as f64 / 1e3,
+        smoke.decision_checksum,
+    );
+    let full = if opts.smoke {
+        None
+    } else {
+        eprintln!("[serve] full configuration...");
+        let full = run_serve_bench("full", &ServeBenchConfig::full());
+        eprintln!(
+            "[serve] full: {} decisions, sustained {:.0}/s, service p99 {:.1}us",
+            full.decisions,
+            full.sustained_per_sec,
+            full.service_p99_ns as f64 / 1e3,
+        );
+        Some(full)
+    };
+
+    let mut doc = String::from(
+        "{\n  \"benchmark\": \"crates/bench/src/serve.rs\",\n  \
+         \"command\": \"cargo run --release -p bench --bin experiments -- serve\",\n  \
+         \"results\": {\n    \"smoke\":\n",
+    );
+    doc.push_str(&smoke.to_json(4, true));
+    if let Some(full) = &full {
+        doc.push_str(",\n    \"full\":\n");
+        doc.push_str(&full.to_json(4, false));
+    }
+    doc.push_str(
+        "\n  },\n  \"notes\": [\n    \
+         \"Latency is open-loop: measured per-decision service times replayed against a virtual wall cursor, so queueing delay behind slow decisions is included and the percentiles are free of coordinated omission.\",\n    \
+         \"smoke.*_exact and smoke.decision_checksum are the determinism contract: a fresh `experiments serve --smoke` on any machine must reproduce them bit-identically (gated by `experiments compare`).\",\n    \
+         \"Wall-clock keys (_usec, per_wall_second) are informational; their names deliberately match no compare gate direction because CI machines differ from the machine that produced the committed numbers.\",\n    \
+         \"Target: the full sweep's 2000/s offered point must hold open-loop p99 within the 1 ms latency budget on the reference machine; the saturation knee (achieved < offered) marks sustained capacity. See EXPERIMENTS.md for the recorded table.\"\n  ]\n}\n",
+    );
+    match &opts.out {
+        Some(path) => {
+            fs::write(path, &doc).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            println!("[serve] wrote {}", path.display());
+        }
+        None => print!("{doc}"),
     }
     Ok(())
 }

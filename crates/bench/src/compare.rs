@@ -361,6 +361,17 @@ fn run_total(series: &BTreeMap<String, f64>, name: &str) -> Option<f64> {
 /// The JSONL gates: deterministic outcome counters only. Wall-clock
 /// phase rows are never gated here — that is what the locally-refreshed
 /// `BENCH_*.json` documents are for.
+/// The whole-run counters the JSONL gates are built from. A capture
+/// that *loses* one of these (truncated file, exporter drift) must not
+/// sail through just because the corresponding threshold gate had
+/// nothing to compare.
+const GATED_COUNTERS: [&str; 4] = [
+    "queries_issued",
+    "queries_satisfied",
+    "total_delay_secs",
+    "bytes_transmitted",
+];
+
 fn jsonl_regressions(
     a: &BTreeMap<String, f64>,
     b: &BTreeMap<String, f64>,
@@ -368,6 +379,14 @@ fn jsonl_regressions(
 ) -> Vec<String> {
     let mut out = Vec::new();
     let t = threshold_pct / 100.0;
+    for name in GATED_COUNTERS {
+        if run_total(a, name).is_some() && run_total(b, name).is_none() {
+            out.push(format!(
+                "missing gated series: {name} present in baseline but absent \
+                 from candidate (truncated or incompatible capture?)"
+            ));
+        }
+    }
     let ratio = |m: &BTreeMap<String, f64>| -> Option<f64> {
         let issued = run_total(m, "queries_issued")?;
         let satisfied = run_total(m, "queries_satisfied")?;
@@ -429,6 +448,15 @@ fn bench_direction(key: &str) -> Option<bool> {
     }
 }
 
+/// Keys carrying a determinism contract rather than a performance
+/// number: `_exact` counts and `_checksum` digests must reproduce
+/// bit-identically, so any drift — or the key vanishing from the
+/// candidate — is a regression regardless of threshold.
+fn bench_exactness(key: &str) -> bool {
+    let last = key.rsplit('.').next().unwrap_or(key);
+    last.ends_with("_exact") || last.ends_with("_checksum")
+}
+
 fn bench_regressions(
     a: &BTreeMap<String, f64>,
     b: &BTreeMap<String, f64>,
@@ -437,6 +465,18 @@ fn bench_regressions(
     let mut out = Vec::new();
     let t = threshold_pct / 100.0;
     for (key, &va) in a {
+        if bench_exactness(key) {
+            match b.get(key) {
+                None => out.push(format!(
+                    "missing exact key: {key} present in baseline but absent from candidate"
+                )),
+                Some(&vb) if vb != va => {
+                    out.push(format!("exact key {key} changed ({va} -> {vb})"));
+                }
+                Some(_) => {}
+            }
+            continue;
+        }
         let Some(&vb) = b.get(key) else { continue };
         let Some(lower_better) = bench_direction(key) else {
             continue;
@@ -526,11 +566,69 @@ mod tests {
     }
 
     #[test]
+    fn exact_keys_gate_on_any_change_and_on_loss() {
+        let a = "{\"results\": {\"serve\": {\"decisions_exact\": 400, \"decision_checksum\": 123456, \"p99_service_ns\": 5000}}}";
+        // Threshold-sized drift in an `_exact` key still regresses.
+        let drifted = "{\"results\": {\"serve\": {\"decisions_exact\": 401, \"decision_checksum\": 123456, \"p99_service_ns\": 5000}}}";
+        let report = compare_strings(a, "a", drifted, "b", 50.0).expect("bench mode");
+        assert!(report.has_regressions(), "{report:?}");
+        assert!(report.regressions[0].contains("decisions_exact"));
+        // A checksum flip regresses even though the key has no
+        // performance direction.
+        let flipped = "{\"results\": {\"serve\": {\"decisions_exact\": 400, \"decision_checksum\": 999, \"p99_service_ns\": 5000}}}";
+        let report = compare_strings(a, "a", flipped, "b", 50.0).expect("bench mode");
+        assert!(report.has_regressions(), "{report:?}");
+        assert!(report.regressions[0].contains("decision_checksum"));
+        // Losing the key entirely regresses too (a plain perf key would
+        // just be skipped).
+        let lost = "{\"results\": {\"serve\": {\"p99_service_ns\": 5000}}}";
+        let report = compare_strings(a, "a", lost, "b", 50.0).expect("bench mode");
+        assert!(
+            report
+                .regressions
+                .iter()
+                .any(|r| r.contains("missing exact key") && r.contains("decisions_exact")),
+            "{:?}",
+            report.regressions
+        );
+        // Identical documents stay clean.
+        let clean = compare_strings(a, "a", a, "b", 50.0).expect("bench mode");
+        assert!(!clean.has_regressions(), "{clean:?}");
+    }
+
+    #[test]
     fn mixed_formats_are_an_error() {
         let bench = "{\"results\": {\"x\": 1}}";
         let jsonl =
             "{\"type\":\"run\",\"queries_issued\":1}\n{\"type\":\"footer\",\"queries_issued\":1}\n";
         assert!(compare_strings(bench, "a", jsonl, "b", 5.0).is_err());
+    }
+
+    #[test]
+    fn truncated_capture_missing_gated_series_fails() {
+        let full = "{\"type\":\"run\",\"schema\":\"dtn-observe/2\",\"queries_issued\":100,\"queries_satisfied\":80,\"total_delay_secs\":800}\n{\"type\":\"footer\",\"queries_issued\":100,\"queries_satisfied\":80,\"total_delay_secs\":800,\"bytes_transmitted\":1000}\n";
+        // The candidate capture was cut off before its footer: the
+        // header still carries ratio/delay totals (so those gates run
+        // and pass), but `bytes_transmitted` exists nowhere in the
+        // file. Before the missing-series gate this compared clean.
+        let truncated = "{\"type\":\"run\",\"schema\":\"dtn-observe/2\",\"queries_issued\":100,\"queries_satisfied\":80,\"total_delay_secs\":800}\n{\"type\":\"event\",\"kind\":\"x\",\"at\":1}\n";
+        let report = compare_strings(full, "a", truncated, "b", 5.0).expect("same format");
+        assert!(report.has_regressions(), "{report:?}");
+        assert!(
+            report
+                .regressions
+                .iter()
+                .any(|r| r.contains("missing gated series") && r.contains("bytes_transmitted")),
+            "{:?}",
+            report.regressions
+        );
+        assert!(report.render().contains("verdict: REGRESSED"));
+        // Absent on both sides is a legacy capture pair, not a loss.
+        let pair = compare_strings(truncated, "a", truncated, "b", 5.0).expect("same format");
+        assert!(!pair.has_regressions(), "{:?}", pair.regressions);
+        // A series the candidate *gained* never gates either.
+        let gained = compare_strings(truncated, "a", full, "b", 5.0).expect("same format");
+        assert!(!gained.has_regressions(), "{:?}", gained.regressions);
     }
 
     #[test]

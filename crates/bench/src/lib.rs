@@ -12,6 +12,7 @@ pub mod observe;
 pub mod regimes;
 pub mod runner;
 pub mod scale;
+pub mod serve;
 pub mod simcheck;
 
 pub use runner::{

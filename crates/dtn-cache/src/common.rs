@@ -75,6 +75,10 @@ impl DataRegistry {
 /// to `to` iff `to` has a strictly better opportunistic-path weight to
 /// `dest` — "a relay forwards data to another node with higher metric
 /// than itself". Returns the new carrier.
+///
+/// Thin wrapper over [`dtn_sim::decision::DecisionPoint::forward`] so
+/// the engine's contact-time forwarding and the online serving mode
+/// share one code path.
 pub fn better_relay(
     oracle: &mut PathOracle,
     rates: &RateTable,
@@ -83,15 +87,7 @@ pub fn better_relay(
     to: NodeId,
     dest: NodeId,
 ) -> bool {
-    if to == dest {
-        return true;
-    }
-    if from == dest {
-        return false;
-    }
-    let w_to = oracle.weight(rates, now, to, dest);
-    let w_from = oracle.weight(rates, now, from, dest);
-    w_to > w_from
+    dtn_sim::decision::DecisionPoint::new(oracle, rates, now, &[]).forward(from, to, dest)
 }
 
 #[cfg(test)]

@@ -10,9 +10,11 @@ use std::mem;
 use dtn_core::graph::ContactGraph;
 use dtn_core::ids::{DataId, NodeId, QueryId};
 use dtn_core::knapsack::{CacheItem, KnapsackSolver};
+use dtn_core::rate::RateTable;
 use dtn_core::time::Time;
 use dtn_sim::audit::{check_buffers, AuditLaw, AuditReport, AuditViolation};
 use dtn_sim::buffer::Buffer;
+use dtn_sim::decision::DecisionPoint;
 use dtn_sim::engine::SimCtx;
 use dtn_sim::message::DataItem;
 use dtn_sim::oracle::PathOracle;
@@ -256,6 +258,22 @@ impl IntentionalScheme {
     /// The configuration the scheme was built with.
     pub fn config(&self) -> &IntentionalConfig {
         &self.cfg
+    }
+
+    /// A [`DecisionPoint`] borrowing this scheme's own path oracle and
+    /// elected central set — the scheme-side decision API for the online
+    /// serving mode. Decisions answered through it are computed by
+    /// exactly the code path (`DecisionPoint::forward` ==
+    /// `better_relay`) and exactly the state the engine uses at the next
+    /// contact. `None` until [`configure`](crate::CachingScheme::configure)
+    /// has elected central nodes and built the oracle.
+    pub fn decision_point<'a>(
+        &'a mut self,
+        rates: &'a RateTable,
+        now: Time,
+    ) -> Option<DecisionPoint<'a>> {
+        let oracle = self.oracle.as_mut()?;
+        Some(DecisionPoint::new(oracle, rates, now, &self.centrals))
     }
 
     /// Counters accumulated by epoch-based NCL re-election. All zero

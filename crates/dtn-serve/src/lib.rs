@@ -1,0 +1,650 @@
+//! Online serving mode: a bounded-latency decision service over a live
+//! contact stream.
+//!
+//! The simulator answers "what would the scheme have done" after the
+//! fact; [`DecisionService`] answers it *while the network runs*. It
+//! wraps the real engine ([`Simulator`]) over any [`ContactSource`] —
+//! a replayed trace, a [`StreamSource`](dtn_sim::engine::StreamSource)
+//! fed from a socket, an accelerated synthetic stream — and serves two
+//! request kinds against the engine's exact live state:
+//!
+//! - [`Request::Place`]: where should a new data item be cached? →
+//!   the elected NCL set plus, per NCL, the best next relay from the
+//!   source under the §V-A greedy rule ([`PlacementDecision`]).
+//! - [`Request::Route`]: where should a query go? → the central node
+//!   with the highest opportunistic weight from the requester plus the
+//!   best next relay toward it ([`RouteDecision`]).
+//!
+//! # Concurrency model (snapshot reads, background refresh)
+//!
+//! Every decision reads through the scheme's
+//! [`DecisionPoint`](dtn_sim::decision::DecisionPoint), whose oracle
+//! reads go to the [`PathOracle`](dtn_sim::oracle::PathOracle)'s
+//! generation-versioned snapshot: a decision never waits for a refresh;
+//! it reads the current snapshot, and staleness is bounded by the
+//! oracle's refresh interval. [`DecisionService::refresh`] is the
+//! background arm — it pre-stages path searches for the hot sources on
+//! worker threads against the same snapshot, so subsequent decisions
+//! hit staged results instead of recomputing inline. Priming is
+//! byte-identical to the lazy miss path, so serving with or without
+//! refresh produces the same answers (the differential tests pin this).
+//! Epoch-driven NCL re-election arrives through the engine's own epoch
+//! channel: [`DecisionService::decide`] ingests the contact stream up
+//! to the request time before answering, so re-elections are visible to
+//! the very next decision.
+//!
+//! # Latency accounting
+//!
+//! Each decision's service time is measured with a monotonic clock and
+//! recorded in a nanosecond histogram plus a budget-violation counter
+//! against [`ServeConfig::latency_budget_ns`]. [`write_jsonl`] exports
+//! the per-decision trace in the `dtn-serve/1` JSONL schema (header,
+//! one line per decision, stats footer) alongside the
+//! `dtn-observe/2` captures.
+
+use std::io::{self, Write};
+use std::time::Instant;
+
+use dtn_cache::intentional::IntentionalScheme;
+use dtn_core::hist::Histogram;
+use dtn_core::ids::{DataId, NodeId};
+use dtn_core::time::Time;
+use dtn_sim::decision::{PlacementDecision, RouteDecision};
+use dtn_sim::engine::{ContactSource, Simulator};
+
+/// Serving-loop configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Per-decision latency budget; decisions slower than this bump the
+    /// violation counter. Default 1 ms.
+    pub latency_budget_ns: u64,
+    /// Bucket width of the service-time histogram, in nanoseconds.
+    pub hist_bucket_ns: u64,
+    /// Bucket count of the service-time histogram (overflow clamps to
+    /// the last bucket).
+    pub hist_buckets: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            latency_budget_ns: 1_000_000,
+            hist_bucket_ns: 10_000,
+            hist_buckets: 512,
+        }
+    }
+}
+
+/// A decision request, stamped with its stream arrival time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Where should `data`, currently at `source`, be cached?
+    Place { data: DataId, source: NodeId },
+    /// Where should `requester`'s query for `data` go?
+    Route { requester: NodeId, data: DataId },
+}
+
+/// A decision answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Answer {
+    /// NCL set + per-NCL relay plan.
+    Place(PlacementDecision),
+    /// Central target + next hop; `None` when no centrals are elected.
+    Route(Option<RouteDecision>),
+}
+
+/// One served decision, as recorded in the `dtn-serve/1` trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// Sequence number in the decision stream.
+    pub seq: u64,
+    /// Simulation time the decision was served at (the request time,
+    /// clamped forward to the stream position if it had already moved).
+    pub at: Time,
+    /// The request.
+    pub request: Request,
+    /// The answer.
+    pub answer: Answer,
+    /// Oracle snapshot epoch that answered the decision.
+    pub oracle_epoch: u64,
+    /// Wall-clock service time in nanoseconds (decision computation
+    /// only; stream ingestion is accounted to the stream, not the
+    /// decision).
+    pub service_ns: u64,
+}
+
+/// Why a decision could not be served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The scheme has not been configured yet (no NCL election, no
+    /// oracle) — call [`DecisionService::configure_at`] first.
+    NotConfigured,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::NotConfigured => {
+                write!(f, "decision service not configured: no NCLs elected yet")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Aggregate serving statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Decisions served.
+    pub decisions: u64,
+    /// Decisions over the latency budget.
+    pub budget_violations: u64,
+    /// FNV-1a checksum over the canonical encoding of every answer —
+    /// two runs over the same stream are bit-identical iff these match.
+    pub checksum: u64,
+    /// Maximum observed service time, ns.
+    pub max_service_ns: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a_u64(mut hash: u64, value: u64) -> u64 {
+    for byte in value.to_le_bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+fn fold_option_node(hash: u64, node: Option<NodeId>) -> u64 {
+    match node {
+        Some(n) => fnv1a_u64(fnv1a_u64(hash, 1), n.0 as u64),
+        None => fnv1a_u64(hash, 0),
+    }
+}
+
+/// The online decision service: the real engine plus a serving loop.
+pub struct DecisionService<C: ContactSource> {
+    sim: Simulator<IntentionalScheme, C>,
+    nodes: Vec<NodeId>,
+    cfg: ServeConfig,
+    hist: Histogram,
+    decisions: u64,
+    budget_violations: u64,
+    checksum: u64,
+    max_service_ns: u64,
+    log: Option<Vec<Decision>>,
+}
+
+impl<C: ContactSource> DecisionService<C> {
+    /// Wraps an engine. The simulator may be fresh or already warmed;
+    /// decisions are refused until the scheme is configured
+    /// ([`configure_at`](Self::configure_at) or an external
+    /// `configure`).
+    pub fn new(sim: Simulator<IntentionalScheme, C>, cfg: ServeConfig) -> Self {
+        let nodes = (0..sim.source().node_count() as u32).map(NodeId).collect();
+        let hist = Histogram::new(cfg.hist_bucket_ns.max(1), cfg.hist_buckets.max(1));
+        DecisionService {
+            sim,
+            nodes,
+            cfg,
+            hist,
+            decisions: 0,
+            budget_violations: 0,
+            checksum: FNV_OFFSET,
+            max_service_ns: 0,
+            log: None,
+        }
+    }
+
+    /// Turns on per-decision recording (for the JSONL export and the
+    /// differential harness). Returns `self` for builder-style use.
+    pub fn with_decision_log(mut self) -> Self {
+        self.log = Some(Vec::new());
+        self
+    }
+
+    /// Ingests the stream up to `now`, then runs NCL election and
+    /// scheme configuration from the engine's live state — the serving
+    /// analog of the experiment protocol's warm-up/configure phases.
+    pub fn configure_at(
+        &mut self,
+        now: Time,
+        horizon: f64,
+        path_refresh: Option<dtn_core::time::Duration>,
+    ) {
+        self.sim.run_until(now);
+        let capacities: Vec<u64> = self
+            .nodes
+            .iter()
+            .map(|&n| self.sim.buffer_capacity(n))
+            .collect();
+        let rate_table = self.sim.rate_table().clone();
+        use dtn_cache::CachingScheme;
+        self.sim.scheme_mut().configure(&dtn_cache::NetworkSetup {
+            rate_table: &rate_table,
+            now,
+            capacities,
+            horizon,
+            path_refresh,
+        });
+    }
+
+    /// Serves one decision: ingests the contact stream (and any epoch
+    /// re-elections) up to the request time, then answers from the
+    /// scheme's live decision point. Only the answer computation counts
+    /// toward the decision's service time.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NotConfigured`] until the scheme has elected NCLs.
+    pub fn decide(&mut self, at: Time, request: Request) -> Result<Decision, ServeError> {
+        let at = at.max(self.sim.now());
+        self.sim.run_until(at);
+        let (scheme, rates, now) = self.sim.decision_inputs();
+        let started = Instant::now();
+        let mut dp = scheme
+            .decision_point(rates, now)
+            .ok_or(ServeError::NotConfigured)?;
+        let oracle_epoch = dp.snapshot_epoch();
+        let answer = match request {
+            Request::Place { source, .. } => Answer::Place(dp.place(source, &self.nodes)),
+            Request::Route { requester, .. } => Answer::Route(dp.route(requester, &self.nodes)),
+        };
+        let service_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+
+        self.decisions += 1;
+        let clamp = (self.hist.bucket_width() * (self.cfg.hist_buckets.max(1) as u64 - 1)).max(1);
+        self.hist.record(service_ns.min(clamp));
+        self.max_service_ns = self.max_service_ns.max(service_ns);
+        if service_ns > self.cfg.latency_budget_ns {
+            self.budget_violations += 1;
+        }
+        self.checksum = checksum_fold(self.checksum, at, &request, &answer);
+
+        let decision = Decision {
+            seq: self.decisions - 1,
+            at,
+            request,
+            answer,
+            oracle_epoch,
+            service_ns,
+        };
+        if let Some(log) = &mut self.log {
+            log.push(decision.clone());
+        }
+        Ok(decision)
+    }
+
+    /// Background refresh: pre-stages path searches for `sources` (all
+    /// nodes when empty) on up to `threads` workers against the current
+    /// oracle snapshot. No-op before configuration; never changes what
+    /// any decision answers — only how fast.
+    pub fn refresh(&mut self, sources: &[NodeId], threads: usize) {
+        let (scheme, rates, now) = self.sim.decision_inputs();
+        if let Some(mut dp) = scheme.decision_point(rates, now) {
+            if sources.is_empty() {
+                dp.prime(&self.nodes, threads);
+            } else {
+                dp.prime(sources, threads);
+            }
+        }
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            decisions: self.decisions,
+            budget_violations: self.budget_violations,
+            checksum: self.checksum,
+            max_service_ns: self.max_service_ns,
+        }
+    }
+
+    /// The service-time histogram (nanosecond buckets).
+    pub fn latency_hist(&self) -> &Histogram {
+        &self.hist
+    }
+
+    /// Recorded decisions (empty slice when the log is off).
+    pub fn decisions(&self) -> &[Decision] {
+        self.log.as_deref().unwrap_or(&[])
+    }
+
+    /// The wrapped engine.
+    pub fn sim(&self) -> &Simulator<IntentionalScheme, C> {
+        &self.sim
+    }
+
+    /// Mutable access to the wrapped engine (e.g. to feed workload
+    /// events into the stream between decisions).
+    pub fn sim_mut(&mut self) -> &mut Simulator<IntentionalScheme, C> {
+        &mut self.sim
+    }
+
+    /// Consumes the service, returning the engine (for post-run metric
+    /// and differential checks).
+    pub fn into_sim(self) -> Simulator<IntentionalScheme, C> {
+        self.sim
+    }
+}
+
+/// Folds one decision into the stream checksum: request identity, the
+/// serving time and every node choice in the answer. Deliberately
+/// excludes wall-clock fields so two runs over the same stream hash
+/// identically.
+fn checksum_fold(mut h: u64, at: Time, request: &Request, answer: &Answer) -> u64 {
+    h = fnv1a_u64(h, at.0);
+    match *request {
+        Request::Place { data, source } => {
+            h = fnv1a_u64(h, 1);
+            h = fnv1a_u64(h, data.0);
+            h = fnv1a_u64(h, source.0 as u64);
+        }
+        Request::Route { requester, data } => {
+            h = fnv1a_u64(h, 2);
+            h = fnv1a_u64(h, requester.0 as u64);
+            h = fnv1a_u64(h, data.0);
+        }
+    }
+    match answer {
+        Answer::Place(p) => {
+            h = fnv1a_u64(h, p.ncls.len() as u64);
+            for plan in &p.plan {
+                h = fnv1a_u64(h, plan.central.0 as u64);
+                h = fold_option_node(h, plan.next_hop);
+            }
+        }
+        Answer::Route(r) => match r {
+            None => h = fnv1a_u64(h, 0),
+            Some(r) => {
+                h = fnv1a_u64(h, r.central.0 as u64);
+                h = fold_option_node(h, r.next_hop);
+            }
+        },
+    }
+    h
+}
+
+/// Writes the recorded decision trace as `dtn-serve/1` JSONL: a header
+/// line, one line per decision, and a stats footer. Returns the number
+/// of lines written.
+///
+/// # Errors
+///
+/// Propagates write failures from `out`.
+pub fn write_jsonl<C: ContactSource>(
+    service: &DecisionService<C>,
+    out: &mut dyn Write,
+) -> io::Result<usize> {
+    let stats = service.stats();
+    let mut lines = 0usize;
+    writeln!(
+        out,
+        "{{\"schema\":\"dtn-serve/1\",\"type\":\"header\",\"nodes\":{},\"budget_ns\":{}}}",
+        service.nodes.len(),
+        service.cfg.latency_budget_ns,
+    )?;
+    lines += 1;
+    for d in service.decisions() {
+        let (kind, a, b) = match d.request {
+            Request::Place { data, source } => ("place", data.0, source.0 as u64),
+            Request::Route { requester, data } => ("route", requester.0 as u64, data.0),
+        };
+        let target = match &d.answer {
+            Answer::Place(p) => p
+                .plan
+                .first()
+                .and_then(|plan| plan.next_hop)
+                .map_or(-1, |n| n.0 as i64),
+            Answer::Route(r) => r.as_ref().map_or(-1, |r| r.central.0 as i64),
+        };
+        writeln!(
+            out,
+            "{{\"type\":\"decision\",\"seq\":{},\"at\":{},\"kind\":\"{kind}\",\"a\":{a},\"b\":{b},\
+             \"target\":{target},\"epoch\":{},\"service_ns\":{}}}",
+            d.seq, d.at.0, d.oracle_epoch, d.service_ns,
+        )?;
+        lines += 1;
+    }
+    let hist = service.latency_hist();
+    let q = |p: f64| hist.quantile_bucket(p).unwrap_or(0);
+    writeln!(
+        out,
+        "{{\"type\":\"footer\",\"decisions\":{},\"budget_violations\":{},\
+         \"p50_service_ns\":{},\"p99_service_ns\":{},\"max_service_ns\":{},\
+         \"decision_checksum\":{}}}",
+        stats.decisions,
+        stats.budget_violations,
+        q(0.5),
+        q(0.99),
+        stats.max_service_ns,
+        stats.checksum,
+    )?;
+    lines += 1;
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_cache::intentional::IntentionalConfig;
+    use dtn_cache::CachingScheme;
+    use dtn_core::time::Duration;
+    use dtn_sim::engine::SimConfig;
+    use dtn_trace::SyntheticTraceBuilder;
+
+    fn trace() -> dtn_trace::ContactTrace {
+        SyntheticTraceBuilder::new(20)
+            .duration(Duration::days(1))
+            .target_contacts(4_000)
+            .edge_density(0.4)
+            .seed(7)
+            .build()
+    }
+
+    fn service(
+        trace: &dtn_trace::ContactTrace,
+    ) -> DecisionService<dtn_sim::engine::TraceSource<'_>> {
+        let scheme = IntentionalScheme::new(IntentionalConfig {
+            ncl_count: 3,
+            ..IntentionalConfig::default()
+        });
+        let sim = Simulator::new(trace, scheme, SimConfig::default());
+        let mut svc = DecisionService::new(sim, ServeConfig::default()).with_decision_log();
+        svc.configure_at(trace.midpoint(), 3600.0 * 6.0, None);
+        svc
+    }
+
+    #[test]
+    fn unconfigured_service_refuses_decisions() {
+        let t = trace();
+        let scheme = IntentionalScheme::new(IntentionalConfig::default());
+        let sim = Simulator::new(&t, scheme, SimConfig::default());
+        let mut svc = DecisionService::new(sim, ServeConfig::default());
+        let err = svc
+            .decide(
+                Time(10),
+                Request::Place {
+                    data: DataId(1),
+                    source: NodeId(0),
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, ServeError::NotConfigured);
+        assert!(err.to_string().contains("not configured"));
+    }
+
+    #[test]
+    fn serves_place_and_route_with_latency_accounting() {
+        let t = trace();
+        let mut svc = service(&t);
+        let mid = t.midpoint();
+        for i in 0..40u64 {
+            let at = Time(mid.0 + i * 60);
+            let req = if i % 2 == 0 {
+                Request::Place {
+                    data: DataId(i),
+                    source: NodeId((i % 20) as u32),
+                }
+            } else {
+                Request::Route {
+                    requester: NodeId((i % 20) as u32),
+                    data: DataId(i / 2),
+                }
+            };
+            let d = svc.decide(at, req).expect("configured");
+            assert_eq!(d.at, at);
+            match (&req, &d.answer) {
+                (Request::Place { .. }, Answer::Place(p)) => {
+                    assert_eq!(p.ncls.len(), 3);
+                    assert_eq!(p.plan.len(), 3);
+                }
+                (Request::Route { .. }, Answer::Route(r)) => {
+                    assert!(r.is_some());
+                }
+                _ => panic!("answer kind mismatch"),
+            }
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.decisions, 40);
+        assert_eq!(svc.latency_hist().count(), 40);
+        assert_eq!(svc.decisions().len(), 40);
+        assert!(stats.max_service_ns > 0);
+    }
+
+    #[test]
+    fn identical_streams_produce_identical_checksums() {
+        let t = trace();
+        let run = |refresh: bool| {
+            let mut svc = service(&t);
+            let mid = t.midpoint();
+            for i in 0..30u64 {
+                if refresh && i % 10 == 0 {
+                    svc.refresh(&[], 2);
+                }
+                let at = Time(mid.0 + i * 120);
+                svc.decide(
+                    at,
+                    Request::Route {
+                        requester: NodeId((i % 20) as u32),
+                        data: DataId(i),
+                    },
+                )
+                .unwrap();
+            }
+            (svc.stats().checksum, svc.decisions().to_vec())
+        };
+        let (c1, d1) = run(false);
+        let (c2, d2) = run(false);
+        assert_eq!(c1, c2);
+        assert_eq!(d1.len(), d2.len());
+        for (a, b) in d1.iter().zip(&d2) {
+            assert_eq!(a.answer, b.answer);
+        }
+        // Background priming never changes answers, only speed.
+        let (c3, _) = run(true);
+        assert_eq!(c1, c3, "refresh must not change any decision");
+    }
+
+    #[test]
+    fn jsonl_export_has_header_decisions_and_footer() {
+        let t = trace();
+        let mut svc = service(&t);
+        svc.decide(
+            Time(t.midpoint().0 + 60),
+            Request::Place {
+                data: DataId(9),
+                source: NodeId(4),
+            },
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        let lines = write_jsonl(&svc, &mut buf).unwrap();
+        assert_eq!(lines, 3);
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("\"schema\":\"dtn-serve/1\""));
+        assert!(s.contains("\"kind\":\"place\""));
+        assert!(s.contains("\"decision_checksum\":"));
+    }
+
+    #[test]
+    fn out_of_order_request_is_clamped_to_the_stream_position() {
+        let t = trace();
+        let mut svc = service(&t);
+        let mid = t.midpoint();
+        svc.decide(
+            Time(mid.0 + 600),
+            Request::Route {
+                requester: NodeId(1),
+                data: DataId(1),
+            },
+        )
+        .unwrap();
+        let d = svc
+            .decide(
+                Time(mid.0 + 60),
+                Request::Route {
+                    requester: NodeId(2),
+                    data: DataId(2),
+                },
+            )
+            .unwrap();
+        assert_eq!(d.at, Time(mid.0 + 600), "stream never rewinds");
+    }
+
+    #[test]
+    fn decisions_match_a_fresh_oracle_recomputation() {
+        // Differential: the service's next-hop choice equals an
+        // independent recomputation through the public better_relay
+        // kernel on a fresh oracle over the same rates/time.
+        let t = trace();
+        let mut svc = service(&t);
+        let mid = t.midpoint();
+        let centrals = svc.sim().scheme().central_nodes().to_vec();
+        let d = svc
+            .decide(
+                Time(mid.0 + 300),
+                Request::Place {
+                    data: DataId(3),
+                    source: NodeId(5),
+                },
+            )
+            .unwrap();
+        let Answer::Place(p) = &d.answer else {
+            panic!("place answer expected")
+        };
+        assert_eq!(p.ncls, centrals);
+        let rates = svc.sim().rate_table().clone();
+        let horizon = 3600.0 * 6.0;
+        for plan in &p.plan {
+            let mut fresh = dtn_sim::oracle::PathOracle::new(20, horizon, Duration::hours(1));
+            let mut best: Option<(NodeId, f64)> = None;
+            for n in (0..20u32).map(NodeId) {
+                if n == NodeId(5)
+                    || !dtn_cache::common::better_relay(
+                        &mut fresh,
+                        &rates,
+                        d.at,
+                        NodeId(5),
+                        n,
+                        plan.central,
+                    )
+                {
+                    continue;
+                }
+                let w = if n == plan.central {
+                    f64::INFINITY
+                } else {
+                    fresh.weight(&rates, d.at, n, plan.central)
+                };
+                if best.is_none_or(|(_, bw)| w > bw) {
+                    best = Some((n, w));
+                }
+            }
+            assert_eq!(plan.next_hop, best.map(|(n, _)| n));
+        }
+    }
+}

@@ -564,6 +564,13 @@ pub trait ContactSource {
     /// Every contact starts before or at it.
     fn end_time(&self) -> Time;
 
+    /// The horizon if the source knows one, `None` for open-ended
+    /// sources (e.g. a live [`StreamSource`] whose end is unknown).
+    /// Progress reporting must not extrapolate an ETA from `None`.
+    fn known_end(&self) -> Option<Time> {
+        Some(self.end_time())
+    }
+
     /// The next contact, without consuming it. Repeated calls return
     /// the same contact until [`ContactSource::advance`].
     fn peek(&mut self) -> Option<Contact>;
@@ -619,6 +626,7 @@ pub struct StreamSource<I> {
     iter: I,
     nodes: usize,
     end: Time,
+    open_ended: bool,
     pending: Option<Contact>,
     exhausted: bool,
     last_start: Time,
@@ -632,10 +640,21 @@ impl<I: Iterator<Item = Contact>> StreamSource<I> {
             iter,
             nodes,
             end: Time(duration.as_secs()),
+            open_ended: false,
             pending: None,
             exhausted: false,
             last_start: Time::ZERO,
         }
+    }
+
+    /// Marks the stream as open-ended: `duration` remains the run
+    /// bound for [`Simulator::run_to_end`], but it is *not* a known
+    /// horizon — [`ContactSource::known_end`] answers `None`, so
+    /// progress heartbeats report `eta=?` instead of extrapolating
+    /// toward a bound the live stream may never reach.
+    pub fn open_ended(mut self) -> Self {
+        self.open_ended = true;
+        self
     }
 }
 
@@ -658,6 +677,10 @@ impl<I: Iterator<Item = Contact>> ContactSource for StreamSource<I> {
 
     fn end_time(&self) -> Time {
         self.end
+    }
+
+    fn known_end(&self) -> Option<Time> {
+        (!self.open_ended).then_some(self.end)
     }
 
     fn peek(&mut self) -> Option<Contact> {
@@ -744,6 +767,48 @@ struct Heartbeat {
     started_sim: Time,
     last_wall: std::time::Instant,
     last_contacts: u64,
+}
+
+/// Formats the heartbeat ETA field. `-` before any simulated progress
+/// (nothing to extrapolate from — and the naive formula would divide
+/// by zero), `?` when the source has no known horizon (an open-ended
+/// [`StreamSource`] — extrapolating toward `end_time()` there invents
+/// an ETA for a bound the stream may never reach), otherwise wall
+/// clock scaled by the remaining fraction of simulated time.
+fn heartbeat_eta(
+    wall_secs: f64,
+    started_sim: u64,
+    sim_now: u64,
+    known_end: Option<Time>,
+) -> String {
+    let progressed = sim_now.saturating_sub(started_sim);
+    if progressed == 0 {
+        return "-".to_string();
+    }
+    match known_end {
+        None => "?".to_string(),
+        Some(end) => {
+            let remaining = end.0.saturating_sub(sim_now);
+            format!("{:.0}s", wall_secs * remaining as f64 / progressed as f64)
+        }
+    }
+}
+
+/// Formats the heartbeat progress field: `t=<now>s/<end>s (<pct>%)`
+/// with a known horizon, `t=<now>s/?` without one (a percentage of an
+/// unknown total would be meaningless).
+fn heartbeat_progress(sim_now: u64, known_end: Option<Time>) -> String {
+    match known_end {
+        None => format!("t={sim_now}s/?"),
+        Some(end) => {
+            let pct = if end.0 > 0 {
+                sim_now as f64 / end.0 as f64 * 100.0
+            } else {
+                100.0
+            };
+            format!("t={sim_now}s/{}s ({pct:.1}%)", end.0)
+        }
+    }
 }
 
 /// Maximum contacts gathered into one window of the parallel executor.
@@ -849,6 +914,14 @@ impl<S: Scheme, C: ContactSource> Simulator<S, C> {
         &self.shared.rate_table
     }
 
+    /// Split borrow for online decision serving: the scheme (mutably,
+    /// so it can hand out a `DecisionPoint` over its own oracle) plus
+    /// the live rate table and current simulation time it needs to
+    /// answer with the engine's exact state.
+    pub fn decision_inputs(&mut self) -> (&mut S, &RateTable, Time) {
+        (&mut self.scheme, &self.shared.rate_table, self.shared.now)
+    }
+
     /// The buffer capacity assigned to `node`.
     ///
     /// # Panics
@@ -894,7 +967,7 @@ impl<S: Scheme, C: ContactSource> Simulator<S, C> {
     /// JSONL): simulation progress, contact throughput since the last
     /// beat, peak RSS, and an ETA extrapolated from overall progress.
     fn heartbeat_tick(&mut self) {
-        let end = self.source.end_time();
+        let known_end = self.source.known_end();
         let Some(hb) = &mut self.heartbeat else {
             return;
         };
@@ -919,23 +992,11 @@ impl<S: Scheme, C: ContactSource> Simulator<S, C> {
                 0.0
             }
         };
-        let progressed = sim_now.saturating_sub(hb.started_sim.0);
-        let eta = if progressed > 0 {
-            let wall = now_wall.duration_since(started).as_secs_f64();
-            let remaining = end.0.saturating_sub(sim_now);
-            format!("{:.0}s", wall * remaining as f64 / progressed as f64)
-        } else {
-            "-".to_string()
-        };
-        let pct = if end.0 > 0 {
-            sim_now as f64 / end.0 as f64 * 100.0
-        } else {
-            100.0
-        };
+        let wall = now_wall.duration_since(started).as_secs_f64();
+        let eta = heartbeat_eta(wall, hb.started_sim.0, sim_now, known_end);
+        let progress = heartbeat_progress(sim_now, known_end);
         eprintln!(
-            "[heartbeat] t={sim_now}s/{}s ({pct:.1}%) contacts={} ({rate:.0}/s) \
-             rss={:.1}MB eta={eta}",
-            end.0,
+            "[heartbeat] {progress} contacts={} ({rate:.0}/s) rss={:.1}MB eta={eta}",
             hb.contacts,
             dtn_core::sys::peak_rss_bytes() as f64 / (1024.0 * 1024.0),
         );
@@ -2289,5 +2350,92 @@ mod tests {
         assert_eq!(sim.scheme().contacts_seen, 1);
         sim.run_to_end();
         assert_eq!(sim.scheme().contacts_seen, 2);
+    }
+
+    #[test]
+    fn capped_delay_samples_keep_quantiles_exact_via_histogram() {
+        // 12 satisfied queries under max_delay_samples=8: the raw
+        // vector keeps only the first 8 (earliest-issued → largest
+        // delays here), but the histogram sees all 12, so quantiles
+        // stay population-exact at bucket resolution.
+        let trace = two_node_trace();
+        let cfg = SimConfig {
+            max_delay_samples: Some(8),
+            delay_histogram: Some((60, 32)),
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(&trace, DirectDelivery::default(), cfg);
+        let mut events = vec![gen_event(1, 0, 1000, 50, 9000)];
+        for i in 0..12u64 {
+            events.push(query_event(100 + i * 50, 1, 1, 5000));
+        }
+        sim.add_workload(events);
+        sim.run_to_end();
+        let m = sim.metrics();
+        assert_eq!(m.queries_satisfied, 12);
+        assert_eq!(m.delays_secs.len(), 8, "cap honoured");
+        assert!(m.delay_samples_capped());
+        let hist = m.delay_hist.as_ref().expect("histogram enabled");
+        assert_eq!(hist.count(), 12, "histogram sees every delivery");
+        assert_eq!(
+            m.delay_quantile(0.5).map(|d| d.0),
+            hist.quantile_bucket(0.5),
+            "capped quantile routes through the histogram"
+        );
+        // The capped prefix holds the *largest* delays (earliest
+        // queries wait longest), so the raw-vector median would be
+        // biased upward; the histogram answer must sit below it.
+        let mut prefix = m.delays_secs.clone();
+        prefix.sort_unstable();
+        assert!(
+            m.delay_quantile(0.5).unwrap().0 < prefix[prefix.len() / 2],
+            "histogram median {:?} not below biased prefix median {}",
+            m.delay_quantile(0.5),
+            prefix[prefix.len() / 2]
+        );
+    }
+
+    #[test]
+    fn heartbeat_eta_is_dash_before_any_progress() {
+        // progressed == 0: nothing to extrapolate from, with or
+        // without a known horizon — never a division by zero.
+        assert_eq!(heartbeat_eta(12.0, 500, 500, Some(Time(10_000))), "-");
+        assert_eq!(heartbeat_eta(12.0, 500, 500, None), "-");
+        // started_sim ahead of sim_now (clock skew) saturates to zero.
+        assert_eq!(heartbeat_eta(12.0, 800, 500, Some(Time(10_000))), "-");
+    }
+
+    #[test]
+    fn heartbeat_eta_is_question_mark_for_unknown_horizon() {
+        assert_eq!(heartbeat_eta(30.0, 0, 5_000, None), "?");
+        assert_eq!(heartbeat_progress(5_000, None), "t=5000s/?");
+    }
+
+    #[test]
+    fn heartbeat_eta_extrapolates_with_a_known_horizon() {
+        // 10 wall seconds covered 2000 of 10000 sim seconds → 8000
+        // remain → 40s of wall clock left.
+        assert_eq!(heartbeat_eta(10.0, 0, 2_000, Some(Time(10_000))), "40s");
+        assert_eq!(
+            heartbeat_progress(2_000, Some(Time(10_000))),
+            "t=2000s/10000s (20.0%)"
+        );
+        // Past the horizon: remaining saturates, ETA collapses to 0.
+        assert_eq!(heartbeat_eta(10.0, 0, 12_000, Some(Time(10_000))), "0s");
+        // Degenerate zero-length horizon reads as complete.
+        assert_eq!(heartbeat_progress(0, Some(Time(0))), "t=0s/0s (100.0%)");
+    }
+
+    #[test]
+    fn stream_source_open_ended_hides_the_horizon() {
+        let contacts = vec![Contact::new(NodeId(0), NodeId(1), Time(10), Time(20))];
+        let src = StreamSource::new(contacts.clone().into_iter(), 2, Duration(1_000));
+        assert_eq!(src.known_end(), Some(Time(1_000)), "default: horizon known");
+        let open = StreamSource::new(contacts.into_iter(), 2, Duration(1_000)).open_ended();
+        assert_eq!(open.known_end(), None);
+        assert_eq!(open.end_time(), Time(1_000), "run bound is unchanged");
+        let trace = two_node_trace();
+        let trace_src = TraceSource::new(&trace);
+        assert_eq!(trace_src.known_end(), Some(trace_src.end_time()));
     }
 }

@@ -139,14 +139,40 @@ impl Metrics {
         }
     }
 
+    /// Whether `delays_secs` was truncated by `SimConfig::max_delay_samples`
+    /// — i.e. fewer individual samples were kept than queries satisfied.
+    /// When true, statistics computed from the raw vector describe only
+    /// the *first* `delays_secs.len()` satisfied queries (a biased
+    /// prefix, not a random sample) and should be labelled "sampled".
+    pub fn delay_samples_capped(&self) -> bool {
+        (self.delays_secs.len() as u64) < self.queries_satisfied
+    }
+
     /// The `q`-quantile of the response-delay distribution (0 ≤ q ≤ 1),
     /// or `None` if no query was satisfied.
+    ///
+    /// When `delays_secs` holds every satisfied query the quantile is
+    /// exact (sorted-sample). When the vector was capped by
+    /// `SimConfig::max_delay_samples` the sample prefix is biased
+    /// toward early deliveries, so the quantile is instead answered
+    /// from the full-population [`delay_hist`](Metrics::delay_hist)
+    /// at bucket resolution; with the histogram disabled too, the
+    /// capped prefix is used as a last resort — check
+    /// [`delay_samples_capped`](Metrics::delay_samples_capped) and
+    /// label such values "sampled".
     ///
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 1]`.
     pub fn delay_quantile(&self, q: f64) -> Option<Duration> {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.delay_samples_capped() {
+            if let Some(hist) = &self.delay_hist {
+                if hist.count() > 0 {
+                    return hist.quantile_bucket(q).map(Duration);
+                }
+            }
+        }
         if self.delays_secs.is_empty() {
             return None;
         }
@@ -157,6 +183,8 @@ impl Metrics {
     }
 
     /// Median response delay, or `None` if no query was satisfied.
+    /// Follows the [`delay_quantile`](Metrics::delay_quantile) routing:
+    /// exact when uncapped, histogram-backed when capped.
     pub fn median_delay(&self) -> Option<Duration> {
         self.delay_quantile(0.5)
     }
@@ -254,6 +282,51 @@ mod tests {
     #[should_panic(expected = "quantile")]
     fn out_of_range_quantile_panics() {
         let _ = Metrics::default().delay_quantile(1.5);
+    }
+
+    #[test]
+    fn capped_quantiles_route_through_the_histogram() {
+        // 20 satisfied queries, but only the first 3 (smallest) delays
+        // survived the cap: the raw vector would report a wildly
+        // optimistic median.
+        let mut hist = dtn_core::hist::Histogram::new(100, 10);
+        for d in (0..20u64).map(|i| i * 50) {
+            hist.record(d);
+        }
+        let m = Metrics {
+            queries_satisfied: 20,
+            delays_secs: vec![0, 50, 100],
+            delay_hist: Some(hist.clone()),
+            ..Metrics::default()
+        };
+        assert!(m.delay_samples_capped());
+        assert_eq!(
+            m.delay_quantile(0.5).map(|d| d.0),
+            hist.quantile_bucket(0.5),
+            "capped quantile must come from the full-population histogram"
+        );
+        assert_eq!(m.median_delay(), Some(Duration(400)));
+
+        // Without the histogram the capped prefix is the fallback —
+        // callers label it via delay_samples_capped().
+        let sampled = Metrics {
+            queries_satisfied: 20,
+            delays_secs: vec![0, 50, 100],
+            ..Metrics::default()
+        };
+        assert!(sampled.delay_samples_capped());
+        assert_eq!(sampled.median_delay(), Some(Duration(50)));
+
+        // Uncapped metrics keep the exact sorted-sample path even with
+        // a histogram present (sub-bucket resolution).
+        let exact = Metrics {
+            queries_satisfied: 3,
+            delays_secs: vec![7, 11, 13],
+            delay_hist: Some(dtn_core::hist::Histogram::new(100, 10)),
+            ..Metrics::default()
+        };
+        assert!(!exact.delay_samples_capped());
+        assert_eq!(exact.median_delay(), Some(Duration(11)));
     }
 
     #[test]

@@ -257,6 +257,10 @@ impl<C: ContactSource> ContactSource for OverlaySource<C> {
         self.inner.end_time()
     }
 
+    fn known_end(&self) -> Option<Time> {
+        self.inner.known_end()
+    }
+
     fn peek(&mut self) -> Option<Contact> {
         loop {
             let contact = self.inner.peek()?;

@@ -64,6 +64,29 @@ impl TelemetryConfig {
     }
 }
 
+/// Why a [`TelemetryConfig`] cannot drive a recorder.
+///
+/// `Duration` is unsigned, so a *negative* width is unrepresentable by
+/// construction; zero is the one degenerate layout left to reject —
+/// every event would divide into the same (infinite-rate) window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TelemetryError {
+    /// The window width was zero.
+    ZeroWindowWidth,
+}
+
+impl std::fmt::Display for TelemetryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TelemetryError::ZeroWindowWidth => {
+                write!(f, "telemetry window width must be positive (got 0)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TelemetryError {}
+
 /// Counters and gauges folded from one simulation-time window.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WindowStats {
@@ -271,14 +294,25 @@ impl Telemetry {
     ///
     /// # Panics
     ///
-    /// Panics if the window width is zero.
+    /// Panics if the window width is zero. Use
+    /// [`Telemetry::try_new`] to handle that as a value instead.
     pub fn new(config: &TelemetryConfig) -> Self {
-        assert!(
-            config.window.0 > 0,
-            "telemetry window width must be positive"
-        );
+        match Telemetry::try_new(config) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Telemetry::new`]: rejects a zero window width with a
+    /// structured [`TelemetryError`] rather than panicking — the right
+    /// entry point when the layout comes from user input (CLI flags,
+    /// config files) rather than a programmer constant.
+    pub fn try_new(config: &TelemetryConfig) -> Result<Self, TelemetryError> {
+        if config.window.0 == 0 {
+            return Err(TelemetryError::ZeroWindowWidth);
+        }
         let prealloc = (config.horizon.0 / config.window.0 + 1) as usize;
-        Telemetry {
+        Ok(Telemetry {
             window_secs: config.window.0,
             origin: config.origin,
             ncl_slots: config.ncl_slots,
@@ -290,7 +324,7 @@ impl Telemetry {
             last_oracle_recomputes: 0,
             last_oracle_hits: 0,
             overlays: Vec::new(),
-        }
+        })
     }
 
     /// Declares that an overlay regime was active over `[start, end)`;
@@ -845,5 +879,74 @@ mod tests {
         let cfg = TelemetryConfig::spanning(Time(0), Duration(1001), 10, 4);
         assert_eq!(cfg.window.0, 101);
         assert_eq!(cfg.ncl_slots, 4);
+    }
+
+    #[test]
+    fn zero_width_window_is_a_structured_error() {
+        let cfg = TelemetryConfig {
+            window: Duration(0),
+            origin: Time(0),
+            horizon: Duration(1000),
+            ncl_slots: 1,
+        };
+        let err = Telemetry::try_new(&cfg).expect_err("zero width rejected");
+        assert_eq!(err, TelemetryError::ZeroWindowWidth);
+        assert!(err.to_string().contains("positive"), "{err}");
+        // `spanning` can never produce the degenerate layout, even from
+        // degenerate inputs.
+        let cfg = TelemetryConfig::spanning(Time(0), Duration(0), 0, 1);
+        assert!(cfg.window.0 > 0);
+        assert!(Telemetry::try_new(&cfg).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "window width must be positive")]
+    fn zero_width_window_panics_through_the_infallible_constructor() {
+        let _ = telemetry(0, 1000, 1);
+    }
+
+    #[test]
+    fn partial_final_window_covers_the_horizon_remainder() {
+        // horizon 250 at width 100: the layout needs a third, partial
+        // window. Preallocation rounds up, so the final window covers
+        // [200, 300) — events up to and past the 250 s horizon (late
+        // deliveries of in-horizon queries) fold into it without
+        // growing the array, and conservation holds across the
+        // remainder.
+        let mut t = telemetry(100, 250, 1);
+        assert_eq!(t.windows().len(), 3);
+        inject(&mut t, 0, 240); // inside the horizon
+        inject(&mut t, 1, 250); // exactly at the horizon
+        deliver(&mut t, 0, 299, 59); // trailing event past the horizon
+        assert!(!t.overran_hint(), "remainder events fit the prealloc");
+        assert_eq!(t.windows()[2].queries_issued, 2);
+        assert_eq!(t.windows()[2].deliveries, 1);
+        let totals = t.totals();
+        assert_eq!(totals.queries_issued, 2);
+        assert_eq!(totals.deliveries, 1);
+        assert_eq!(totals.delay_sum_secs, 59);
+        // The export reports the full nominal width for the remainder
+        // window — edges stay aligned for the compare harness.
+        let jsonl = t.to_jsonl();
+        assert!(jsonl.contains("\"index\":2,\"start\":200,\"end\":300"));
+        // One second past the remainder window grows the array (exact
+        // accounting, flagged hint overrun).
+        inject(&mut t, 2, 300);
+        assert!(t.overran_hint());
+        assert_eq!(t.windows()[3].queries_issued, 1);
+        assert_eq!(t.totals().queries_issued, 3);
+    }
+
+    #[test]
+    fn exact_multiple_horizon_still_accepts_boundary_events() {
+        // horizon 200 at width 100: windows [0,100) and [100,200) cover
+        // the span, and the rounding rule keeps one spare window so an
+        // event at exactly t=200 (closing sample, end-of-run epoch)
+        // lands without growing the array.
+        let mut t = telemetry(100, 200, 1);
+        assert_eq!(t.windows().len(), 3);
+        inject(&mut t, 0, 200);
+        assert!(!t.overran_hint());
+        assert_eq!(t.windows()[2].queries_issued, 1);
     }
 }

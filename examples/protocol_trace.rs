@@ -100,10 +100,17 @@ fn main() {
         .count();
     let m = sim.metrics();
     println!(
-        "\n{} push copies settled; {}/{} queries satisfied (median delay {:?})",
+        "\n{} push copies settled; {}/{} queries satisfied (median delay {:?}{})",
         settled,
         m.queries_satisfied,
         m.queries_issued,
         m.median_delay(),
+        // With a capped sample vector and no histogram the median is
+        // computed from a biased prefix — say so.
+        if m.delay_samples_capped() && m.delay_hist.is_none() {
+            ", sampled"
+        } else {
+            ""
+        },
     );
 }
